@@ -1,0 +1,322 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation from the simulator, runs the ablation comparisons DESIGN.md
+   calls out, and measures the real-domains primitives with Bechamel.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- figs         # all figures
+     dune exec bench/main.exe -- fig2a fig11  # specific figures
+     dune exec bench/main.exe -- table1 ablations micro
+     dune exec bench/main.exe -- quick        # reduced message counts *)
+
+open Ulipc_workload
+
+(* ------------------------------------------------------------------ *)
+(* Simulated tables and figures *)
+
+let print_table1 () =
+  Format.printf
+    "=== Table 1: primitive operation costs (simulated; paper SGI column: \
+     3us, 37us, 16/18/45us) ===@.";
+  Format.printf "%a@." Experiments.pp_table1 (Experiments.table1 ())
+
+let figure_builders messages : (string * (unit -> Experiments.figure)) list =
+  [
+    ("fig2a", fun () -> fst (Experiments.fig2 ~messages ()));
+    ("fig2b", fun () -> snd (Experiments.fig2 ~messages ()));
+    ("fig3a", fun () -> fst (Experiments.fig3 ~messages ()));
+    ("fig3b", fun () -> snd (Experiments.fig3 ~messages ()));
+    ("fig6a", fun () -> fst (Experiments.fig6 ~messages ()));
+    ("fig6b", fun () -> snd (Experiments.fig6 ~messages ()));
+    ("fig8a", fun () -> fst (Experiments.fig8 ~messages ()));
+    ("fig8b", fun () -> snd (Experiments.fig8 ~messages ()));
+    ("fig10", fun () -> Experiments.fig10 ~messages ());
+    ("fig11", fun () -> Experiments.fig11 ~messages ());
+    ("fig12", fun () -> Experiments.fig12 ~messages ());
+  ]
+
+let failed = ref 0
+
+let print_figure build =
+  let f = build () in
+  Format.printf "%a@." Experiments.pp_figure f;
+  failed := !failed + List.length (Experiments.failed_checks f)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (§3's safeguards removed, plus the §5 future-work throttle) *)
+
+let print_ablations () =
+  Format.printf
+    "=== Ablations: the Figure 4 safeguards, under adversarial flag timing \
+     ===@.";
+  let base = Ulipc_machines.Sgi_challenge.machine in
+  let racy =
+    {
+      base with
+      costs =
+        {
+          base.Ulipc_machines.Machine.costs with
+          flag_write = Ulipc_engine.Sim_time.us 20;
+        };
+    }
+  in
+  let run label iface =
+    let cfg =
+      Driver.config ~machine:racy ~kind:Ulipc.Protocol_kind.BSW ~nclients:2
+        ~messages_per_client:3000 ?iface
+        ~time_limit:(Ulipc_engine.Sim_time.sec 60) ()
+    in
+    match Driver.run_outcome cfg with
+    | o ->
+      Format.printf
+        "%-24s %8.1f msg/ms   race-fix P: %5d   semaphore residue: %d@." label
+        o.Driver.metrics.Metrics.throughput_msg_per_ms
+        o.Driver.metrics.Metrics.counters.Ulipc.Counters.race_fix_p
+        (Ulipc.Ablation.semaphore_residue o.Driver.session
+           ~kernel:o.Driver.kernel)
+    | exception Driver.Hung r ->
+      Format.printf "%-24s %a  <- the race the safeguard prevents@." label
+        Ulipc_os.Kernel.pp_result r
+  in
+  run "BSW (correct)" None;
+  List.iter
+    (fun v -> run (Ulipc.Ablation.name v) (Some (Ulipc.Ablation.iface v)))
+    Ulipc.Ablation.[ No_second_dequeue; Plain_store_wake; Unconditional_wake ];
+  Format.printf
+    "@.=== Extension: overload-aware BSLS (the §5 future-work sketch) ===@.";
+  Format.printf
+    "8-CPU Challenge, BSLS(5); the throttle defers wake-ups behind an \
+     admission window@.";
+  List.iter
+    (fun n ->
+      let plain =
+        Driver.run
+          (Driver.config ~machine:Ulipc_machines.Sgi_challenge.machine
+             ~kind:(Ulipc.Protocol_kind.BSLS 5) ~nclients:n
+             ~messages_per_client:3000 ())
+      in
+      let st = Ulipc.Bsls_throttle.server_state ~max_pending:4 in
+      let throttled =
+        Driver.run
+          (Driver.config ~machine:Ulipc_machines.Sgi_challenge.machine
+             ~kind:(Ulipc.Protocol_kind.BSLS 5)
+             ~iface:(Ulipc.Bsls_throttle.iface ~max_spin:5 st)
+             ~nclients:n ~messages_per_client:3000 ())
+      in
+      Format.printf
+        "  %2d clients: plain %7.1f msg/ms   throttled %7.1f msg/ms@." n
+        plain.Metrics.throughput_msg_per_ms
+        throttled.Metrics.throughput_msg_per_ms)
+    [ 4; 8; 10; 12 ]
+
+(* ------------------------------------------------------------------ *)
+(* Beyond the paper: server architectures (2.1 discussion, 8 future
+   work) and latency under offered load *)
+
+let print_arch () =
+  Format.printf
+    "=== Server architectures on the 8-CPU Challenge (BSLS(10) unless \
+     noted) ===@.";
+  Format.printf
+    "single-queue is the paper's design; thread-per-client is the \
+     alternative@.of 2.1; multi-server shares one queue among k threads \
+     and pays CSEM's per-item grants@.";
+  List.iter
+    (fun architecture ->
+      List.iter
+        (fun nclients ->
+          let r =
+            Arch.run ~machine:Ulipc_machines.Sgi_challenge.machine
+              ~kind:(Ulipc.Protocol_kind.BSLS 10) ~architecture ~nclients
+              ~messages_per_client:3000 ()
+          in
+          Format.printf "  %a@." Arch.pp_result r)
+        [ 2; 4; 6 ])
+    [ Arch.Single_queue; Arch.Thread_per_client; Arch.Multi_server 2;
+      Arch.Multi_server 4 ];
+  Format.printf "@."
+
+let print_load () =
+  Format.printf
+    "=== Latency under offered load (sgi-indy, 4 clients, idle think time) \
+     ===@.";
+  Format.printf
+    "The regime the paper motivates but does not measure: blocking wins \
+     latency,@.throughput AND CPU when arrivals are sparse on a \
+     uniprocessor.@.";
+  let think_means =
+    Ulipc_engine.Sim_time.[ ms 5; ms 2; ms 1; us 400; us 150 ]
+  in
+  List.iter
+    (fun kind ->
+      Format.printf "--- %s ---@." (Ulipc.Protocol_kind.name kind);
+      List.iter
+        (fun p -> Format.printf "  %a@." Openloop.pp_point p)
+        (Openloop.sweep ~machine:Ulipc_machines.Sgi_indy.machine ~kind
+           ~nclients:4 ~messages_per_client:1500 ~think_means ()))
+    Ulipc.Protocol_kind.[ BSS; BSW; BSLS 10 ];
+  Format.printf "@."
+
+let print_noise () =
+  Format.printf
+    "=== Background load (BSLS(20), sgi-indy): the 4.2 statistics under \
+     noise ===@.";
+  List.iter
+    (fun (label, noise) ->
+      List.iter
+        (fun nclients ->
+          let m =
+            Driver.run
+              (Driver.config ~machine:Ulipc_machines.Sgi_indy.machine
+                 ~kind:(Ulipc.Protocol_kind.BSLS 20) ~nclients
+                 ~messages_per_client:4000 ?noise ())
+          in
+          let c = m.Metrics.counters in
+          let sends = max 1 m.Metrics.messages in
+          Format.printf
+            "  %-12s n=%d  %6.2f msg/ms  blocks %4.1f%%  poll iters/send \
+             %.1f@."
+            label nclients m.Metrics.throughput_msg_per_ms
+            (100.0
+            *. float_of_int c.Ulipc.Counters.spin_fallthroughs
+            /. float_of_int sends)
+            (float_of_int c.Ulipc.Counters.spin_iterations
+            /. float_of_int sends))
+        [ 1; 6 ])
+    [
+      ("quiet", None);
+      ("daemons", Some (Noise.config ()));
+      ( "heavy",
+        Some
+          (Noise.config ~procs:3
+             ~busy_mean:(Ulipc_engine.Sim_time.ms 1)
+             ~idle_mean:(Ulipc_engine.Sim_time.ms 6) ()) );
+    ];
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the real-domains primitives *)
+
+let micro_tests () =
+  let open Bechamel in
+  let queue_pair =
+    Test.make_with_resource ~name:"tl_queue enqueue+dequeue" Test.uniq
+      ~allocate:(fun () -> Ulipc_real.Tl_queue.create ~capacity:64 ())
+      ~free:ignore
+      (Staged.stage (fun q ->
+           ignore (Ulipc_real.Tl_queue.enqueue q 1 : bool);
+           ignore (Ulipc_real.Tl_queue.dequeue q : int option)))
+  in
+  let sem_pair =
+    Test.make_with_resource ~name:"rsem V+P" Test.uniq
+      ~allocate:(fun () -> Ulipc_real.Rsem.create 0)
+      ~free:ignore
+      (Staged.stage (fun s ->
+           Ulipc_real.Rsem.v s;
+           Ulipc_real.Rsem.p s))
+  in
+  let tas =
+    Test.make_with_resource ~name:"atomic exchange (tas)" Test.uniq
+      ~allocate:(fun () -> Atomic.make false)
+      ~free:ignore
+      (Staged.stage (fun f -> ignore (Atomic.exchange f true : bool)))
+  in
+  let round_trip name waiting =
+    (* Resource: a live echo server domain; -1 asks it to exit. *)
+    Test.make_with_resource ~name Test.uniq
+      ~allocate:(fun () ->
+        let t : (int, int) Ulipc_real.Rpc.t =
+          Ulipc_real.Rpc.create ~nclients:1 waiting
+        in
+        let d =
+          Domain.spawn (fun () ->
+              let rec serve () =
+                match Ulipc_real.Rpc.receive t with
+                | client, -1 -> Ulipc_real.Rpc.reply t ~client (-1)
+                | client, v ->
+                  Ulipc_real.Rpc.reply t ~client (v + 1);
+                  serve ()
+              in
+              serve ())
+        in
+        (t, d))
+      ~free:(fun (t, d) ->
+        ignore (Ulipc_real.Rpc.send t ~client:0 (-1) : int);
+        Domain.join d)
+      (Staged.stage (fun ((t, _) : (int, int) Ulipc_real.Rpc.t * unit Domain.t) ->
+           ignore (Ulipc_real.Rpc.send t ~client:0 42 : int)))
+  in
+  [
+    queue_pair;
+    sem_pair;
+    tas;
+    round_trip "round-trip, spin (BSS)" Ulipc_real.Rpc.Spin;
+    round_trip "round-trip, block (BSW)" Ulipc_real.Rpc.Block;
+    round_trip "round-trip, limited spin (BSLS)"
+      (Ulipc_real.Rpc.Limited_spin 500);
+  ]
+
+let print_micro () =
+  let open Bechamel in
+  Format.printf
+    "=== Real-hardware micro-benchmarks (OCaml domains, Bechamel) ===@.";
+  Format.printf
+    "The modern analogue of Table 1: user-level queue ops vs blocking.@.";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let tests = Test.make_grouped ~name:"real" (micro_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> (name, t) :: acc
+        | Some [] | None -> acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) -> Format.printf "%-40s %10.1f ns/op@." name ns)
+    (List.sort compare rows);
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let messages = if quick then 2_000 else Experiments.messages_default in
+  let builders = figure_builders messages in
+  let args = List.filter (fun a -> a <> "quick") args in
+  let sections =
+    if args = [] then
+      [ "table1"; "figs"; "ablations"; "arch"; "load"; "noise"; "micro" ]
+    else args
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun section ->
+      match section with
+      | "table1" -> print_table1 ()
+      | "figs" -> List.iter (fun (_, b) -> print_figure b) builders
+      | "ablations" -> print_ablations ()
+      | "arch" -> print_arch ()
+      | "load" -> print_load ()
+      | "noise" -> print_noise ()
+      | "micro" -> print_micro ()
+      | id when List.mem_assoc id builders ->
+        print_figure (List.assoc id builders)
+      | other ->
+        Format.printf
+          "unknown section %S (table1, figs, ablations, arch, load, noise, micro, quick, %s)@."
+          other
+          (String.concat ", " (List.map fst builders)))
+    sections;
+  Format.printf "=== done in %.1fs; %d shape check(s) failed ===@."
+    (Unix.gettimeofday () -. t0)
+    !failed;
+  if !failed > 0 then exit 1

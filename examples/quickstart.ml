@@ -1,0 +1,50 @@
+(* Quickstart: the two faces of the library in ~40 lines.
+
+   1. The simulator: run the paper's echo benchmark on the calibrated SGI
+      Indy model and compare a busy-waiting protocol with a blocking one.
+   2. The real thing: the same Send/Receive/Reply interface on OCaml 5
+      domains, within this process.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let simulated () =
+  Format.printf "--- simulated SGI Indy (IRIX 6.2), 4 clients ---@.";
+  List.iter
+    (fun kind ->
+      let config =
+        Ulipc_workload.Driver.config ~machine:Ulipc_machines.Sgi_indy.machine
+          ~kind ~nclients:4 ~messages_per_client:5_000 ()
+      in
+      let m = Ulipc_workload.Driver.run config in
+      Format.printf "%-9s %7.2f msg/ms  (%d blocking sleeps, %d wake-up calls)@."
+        (Ulipc.Protocol_kind.name kind)
+        m.Ulipc_workload.Metrics.throughput_msg_per_ms
+        (m.Ulipc_workload.Metrics.counters.Ulipc.Counters.client_blocks
+        + m.Ulipc_workload.Metrics.counters.Ulipc.Counters.server_blocks)
+        (m.Ulipc_workload.Metrics.counters.Ulipc.Counters.client_wakeups
+        + m.Ulipc_workload.Metrics.counters.Ulipc.Counters.server_wakeups))
+    Ulipc.Protocol_kind.[ BSS; BSW; BSLS 10; SYSV ]
+
+let real () =
+  Format.printf "@.--- real OCaml domains, blocking protocol ---@.";
+  let t : (string, string) Ulipc_real.Rpc.t =
+    Ulipc_real.Rpc.create ~nclients:1 Ulipc_real.Rpc.Block
+  in
+  let server =
+    Domain.spawn (fun () ->
+        let rec serve () =
+          match Ulipc_real.Rpc.receive t with
+          | client, "quit" -> Ulipc_real.Rpc.reply t ~client "bye"
+          | client, req ->
+            Ulipc_real.Rpc.reply t ~client (String.uppercase_ascii req);
+            serve ()
+        in
+        serve ())
+  in
+  Format.printf "send \"hello\" -> %s@." (Ulipc_real.Rpc.send t ~client:0 "hello");
+  Format.printf "send \"quit\"  -> %s@." (Ulipc_real.Rpc.send t ~client:0 "quit");
+  Domain.join server
+
+let () =
+  simulated ();
+  real ()

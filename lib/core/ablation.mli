@@ -1,0 +1,34 @@
+(** Deliberately broken protocol variants.
+
+    Each variant removes one safeguard the paper's §3 argues for, so tests
+    and the ablation benchmarks can demonstrate the failure mode the
+    safeguard prevents:
+
+    - {!No_second_dequeue} drops the "seemingly redundant" dequeue of step
+      C.3.  Under Interleaving 4 the producer checks the awake flag after
+      the consumer found the queue empty but before the flag is cleared —
+      no wake-up is sent and the consumer sleeps forever.  Runs with this
+      variant are expected to deadlock (usually within a few hundred
+      round-trips on a uniprocessor).
+    - {!Plain_store_wake} replaces the producer's test-and-set on the awake
+      flag with a plain read-then-store.  Interleavings 2 and 3 are back:
+      concurrent producers issue duplicate V operations and the semaphore
+      count accumulates residue the consumer must iterate down (and that
+      can overflow a System V semaphore in a long run — the failure the
+      authors hit in their first version).
+    - {!Unconditional_wake} issues a V on {e every} enqueue, ignoring the
+      awake flag entirely.  Correct, but every send pays the wake-up
+      system call, and the semaphore value grows without bound while the
+      consumer is busy. *)
+
+type variant = No_second_dequeue | Plain_store_wake | Unconditional_wake
+
+val name : variant -> string
+
+val iface : variant -> Iface.t
+(** The BSW protocol with the variant's safeguard removed. *)
+
+val semaphore_residue : Session.t -> kernel:Ulipc_os.Kernel.t -> int
+(** Sum of the session's channel-semaphore counts — the accumulated
+    surplus wake-ups left behind after a run.  Zero for the correct
+    protocol. *)

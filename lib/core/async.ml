@@ -1,0 +1,54 @@
+(* The producer and consumer halves match the session's protocol family:
+   spinning for BSS, per-item semaphore grants for CSEM, and the
+   tas-guarded awake-flag wake-up for every blocking protocol. *)
+
+open Ulipc_os
+
+let post (s : Session.t) ~client msg =
+  match s.Session.kind with
+  | Protocol_kind.BSS ->
+    ignore (client : int);
+    Prims.spin_enqueue s s.Session.request msg
+  | Protocol_kind.CSEM ->
+    Prims.flow_enqueue s s.Session.request msg;
+    Usys.sem_v s.Session.request.Channel.sem
+  | Protocol_kind.SYSV ->
+    (* System V is naturally asynchronous: msgsnd does not wait. *)
+    Usys.msgsnd s.Session.sysv_request ~mtype:Sysv_ipc.request_mtype
+      (s.Session.inject msg)
+  | Protocol_kind.BSW | Protocol_kind.BSWY | Protocol_kind.BSLS _
+  | Protocol_kind.HANDOFF ->
+    Prims.flow_enqueue s s.Session.request msg;
+    let (_ : bool) = Prims.wake_consumer s s.Session.request ~target:Server in
+    ()
+
+let collect (s : Session.t) ~client =
+  let ch = Session.reply_channel s client in
+  match s.Session.kind with
+  | Protocol_kind.BSS -> Prims.spinning_dequeue s ch
+  | Protocol_kind.CSEM ->
+    Usys.sem_p ch.Channel.sem;
+    let rec take () =
+      match Ulipc_shm.Ms_queue.dequeue ch.Channel.queue with
+      | Some m -> m
+      | None -> take ()
+    in
+    take ()
+  | Protocol_kind.SYSV -> (
+    match
+      s.Session.project
+        (Usys.msgrcv s.Session.sysv_reply
+           ~mtype:(Session.sysv_reply_mtype ~client))
+    with
+    | Some m -> m
+    | None -> invalid_arg "Async.collect: foreign payload in session queue")
+  | Protocol_kind.BSW | Protocol_kind.BSWY | Protocol_kind.BSLS _
+  | Protocol_kind.HANDOFF ->
+    Prims.blocking_dequeue s ch ~side:Client ()
+
+let try_collect (s : Session.t) ~client =
+  Ulipc_shm.Ms_queue.dequeue (Session.reply_channel s client).Channel.queue
+
+let call_batch s ~client msgs =
+  List.iter (post s ~client) msgs;
+  List.map (fun (_ : Message.t) -> collect s ~client) msgs

@@ -1,0 +1,29 @@
+(** Asynchronous sends — the extension §1 and §8 sketch.
+
+    A client may enqueue several requests without waiting for replies
+    ("a client process can enqueue multiple asynchronous messages on to a
+    shared queue without blocking waiting for a response") and collect the
+    responses later.  On a uniprocessor this is where user-level IPC needs
+    {e no} system calls at all in the best case: the server drains the
+    batch in one possession of the CPU.
+
+    The sleep/wake-up machinery is the BSW/BSWY producer and consumer
+    halves, so these calls compose with servers running any of the
+    blocking protocols (BSW, BSWY, BSLS, HANDOFF).  They do not apply to
+    SYSV sessions. *)
+
+val post : Session.t -> client:int -> Message.t -> unit
+(** Enqueue a request and wake the server if needed; return immediately.
+    Blocks (with the one-second flow-control sleep) only if the request
+    queue is full. *)
+
+val collect : Session.t -> client:int -> Message.t
+(** Wait for the next response on this client's reply channel, sleeping if
+    none is ready (the standard C.1–C.5 consumer sequence). *)
+
+val try_collect : Session.t -> client:int -> Message.t option
+(** Non-blocking poll of the reply channel: one dequeue attempt. *)
+
+val call_batch : Session.t -> client:int -> Message.t list -> Message.t list
+(** [call_batch s ~client msgs] posts every request, then collects exactly
+    one response per request, in arrival order. *)

@@ -1,0 +1,13 @@
+(** Both Sides Limited Spin (Figure 9): poll up to MAX_SPIN times before
+    running the blocking sequence.
+
+    Each poll is a yield on a uniprocessor (a hand-off attempt) and a
+    25 µs checking delay loop on a multiprocessor.  The paper's best
+    blocking protocol: at MAX_SPIN = 20 a single client almost never
+    blocks and sees its reply within ~2 polls (§4.2); on a multiprocessor
+    it tracks BSS until clients out-spin the bound, where the wake-up
+    feedback of §5 collapses it. *)
+
+val send : Session.t -> client:int -> max_spin:int -> Message.t -> Message.t
+val receive : Session.t -> max_spin:int -> Message.t
+val reply : Session.t -> client:int -> Message.t -> unit

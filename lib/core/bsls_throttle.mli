@@ -1,0 +1,27 @@
+(** Overload-aware BSLS — the future work sketched at the end of §5.
+
+    On the multiprocessor, plain BSLS collapses through positive feedback:
+    once one client out-spins MAX_SPIN the server must pay a wake-up
+    system call, which slows the server, which makes more clients
+    out-spin.  The paper proposes "having the server recognize the fact
+    that it is overloaded, and limit the number of clients it wakes up at
+    any given time ... while guaranteeing that starvation doesn't occur".
+
+    This variant implements that idea: while the server's request queue is
+    non-empty (the server is overloaded), replies defer their wake-up V
+    operations into a pending set instead of issuing them inline; the
+    pending wake-ups are flushed — oldest first, bounded per batch — as
+    soon as the request queue drains or the pending set reaches
+    [max_pending].  Flushing before the server ever blocks guarantees no
+    client starves. *)
+
+type server_state
+
+val server_state : max_pending:int -> server_state
+(** @raise Invalid_argument if [max_pending <= 0]. *)
+
+val pending_wakeups : server_state -> int
+
+val iface : max_spin:int -> server_state -> Iface.t
+(** Client side is plain BSLS; the server's receive/reply use the deferred
+    wake-up policy above.  The state must not be shared across sessions. *)

@@ -1,0 +1,11 @@
+(** Both Sides Spin (Figure 1): the busy-waiting baseline.
+
+    No process ever blocks: [busy_wait] is a [yield] system call on a
+    uniprocessor and a tight delay loop on a multiprocessor, so whether
+    anything useful happens during a wait is entirely the scheduler's
+    decision — the observation §2.2 builds on.  Maximum throughput under
+    continuous load; unacceptable waste when queues are often empty. *)
+
+val send : Session.t -> client:int -> Message.t -> Message.t
+val receive : Session.t -> Message.t
+val reply : Session.t -> client:int -> Message.t -> unit

@@ -1,0 +1,12 @@
+(** Both Sides Wait (Figure 5): the basic blocking protocol.
+
+    Producers perform the tas-guarded conditional wake-up (steps P.1–P.3
+    of Figure 4); consumers run the C.1–C.5 sequence — clear the awake
+    flag, dequeue {e again}, and only then sleep on the counting
+    semaphore.  Functionally the goal, but §3.1 shows it is no faster
+    than System V IPC: four system calls and two context switches per
+    round-trip, because a V never forces a rescheduling decision. *)
+
+val send : Session.t -> client:int -> Message.t -> Message.t
+val receive : Session.t -> Message.t
+val reply : Session.t -> client:int -> Message.t -> unit

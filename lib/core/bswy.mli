@@ -1,0 +1,13 @@
+(** Both Sides Wait and Yield (Figure 7): BSW plus [busy_wait]/[yield]
+    calls that suggest hand-off scheduling.
+
+    The client busy-waits right after actually waking the server and once
+    more when it first finds the reply queue empty; the server yields once
+    before entering its blocking sequence so clients can enqueue follow-up
+    requests (the multi-client batching path).  Effective for one or two
+    clients; with more, a yield that does not transfer control to the
+    server only lengthens the critical path (§4.1). *)
+
+val send : Session.t -> client:int -> Message.t -> Message.t
+val receive : Session.t -> Message.t
+val reply : Session.t -> client:int -> Message.t -> unit

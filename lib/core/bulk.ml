@@ -1,0 +1,69 @@
+open Ulipc_engine
+open Ulipc_os
+open Ulipc_shm
+
+type t = { session : Session.t; arena : Arena.t }
+
+let bulk_opcode = Message.Custom 0xB
+
+let create session ~arena_size =
+  {
+    session;
+    arena = Arena.create ~costs:session.Session.costs ~size:arena_size ();
+  }
+
+let session t = t.session
+let arena t = t.arena
+
+(* Allocate with the queue-full back-off discipline: an exhausted arena
+   means receivers have not freed their blocks yet. *)
+let rec alloc_blocking t n =
+  match Arena.alloc t.arena n with
+  | Some block -> block
+  | None ->
+    t.session.Session.counters.Counters.queue_full_sleeps <-
+      t.session.Session.counters.Counters.queue_full_sleeps + 1;
+    Usys.sleep (Sim_time.sec 1);
+    alloc_blocking t n
+
+(* A zero-length payload still needs a valid block handle; use one byte. *)
+let stage t payload =
+  let block = alloc_blocking t (max 1 (Bytes.length payload)) in
+  Arena.write_bytes t.arena block payload;
+  (block, Bytes.length payload)
+
+let encode ~reply_chan (block : Arena.allocation) real_len =
+  (* Offset rides in [arg] (exact for any offset below 2^53), the real
+     payload length in [seq]; the block length is recomputed as
+     max 1 real_len on the receiving side. *)
+  Message.make ~opcode:bulk_opcode ~reply_chan ~seq:real_len
+    (float_of_int block.Arena.offset)
+
+let decode t (m : Message.t) =
+  if not (Message.opcode_equal m.Message.opcode bulk_opcode) then
+    invalid_arg "Bulk: message does not carry a bulk payload";
+  let real_len = m.Message.seq in
+  let block =
+    {
+      Arena.offset = int_of_float m.Message.arg;
+      length = max 1 real_len;
+    }
+  in
+  let all = Arena.read_bytes t.arena block in
+  Arena.free t.arena block;
+  Bytes.sub all 0 real_len
+
+let call t ~client payload =
+  let block, len = stage t payload in
+  let answer =
+    Dispatch.send t.session ~client (encode ~reply_chan:client block len)
+  in
+  decode t answer
+
+let serve_one t ~handler =
+  let m = Dispatch.receive t.session in
+  let client = m.Message.reply_chan in
+  let request = decode t m in
+  let response = handler ~client request in
+  let block, len = stage t response in
+  Dispatch.reply t.session ~client (encode ~reply_chan:client block len)

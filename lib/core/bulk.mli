@@ -1,0 +1,35 @@
+(** Variable-sized message payloads (§2.1).
+
+    "Variable sized messages can be accommodated by using one of the
+    fields of the fixed sized message to point to a variable sized
+    component in shared memory."  This module implements that scheme on
+    top of any session protocol: the payload bytes travel through a shared
+    {!Ulipc_shm.Arena}, and the fixed-size message carries the block's
+    offset (in [arg]) and length (in [seq]).
+
+    Ownership follows the message: the sender allocates and writes the
+    block, the receiver reads and frees it.  Request and reply payloads
+    use the same arena.  When the arena is momentarily exhausted the
+    sender backs off with the protocols' one-second flow-control sleep. *)
+
+type t
+
+val create : Session.t -> arena_size:int -> t
+(** Attach a payload arena to a session.
+    @raise Invalid_argument if [arena_size <= 0]. *)
+
+val session : t -> Session.t
+val arena : t -> Ulipc_shm.Arena.t
+
+val call : t -> client:int -> bytes -> bytes
+(** Synchronous request with a variable-sized payload; returns the
+    server's (variable-sized) response.  Uses the session's protocol for
+    the fixed-size message exchange. *)
+
+val serve_one : t -> handler:(client:int -> bytes -> bytes) -> unit
+(** Server side: receive one bulk request, run [handler] on its payload,
+    and respond with the handler's result. *)
+
+val bulk_opcode : Message.opcode
+(** The [Custom] opcode tagging bulk messages; exposed so mixed servers
+    can route on it. *)

@@ -1,0 +1,14 @@
+type t = {
+  id : int;
+  queue : Message.t Ulipc_shm.Ms_queue.t;
+  awake : Ulipc_shm.Mem.Flag.t;
+  sem : Ulipc_os.Syscall.sem_id;
+}
+
+let create ~kernel ~costs ~capacity ~id =
+  {
+    id;
+    queue = Ulipc_shm.Ms_queue.create ~costs ~capacity ();
+    awake = Ulipc_shm.Mem.Flag.make ~costs true;
+    sem = Ulipc_os.Kernel.new_sem kernel ~init:0;
+  }

@@ -1,0 +1,26 @@
+(** One unidirectional IPC channel: a flow-controlled shared-memory queue
+    plus the sleep/wake-up state of its consumer.
+
+    Per §2.1 there is one request channel at the server (shared by every
+    client) and one reply channel per client; a request carries the number
+    of the reply channel to respond on.  The [awake] flag and the counting
+    semaphore are the two halves of the blocking protocol of §3: the flag
+    lives in shared memory and is manipulated with test-and-set, the
+    semaphore is a kernel object the consumer sleeps on. *)
+
+type t = {
+  id : int;  (** the channel number carried in messages *)
+  queue : Message.t Ulipc_shm.Ms_queue.t;
+  awake : Ulipc_shm.Mem.Flag.t;
+      (** believed-awake flag of this channel's consumer; cleared by the
+          consumer before it considers sleeping (step C.2) *)
+  sem : Ulipc_os.Syscall.sem_id;  (** the consumer blocks here (P/V) *)
+}
+
+val create :
+  kernel:Ulipc_os.Kernel.t ->
+  costs:Ulipc_os.Costs.t ->
+  capacity:int ->
+  id:int ->
+  t
+(** A fresh channel whose consumer is presumed awake. *)

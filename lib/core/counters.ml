@@ -1,0 +1,75 @@
+type t = {
+  mutable sends : int;
+  mutable receives : int;
+  mutable replies : int;
+  mutable client_blocks : int;
+  mutable server_blocks : int;
+  mutable client_wakeups : int;
+  mutable server_wakeups : int;
+  mutable race_fix_p : int;
+  mutable queue_full_sleeps : int;
+  mutable spin_iterations : int;
+  mutable spin_fallthroughs : int;
+  mutable server_spin_iterations : int;
+  mutable server_spin_fallthroughs : int;
+}
+
+let create () =
+  {
+    sends = 0;
+    receives = 0;
+    replies = 0;
+    client_blocks = 0;
+    server_blocks = 0;
+    client_wakeups = 0;
+    server_wakeups = 0;
+    race_fix_p = 0;
+    queue_full_sleeps = 0;
+    spin_iterations = 0;
+    spin_fallthroughs = 0;
+    server_spin_iterations = 0;
+    server_spin_fallthroughs = 0;
+  }
+
+let reset t =
+  t.sends <- 0;
+  t.receives <- 0;
+  t.replies <- 0;
+  t.client_blocks <- 0;
+  t.server_blocks <- 0;
+  t.client_wakeups <- 0;
+  t.server_wakeups <- 0;
+  t.race_fix_p <- 0;
+  t.queue_full_sleeps <- 0;
+  t.spin_iterations <- 0;
+  t.spin_fallthroughs <- 0;
+  t.server_spin_iterations <- 0;
+  t.server_spin_fallthroughs <- 0
+
+let add dst src =
+  dst.sends <- dst.sends + src.sends;
+  dst.receives <- dst.receives + src.receives;
+  dst.replies <- dst.replies + src.replies;
+  dst.client_blocks <- dst.client_blocks + src.client_blocks;
+  dst.server_blocks <- dst.server_blocks + src.server_blocks;
+  dst.client_wakeups <- dst.client_wakeups + src.client_wakeups;
+  dst.server_wakeups <- dst.server_wakeups + src.server_wakeups;
+  dst.race_fix_p <- dst.race_fix_p + src.race_fix_p;
+  dst.queue_full_sleeps <- dst.queue_full_sleeps + src.queue_full_sleeps;
+  dst.spin_iterations <- dst.spin_iterations + src.spin_iterations;
+  dst.spin_fallthroughs <- dst.spin_fallthroughs + src.spin_fallthroughs;
+  dst.server_spin_iterations <-
+    dst.server_spin_iterations + src.server_spin_iterations;
+  dst.server_spin_fallthroughs <-
+    dst.server_spin_fallthroughs + src.server_spin_fallthroughs
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>sends=%d receives=%d replies=%d@,\
+     blocks: client=%d server=%d  wakeups: client=%d server=%d@,\
+     race-fix P=%d queue-full sleeps=%d@,\
+     client spin: iters=%d falls=%d  server spin: iters=%d falls=%d@]"
+    t.sends t.receives t.replies t.client_blocks t.server_blocks
+    t.client_wakeups t.server_wakeups t.race_fix_p t.queue_full_sleeps
+    t.spin_iterations t.spin_fallthroughs t.server_spin_iterations
+    t.server_spin_fallthroughs

@@ -1,0 +1,35 @@
+(** Protocol instrumentation.
+
+    Plain OCaml counters the protocol implementations bump as they run;
+    they cost no simulated time.  The driver reads them to report the
+    statistics quoted in the paper: how often a consumer actually blocked,
+    how many wake-up system calls were issued, how many spin-loop
+    iterations a BSLS client performed before its reply arrived (§4.2),
+    and how often races were detected and repaired. *)
+
+type t = {
+  mutable sends : int;  (** completed synchronous sends *)
+  mutable receives : int;  (** completed server receives *)
+  mutable replies : int;
+  mutable client_blocks : int;  (** P calls that client consumers made *)
+  mutable server_blocks : int;
+  mutable client_wakeups : int;  (** V calls aimed at sleeping clients *)
+  mutable server_wakeups : int;
+  mutable race_fix_p : int;
+      (** P calls made only to drain a wake-up that raced with a successful
+          second dequeue (Interleaving 3 repair) *)
+  mutable queue_full_sleeps : int;  (** [sleep(1)] on a full queue *)
+  mutable spin_iterations : int;  (** BSLS poll-loop iterations, client side *)
+  mutable spin_fallthroughs : int;
+      (** BSLS sends whose poll loop exhausted MAX_SPIN *)
+  mutable server_spin_iterations : int;
+  mutable server_spin_fallthroughs : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val add : t -> t -> unit
+(** [add dst src] accumulates [src] into [dst]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(* Counting-semaphore producer/consumer: V on every enqueue, P before
+   every dequeue, no awake flag.  Two system calls per message in each
+   direction — the very overhead the paper's tas-guarded wake-up avoids —
+   but, uniquely here, safe with several consumers sharing one queue:
+   grants never exceed enqueued items (the V follows the enqueue), so a P
+   that returns guarantees the following dequeue finds an item.  The
+   multi-threaded-server architecture is built on this. *)
+
+open Ulipc_os
+open Ulipc_shm
+
+let produce (s : Session.t) (ch : Channel.t) msg =
+  Prims.flow_enqueue s ch msg;
+  Usys.sem_v ch.Channel.sem
+
+(* P grants one item; the dequeue can still lose a race for a *specific*
+   item to a sibling consumer, but never for an item in total, so the
+   retry loop terminates immediately in practice.  The loop guards the
+   invariant rather than assuming it. *)
+let consume (ch : Channel.t) =
+  Usys.sem_p ch.Channel.sem;
+  let rec take () =
+    match Ms_queue.dequeue ch.Channel.queue with
+    | Some m -> m
+    | None -> take ()
+  in
+  take ()
+
+let send (s : Session.t) ~client msg =
+  produce s s.Session.request msg;
+  let ans = consume (Session.reply_channel s client) in
+  s.Session.counters.Counters.sends <- s.Session.counters.Counters.sends + 1;
+  ans
+
+let receive (s : Session.t) =
+  let m = consume s.Session.request in
+  s.Session.counters.Counters.receives <-
+    s.Session.counters.Counters.receives + 1;
+  m
+
+let reply (s : Session.t) ~client msg =
+  produce s (Session.reply_channel s client) msg;
+  s.Session.counters.Counters.replies <- s.Session.counters.Counters.replies + 1

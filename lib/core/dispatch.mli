@@ -1,0 +1,15 @@
+(** Protocol dispatch: the public Send/Receive/Reply entry points.
+
+    Routes each operation to the implementation selected by the session's
+    {!Protocol_kind.t}.  These functions must be called from inside
+    simulated processes (see {!Ulipc_os.Kernel.spawn}). *)
+
+val send : Session.t -> client:int -> Message.t -> Message.t
+(** Synchronous request from client [client]; returns the server's
+    response.  Blocking behaviour depends on the protocol. *)
+
+val receive : Session.t -> Message.t
+(** Next request at the server. *)
+
+val reply : Session.t -> client:int -> Message.t -> unit
+(** Respond to client [client]. *)

@@ -1,0 +1,57 @@
+type policy = {
+  accept_opcode : Message.opcode -> bool;
+  max_outstanding : int;
+}
+
+let default_policy =
+  {
+    accept_opcode =
+      (fun op ->
+        match op with
+        | Message.Connect | Message.Echo | Message.Disconnect -> true
+        | Message.Custom _ -> Message.opcode_equal op Bulk.bulk_opcode);
+    max_outstanding = 16;
+  }
+
+type t = {
+  s : Session.t;
+  policy : policy;
+  outstanding : int array; (* per-client credit in use *)
+  mutable dropped : int;
+}
+
+let create s policy =
+  if policy.max_outstanding <= 0 then
+    invalid_arg "Guard.create: max_outstanding must be positive";
+  {
+    s;
+    policy;
+    outstanding = Array.make (Session.nclients s) 0;
+    dropped = 0;
+  }
+
+let session t = t.s
+let rejected t = t.dropped
+
+let valid t (m : Message.t) =
+  let nclients = Session.nclients t.s in
+  if m.Message.reply_chan < 0 || m.Message.reply_chan >= nclients then false
+  else if not (t.policy.accept_opcode m.Message.opcode) then false
+  else t.outstanding.(m.Message.reply_chan) < t.policy.max_outstanding
+
+let rec receive t =
+  let m = Dispatch.receive t.s in
+  if valid t m then begin
+    t.outstanding.(m.Message.reply_chan) <-
+      t.outstanding.(m.Message.reply_chan) + 1;
+    m
+  end
+  else begin
+    t.dropped <- t.dropped + 1;
+    receive t
+  end
+
+let reply t ~client msg =
+  if client >= 0 && client < Array.length t.outstanding then
+    t.outstanding.(client) <- max 0 (t.outstanding.(client) - 1);
+  Dispatch.reply t.s ~client msg

@@ -1,0 +1,42 @@
+(** Server-side protection against misbehaving clients (§1).
+
+    "Servers can protect themselves from clients by careful access to the
+    shared memory queues.  Clients can be protected from other clients by
+    placing only recoverable control information in the queues" — the
+    request queue is writable by every client, so nothing read from it can
+    be trusted.  This wrapper validates each received message before the
+    server acts on it:
+
+    - the reply-channel number must name a real channel (an out-of-range
+      index would crash the server or let one client impersonate another);
+    - the opcode must be one the server accepts;
+    - a per-client credit bound caps how many requests a single client may
+      have outstanding, so one client cannot monopolise the shared request
+      queue (a recoverable-flow-control discipline).
+
+    Invalid messages are dropped and counted; the server keeps serving. *)
+
+type policy = {
+  accept_opcode : Message.opcode -> bool;
+  max_outstanding : int;
+      (** per-client credit: requests received minus replies sent *)
+}
+
+val default_policy : policy
+(** Accepts Connect/Echo/Disconnect and [Bulk.bulk_opcode];
+    [max_outstanding = 16]. *)
+
+type t
+
+val create : Session.t -> policy -> t
+val session : t -> Session.t
+
+val rejected : t -> int
+(** Messages dropped so far. *)
+
+val receive : t -> Message.t
+(** Like {!Dispatch.receive}, but skips (and counts) invalid messages
+    until a valid one arrives. *)
+
+val reply : t -> client:int -> Message.t -> unit
+(** Like {!Dispatch.reply}; also returns the client's credit. *)

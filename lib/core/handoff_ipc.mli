@@ -1,0 +1,12 @@
+(** BSWY over the extended kernel interface of §6.
+
+    Every scheduling hint becomes an explicit [handoff] system call:
+    clients hand off to the server's pid after waking it and while
+    waiting for a reply; the server hands off to PID_ANY ("run whoever is
+    best, even at lower priority than me").  On the modified-yield Linux
+    scheduler this matches BSWY without improving it, as the paper
+    reports. *)
+
+val send : Session.t -> client:int -> Message.t -> Message.t
+val receive : Session.t -> Message.t
+val reply : Session.t -> client:int -> Message.t -> unit

@@ -1,0 +1,30 @@
+type t = {
+  send : Session.t -> client:int -> Message.t -> Message.t;
+  receive : Session.t -> Message.t;
+  reply : Session.t -> client:int -> Message.t -> unit;
+}
+
+let of_kind kind =
+  match kind with
+  | Protocol_kind.BSS ->
+    { send = Bss.send; receive = Bss.receive; reply = Bss.reply }
+  | Protocol_kind.BSW ->
+    { send = Bsw.send; receive = Bsw.receive; reply = Bsw.reply }
+  | Protocol_kind.BSWY ->
+    { send = Bswy.send; receive = Bswy.receive; reply = Bswy.reply }
+  | Protocol_kind.BSLS max_spin ->
+    {
+      send = (fun s ~client msg -> Bsls.send s ~client ~max_spin msg);
+      receive = (fun s -> Bsls.receive s ~max_spin);
+      reply = Bsls.reply;
+    }
+  | Protocol_kind.SYSV ->
+    { send = Sysv_ipc.send; receive = Sysv_ipc.receive; reply = Sysv_ipc.reply }
+  | Protocol_kind.HANDOFF ->
+    {
+      send = Handoff_ipc.send;
+      receive = Handoff_ipc.receive;
+      reply = Handoff_ipc.reply;
+    }
+  | Protocol_kind.CSEM ->
+    { send = Csem.send; receive = Csem.receive; reply = Csem.reply }

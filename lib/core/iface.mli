@@ -1,0 +1,16 @@
+(** A protocol implementation as a value.
+
+    The workload driver and the ablation benchmarks run protocols through
+    this record so that deliberately-broken variants ({!Ablation}) and
+    extensions ({!Bsls_throttle}) can be swapped in for the standard
+    implementations without the session type knowing about them. *)
+
+type t = {
+  send : Session.t -> client:int -> Message.t -> Message.t;
+  receive : Session.t -> Message.t;
+  reply : Session.t -> client:int -> Message.t -> unit;
+}
+
+val of_kind : Protocol_kind.t -> t
+(** The standard implementation of each protocol (same routing as
+    {!Dispatch}). *)

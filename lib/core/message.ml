@@ -1,0 +1,28 @@
+type opcode = Connect | Echo | Disconnect | Custom of int
+
+type t = { opcode : opcode; reply_chan : int; arg : float; seq : int }
+
+let make ~opcode ~reply_chan ?(seq = 0) arg = { opcode; reply_chan; arg; seq }
+let echo_reply m = { m with opcode = Echo }
+
+let opcode_equal a b =
+  match (a, b) with
+  | Connect, Connect | Echo, Echo | Disconnect, Disconnect -> true
+  | Custom x, Custom y -> x = y
+  | (Connect | Echo | Disconnect | Custom _), _ -> false
+
+let equal a b =
+  opcode_equal a.opcode b.opcode
+  && a.reply_chan = b.reply_chan
+  && Float.equal a.arg b.arg
+  && a.seq = b.seq
+
+let pp_opcode ppf = function
+  | Connect -> Format.pp_print_string ppf "connect"
+  | Echo -> Format.pp_print_string ppf "echo"
+  | Disconnect -> Format.pp_print_string ppf "disconnect"
+  | Custom n -> Format.fprintf ppf "custom(%d)" n
+
+let pp ppf m =
+  Format.fprintf ppf "{%a reply=%d arg=%g seq=%d}" pp_opcode m.opcode
+    m.reply_chan m.arg m.seq

@@ -1,0 +1,30 @@
+(** The fixed-size IPC message (§2.1).
+
+    The paper uses 24-byte messages carrying an opcode identifying the
+    request type, the number of the reply channel the response should use,
+    and a double-precision argument.  Fixed-size messages permit efficient
+    free-pool management; variable-sized payloads are accommodated by
+    letting a field point at a separate shared region — here represented
+    by the [arg]/[aux] pair.  [seq] is a sequence number the tests and
+    integrity checks use; it stands in for application data. *)
+
+type opcode =
+  | Connect  (** join the server's session; reply doubles as a barrier *)
+  | Echo  (** echo [arg] back — the paper's benchmark request *)
+  | Disconnect  (** last message of a client *)
+  | Custom of int  (** application-defined request types *)
+
+type t = {
+  opcode : opcode;
+  reply_chan : int;  (** index of the reply queue for the response *)
+  arg : float;
+  seq : int;
+}
+
+val make : opcode:opcode -> reply_chan:int -> ?seq:int -> float -> t
+val echo_reply : t -> t
+(** The server's echo response: same payload, same sequence number. *)
+
+val opcode_equal : opcode -> opcode -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

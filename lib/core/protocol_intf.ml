@@ -1,0 +1,17 @@
+(** Signature every sleep/wake-up protocol implements.
+
+    The three operations of §2.1's Send/Receive/Reply interface.  All of
+    them run {e inside} simulated processes and perform effects the kernel
+    interprets; the shared state lives in the {!Session}. *)
+
+module type S = sig
+  val send : Session.t -> client:int -> Message.t -> Message.t
+  (** Synchronous request: enqueue on the server's request channel, then
+      obtain the response from this client's reply channel. *)
+
+  val receive : Session.t -> Message.t
+  (** Server side: obtain the next request. *)
+
+  val reply : Session.t -> client:int -> Message.t -> unit
+  (** Server side: respond on the given client's reply channel. *)
+end

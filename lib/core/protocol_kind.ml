@@ -1,0 +1,21 @@
+type t = BSS | BSW | BSWY | BSLS of int | SYSV | HANDOFF | CSEM
+
+let name = function
+  | BSS -> "BSS"
+  | BSW -> "BSW"
+  | BSWY -> "BSWY"
+  | BSLS n -> Printf.sprintf "BSLS(%d)" n
+  | SYSV -> "SYSV"
+  | HANDOFF -> "HANDOFF"
+  | CSEM -> "CSEM"
+
+let all_basic = [ BSS; BSW; BSWY; BSLS 10; SYSV ]
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let equal a b =
+  match (a, b) with
+  | BSS, BSS | BSW, BSW | BSWY, BSWY | SYSV, SYSV | HANDOFF, HANDOFF
+  | CSEM, CSEM ->
+    true
+  | BSLS x, BSLS y -> x = y
+  | (BSS | BSW | BSWY | BSLS _ | SYSV | HANDOFF | CSEM), _ -> false

@@ -1,0 +1,27 @@
+(** The sleep/wake-up protocols evaluated in the paper. *)
+
+type t =
+  | BSS  (** Both Sides Spin (Figure 1): pure busy-wait *)
+  | BSW  (** Both Sides Wait (Figure 5): semaphores + awake flag *)
+  | BSWY  (** Both Sides Wait and Yield (Figure 7): BSW + hand-off hints *)
+  | BSLS of int
+      (** Both Sides Limited Spin (Figure 9): BSWY + bounded polling; the
+          argument is MAX_SPIN *)
+  | SYSV  (** the kernel-mediated baseline: System V message queues *)
+  | HANDOFF
+      (** BSWY with the proposed [handoff] system call (§6) in place of
+          the yield-based hints *)
+  | CSEM
+      (** counting-semaphore producer/consumer: a V on {e every} enqueue
+          and a P before every dequeue.  Not in the paper's evaluation —
+          it is the naive design whose per-message system calls the awake
+          flag exists to avoid — but it is the only protocol here that is
+          safe with {e multiple consumers} on one queue, so the
+          multi-threaded-server architecture (§8 future work) uses it *)
+
+val name : t -> string
+val all_basic : t list
+(** [BSS; BSW; BSWY; BSLS 10; SYSV] — the protocol set most figures sweep. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

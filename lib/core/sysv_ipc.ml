@@ -1,0 +1,37 @@
+(* The kernel-mediated baseline: System V message queues.  One request
+   queue into the server, one reply queue shared by all clients with the
+   reply routed by mtype (= client number + 1).  Four system calls per
+   round-trip — the floor user-level IPC must beat (§2.2). *)
+
+open Ulipc_os
+
+let request_mtype = 1
+
+let decode (s : Session.t) payload =
+  match s.Session.project payload with
+  | Some m -> m
+  | None ->
+    (* The session only ever injects its own messages. *)
+    invalid_arg "Sysv_ipc: foreign payload in session queue"
+
+let send (s : Session.t) ~client msg =
+  Usys.msgsnd s.Session.sysv_request ~mtype:request_mtype (s.Session.inject msg);
+  let ans =
+    decode s
+      (Usys.msgrcv s.Session.sysv_reply
+         ~mtype:(Session.sysv_reply_mtype ~client))
+  in
+  s.Session.counters.Counters.sends <- s.Session.counters.Counters.sends + 1;
+  ans
+
+let receive (s : Session.t) =
+  let m = decode s (Usys.msgrcv s.Session.sysv_request ~mtype:0) in
+  s.Session.counters.Counters.receives <-
+    s.Session.counters.Counters.receives + 1;
+  m
+
+let reply (s : Session.t) ~client msg =
+  Usys.msgsnd s.Session.sysv_reply
+    ~mtype:(Session.sysv_reply_mtype ~client)
+    (s.Session.inject msg);
+  s.Session.counters.Counters.replies <- s.Session.counters.Counters.replies + 1

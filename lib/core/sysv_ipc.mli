@@ -1,0 +1,13 @@
+(** The kernel-mediated baseline: System V message queues.
+
+    One request queue into the server, one reply queue shared by all
+    clients with replies routed by message type (client number + 1).
+    Four system calls per round-trip — the floor user-level IPC must
+    beat (§2.2), and the paper's lower bound on acceptable performance. *)
+
+val request_mtype : int
+(** The mtype every request carries (System V types must be positive). *)
+
+val send : Session.t -> client:int -> Message.t -> Message.t
+val receive : Session.t -> Message.t
+val reply : Session.t -> client:int -> Message.t -> unit

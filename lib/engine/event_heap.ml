@@ -1,0 +1,85 @@
+(* Binary min-heap over (time, seq) with seq breaking ties FIFO.  The backing
+   array is allocated lazily on first push so no dummy element is needed. *)
+
+type 'a entry = { time : Sim_time.t; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable entries : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  initial_capacity : int;
+}
+
+let create ?(initial_capacity = 64) () =
+  if initial_capacity <= 0 then invalid_arg "Event_heap.create";
+  { entries = [||]; size = 0; next_seq = 0; initial_capacity }
+
+let is_empty h = h.size = 0
+let length h = h.size
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+(* Ensure room for one more element; [filler] initialises fresh slots. *)
+let reserve h filler =
+  let n = Array.length h.entries in
+  if h.size = n then begin
+    let capacity = if n = 0 then h.initial_capacity else 2 * n in
+    let entries = Array.make capacity filler in
+    Array.blit h.entries 0 entries 0 h.size;
+    h.entries <- entries
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes h.entries.(i) h.entries.(parent) then begin
+      let tmp = h.entries.(i) in
+      h.entries.(i) <- h.entries.(parent);
+      h.entries.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && precedes h.entries.(left) h.entries.(!smallest) then
+    smallest := left;
+  if right < h.size && precedes h.entries.(right) h.entries.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.entries.(i) in
+    h.entries.(i) <- h.entries.(!smallest);
+    h.entries.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h ~time payload =
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  let entry = { time; seq; payload } in
+  reserve h entry;
+  h.entries.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.entries.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.entries.(0) <- h.entries.(h.size);
+      sift_down h 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time h = if h.size = 0 then None else Some h.entries.(0).time
+let clear h = h.size <- 0
+
+let drain h =
+  let rec loop acc =
+    match pop h with None -> List.rev acc | Some e -> loop (e :: acc)
+  in
+  loop []

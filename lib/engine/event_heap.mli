@@ -1,0 +1,33 @@
+(** A deterministic priority queue of timed events.
+
+    Events are ordered by time; events scheduled for the same instant are
+    delivered in insertion order (FIFO), which makes simulation runs exactly
+    reproducible.  The heap grows on demand and never shrinks. *)
+
+type 'a t
+(** A heap of events carrying payloads of type ['a]. *)
+
+val create : ?initial_capacity:int -> unit -> 'a t
+(** [create ()] is an empty heap.  [initial_capacity] defaults to 64 and
+    must be positive. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of events currently queued. *)
+
+val push : 'a t -> time:Sim_time.t -> 'a -> unit
+(** [push h ~time e] schedules [e] at [time].  [time] may be in the past of
+    previously popped events; the heap itself imposes no monotonicity (the
+    simulation loop does). *)
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** Remove and return the earliest event, FIFO among equal times. *)
+
+val peek_time : 'a t -> Sim_time.t option
+(** Time of the earliest event without removing it. *)
+
+val clear : 'a t -> unit
+
+val drain : 'a t -> (Sim_time.t * 'a) list
+(** [drain h] pops everything, earliest first, leaving [h] empty. *)

@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers for the simulator.
+
+    A small splitmix64 generator: fast, high quality for simulation purposes,
+    and — unlike [Stdlib.Random] — with a stable algorithm we control, so a
+    given seed reproduces the same run on any OCaml version. *)
+
+type t
+
+val create : seed:int -> t
+(** Independent generator from a 63-bit seed.  Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] is a fresh generator whose stream is a deterministic function
+    of [t]'s current state; [t] itself advances.  Use to give each simulated
+    process its own stream without cross-coupling. *)
+
+val bits64 : t -> int64
+(** Next raw 64 random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean; used for Poisson
+    inter-arrival think times. *)

@@ -1,0 +1,46 @@
+(** Simulated time.
+
+    All simulator components agree on a single integer time base of
+    nanoseconds.  Integers keep the simulation exactly deterministic: there
+    is no floating-point accumulation drift, comparisons are total, and the
+    event heap tie-breaking is reproducible across platforms. *)
+
+type t = int
+(** A point in simulated time, or a duration, in nanoseconds.  Simulation
+    runs start at [zero]; durations are non-negative. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is a duration of [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is a duration of [n] microseconds. *)
+
+val us_f : float -> t
+(** [us_f x] is a duration of [x] microseconds, rounded to the nearest
+    nanosecond.  Used for calibration constants such as [0.35] µs. *)
+
+val ms : int -> t
+(** [ms n] is a duration of [n] milliseconds. *)
+
+val sec : int -> t
+(** [sec n] is a duration of [n] seconds. *)
+
+val to_us : t -> float
+(** [to_us t] is [t] expressed in microseconds. *)
+
+val to_ms : t -> float
+(** [to_ms t] is [t] expressed in milliseconds. *)
+
+val to_sec : t -> float
+(** [to_sec t] is [t] expressed in seconds. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val max : t -> t -> t
+val min : t -> t -> t
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print with an adaptive unit (ns, µs, ms or s). *)

@@ -1,0 +1,163 @@
+type t = {
+  stat_name : string;
+  keep_samples : bool;
+  mutable n : int;
+  mutable mean_acc : float;
+  mutable m2 : float; (* sum of squared deviations, Welford *)
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+  mutable samples : float list; (* newest first; only if keep_samples *)
+  mutable sorted_cache : float array option;
+}
+
+let create ?(keep_samples = false) stat_name =
+  {
+    stat_name;
+    keep_samples;
+    n = 0;
+    mean_acc = 0.0;
+    m2 = 0.0;
+    sum = 0.0;
+    minv = nan;
+    maxv = nan;
+    samples = [];
+    sorted_cache = None;
+  }
+
+let name t = t.stat_name
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean_acc in
+  t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
+  if t.n = 1 then begin
+    t.minv <- x;
+    t.maxv <- x
+  end
+  else begin
+    if x < t.minv then t.minv <- x;
+    if x > t.maxv then t.maxv <- x
+  end;
+  if t.keep_samples then begin
+    t.samples <- x :: t.samples;
+    t.sorted_cache <- None
+  end
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then nan else t.mean_acc
+let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min_value t = t.minv
+let max_value t = t.maxv
+
+let sorted t =
+  match t.sorted_cache with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.samples in
+    Array.sort Float.compare a;
+    t.sorted_cache <- Some a;
+    a
+
+let percentile t p =
+  if not t.keep_samples then
+    invalid_arg "Stat.percentile: accumulator does not keep samples";
+  if t.n = 0 then invalid_arg "Stat.percentile: no samples";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stat.percentile: p out of range";
+  let a = sorted t in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let merge_into ~dst src =
+  if src.n > 0 then begin
+    (* Chan et al. parallel-merge formulas. *)
+    let na = float_of_int dst.n and nb = float_of_int src.n in
+    let delta = src.mean_acc -. dst.mean_acc in
+    let n' = dst.n + src.n in
+    let nf = float_of_int n' in
+    let mean' =
+      if dst.n = 0 then src.mean_acc
+      else dst.mean_acc +. (delta *. nb /. nf)
+    in
+    let m2' = dst.m2 +. src.m2 +. (delta *. delta *. na *. nb /. nf) in
+    dst.n <- n';
+    dst.mean_acc <- mean';
+    dst.m2 <- (if na = 0.0 then src.m2 else m2');
+    dst.sum <- dst.sum +. src.sum;
+    dst.minv <-
+      (if Float.is_nan dst.minv then src.minv else Stdlib.min dst.minv src.minv);
+    dst.maxv <-
+      (if Float.is_nan dst.maxv then src.maxv else Stdlib.max dst.maxv src.maxv);
+    if dst.keep_samples && src.keep_samples then begin
+      dst.samples <- List.rev_append src.samples dst.samples;
+      dst.sorted_cache <- None
+    end
+  end
+
+let reset t =
+  t.n <- 0;
+  t.mean_acc <- 0.0;
+  t.m2 <- 0.0;
+  t.sum <- 0.0;
+  t.minv <- nan;
+  t.maxv <- nan;
+  t.samples <- [];
+  t.sorted_cache <- None
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "%s: (no samples)" t.stat_name
+  else
+    Format.fprintf ppf "%s: n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f"
+      t.stat_name t.n (mean t)
+      (if t.n < 2 then 0.0 else stddev t)
+      t.minv t.maxv
+
+let pp_histogram ?(buckets = 16) ?(log_scale = true) () ppf t =
+  if not t.keep_samples then
+    invalid_arg "Stat.pp_histogram: accumulator does not keep samples";
+  if t.n = 0 then invalid_arg "Stat.pp_histogram: no samples";
+  let lo = t.minv and hi = t.maxv in
+  if lo = hi then
+    Format.fprintf ppf "all %d samples at %.2f@." t.n lo
+  else begin
+    (* Geometric edges need a positive lower bound; shift if necessary. *)
+    let shift = if log_scale && lo <= 0.0 then 1.0 -. lo else 0.0 in
+    let lo' = lo +. shift and hi' = hi +. shift in
+    let edge i =
+      if log_scale then
+        (lo' *. ((hi' /. lo') ** (float_of_int i /. float_of_int buckets)))
+        -. shift
+      else
+        lo +. ((hi -. lo) *. float_of_int i /. float_of_int buckets)
+    in
+    let counts = Array.make buckets 0 in
+    List.iter
+      (fun x ->
+        let rec find i =
+          if i >= buckets - 1 then buckets - 1
+          else if x < edge (i + 1) then i
+          else find (i + 1)
+        in
+        let i = find 0 in
+        counts.(i) <- counts.(i) + 1)
+      t.samples;
+    let peak = Array.fold_left max 1 counts in
+    for i = 0 to buckets - 1 do
+      let bar = counts.(i) * 50 / peak in
+      Format.fprintf ppf "%12.2f .. %12.2f  %6d %s@." (edge i)
+        (edge (i + 1))
+        counts.(i)
+        (String.make bar '#')
+    done
+  end

@@ -1,0 +1,49 @@
+(** Online summary statistics.
+
+    Accumulates samples one at a time using Welford's algorithm for a
+    numerically stable mean and variance, with optional retention of every
+    sample for exact percentiles. *)
+
+type t
+
+val create : ?keep_samples:bool -> string -> t
+(** [create name] is an empty accumulator.  With [keep_samples:true]
+    (default [false]) all samples are retained so {!percentile} is exact;
+    otherwise only the running summary is kept. *)
+
+val name : t -> string
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** Mean of the samples; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] with fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** [nan] when empty. *)
+
+val max_value : t -> float
+(** [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0,100\]], by linear interpolation.
+    Requires [keep_samples:true] and at least one sample.
+    @raise Invalid_argument otherwise. *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold the samples of the second accumulator into [dst].  Sample retention
+    merges only if both accumulators keep samples. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit
+
+val pp_histogram :
+  ?buckets:int -> ?log_scale:bool -> unit -> Format.formatter -> t -> unit
+(** Render retained samples as a text histogram ([buckets] rows, default
+    16; geometric bucket edges when [log_scale], the default, since
+    latency distributions are heavy-tailed).  Requires [keep_samples:true]
+    and at least two distinct values.
+    @raise Invalid_argument if samples were not kept or are empty. *)

@@ -1,0 +1,51 @@
+type entry = { at : Sim_time.t; tag : string; detail : string }
+
+type t = {
+  enabled : bool;
+  capacity : int;
+  ring : entry option array;
+  mutable next : int; (* total entries ever recorded *)
+}
+
+let create ?(capacity = 4096) ~enabled () =
+  if capacity <= 0 then invalid_arg "Trace.create";
+  { enabled; capacity; ring = Array.make capacity None; next = 0 }
+
+let enabled t = t.enabled
+
+let record t ~at ~tag detail =
+  if t.enabled then begin
+    t.ring.(t.next mod t.capacity) <- Some { at; tag; detail };
+    t.next <- t.next + 1
+  end
+
+let recordf t ~at ~tag fmt =
+  if t.enabled then
+    Format.kasprintf (fun detail -> record t ~at ~tag detail) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let entries t =
+  let n = Stdlib.min t.next t.capacity in
+  let start = if t.next <= t.capacity then 0 else t.next mod t.capacity in
+  let rec loop i acc =
+    if i = n then List.rev acc
+    else
+      match t.ring.((start + i) mod t.capacity) with
+      | None -> loop (i + 1) acc
+      | Some e -> loop (i + 1) (e :: acc)
+  in
+  loop 0 []
+
+let find t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
+let count t ~tag = List.length (find t ~tag)
+let total_recorded t = t.next
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0
+
+let pp ppf t =
+  let pp_entry ppf e =
+    Format.fprintf ppf "[%a] %-12s %s" Sim_time.pp e.at e.tag e.detail
+  in
+  Format.pp_print_list pp_entry ppf (entries t)

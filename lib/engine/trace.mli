@@ -1,0 +1,44 @@
+(** Bounded execution trace.
+
+    The simulator can record what happened (context switches, syscalls,
+    queue operations…) into a fixed-capacity ring.  Tests assert on the
+    recorded sequence; benchmarks disable recording entirely so tracing
+    never perturbs timing-sensitive code paths. *)
+
+type entry = { at : Sim_time.t; tag : string; detail : string }
+
+type t
+
+val create : ?capacity:int -> enabled:bool -> unit -> t
+(** [capacity] (default 4096) bounds retained entries; older entries are
+    overwritten. *)
+
+val enabled : t -> bool
+
+val record : t -> at:Sim_time.t -> tag:string -> string -> unit
+(** No-op when the trace is disabled, including the formatting cost if the
+    caller guards with {!enabled}. *)
+
+val recordf :
+  t ->
+  at:Sim_time.t ->
+  tag:string ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
+(** Formatted variant.  Formatting is skipped when disabled. *)
+
+val entries : t -> entry list
+(** Retained entries, oldest first. *)
+
+val find : t -> tag:string -> entry list
+(** Retained entries with the given tag, oldest first. *)
+
+val count : t -> tag:string -> int
+(** Number of {e retained} entries with the given tag. *)
+
+val total_recorded : t -> int
+(** Number of entries ever recorded, including overwritten ones. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

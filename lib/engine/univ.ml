@@ -1,0 +1,12 @@
+(* Universal type via a locally defined exception constructor: each [embed]
+   creates a fresh constructor, so projection is a safe pattern match. *)
+
+type t = exn
+
+let embed (type a) () =
+  let module M = struct
+    exception E of a
+  end in
+  let inject x = M.E x in
+  let project = function M.E x -> Some x | _ -> None in
+  (inject, project)

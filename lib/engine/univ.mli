@@ -1,0 +1,11 @@
+(** Universal type.
+
+    Lets the simulated kernel's message queues carry payloads of any type
+    without depending on the libraries that define those types.  Each
+    [embed] call creates a fresh injection/projection pair; projecting a
+    value embedded by a different pair yields [None]. *)
+
+type t
+
+val embed : unit -> ('a -> t) * (t -> 'a option)
+(** [embed ()] is [(inject, project)] for a fresh brand. *)

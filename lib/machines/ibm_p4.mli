@@ -1,0 +1,9 @@
+(** The IBM P4 of §2.2: AIX 4.1 on a 133 MHz PowerPC 604.
+
+    No AIX primitive costs are tabulated in the paper; the calibration is
+    fitted to Figure 2b's anchors (BSS ≈ 32 msg/ms at one client rolling
+    off to ≈ 19 at six; System V ≈ 1.8× below and flatter) and to the
+    ≈ 30% fixed-priority gain of Figure 3.  See the implementation comment
+    for the two modelling choices involved. *)
+
+val machine : Machine.t

@@ -1,0 +1,65 @@
+open Ulipc_engine
+open Ulipc_os
+
+(* The Linux 1.0.32 Slackware machine of §6: a 66 MHz 486.  Three variants:
+
+   - [stock]: the original simplistic scheduler.  Counters drain at timer
+     ticks and the last-run process keeps an affinity edge, so sched_yield
+     between two spinners returns to the caller for a whole tick — BSS
+     round-trips are tens of milliseconds instead of microseconds.
+   - [modified_yield]: the paper's fix — sched_yield expires the caller's
+     quantum and forces a context switch, restoring the ~120 µs round-trip.
+   - [with_handoff]: modified yield plus the handoff(pid) system call of
+     §6 (the HANDOFF protocol uses it; on this machine it matched BSWY, as
+     the paper reports).
+
+   Costs are scaled for a 66 MHz 486: every kernel path is a few times
+   slower than the 133 MHz RISC machines. *)
+
+let costs : Costs.t =
+  {
+    syscall_entry = Sim_time.us 16;
+    yield_body = Sim_time.us 6 (* yield = 22 us *);
+    ctx_switch = Sim_time.us 30;
+    ctx_switch_per_ready = Sim_time.zero;
+    sem_op = Sim_time.us 10;
+    msg_op = Sim_time.us 12;
+    sleep_setup = Sim_time.us 5;
+    block_extra = Sim_time.us 10;
+    wake_extra = Sim_time.us 10;
+    time_read = Sim_time.us 2;
+    shared_read = Sim_time.ns 200;
+    shared_write = Sim_time.ns 300;
+    tas = Sim_time.ns 600;
+    flag_write = Sim_time.ns 300;
+    queue_op_body = Sim_time.ns 800;
+    poll_spin = Sim_time.us 25;
+    spin_delay = Sim_time.us 1;
+  }
+
+let sched_params ~modified_yield : Sched_linux.params =
+  {
+    quantum = Sim_time.ms 150 (* 15 ticks, the Linux 1.0 default *);
+    tick = Sim_time.ms 10 (* HZ = 100 *);
+    affinity_bonus = 5.0e6 (* half a tick *);
+    modified_yield;
+    handoff_penalty_ns = 1.0e4;
+  }
+
+let stock =
+  Machine.v ~name:"linux486-stock"
+    ~description:"Linux 1.0.32, 66 MHz 486, stock scheduler" ~ncpus:1 ~costs
+    ~policy:(fun () -> Sched_linux.create (sched_params ~modified_yield:false))
+    ~supports_fixed_priority:false
+
+let modified_yield =
+  Machine.v ~name:"linux486-modyield"
+    ~description:"Linux 1.0.32, 66 MHz 486, modified sched_yield" ~ncpus:1
+    ~costs
+    ~policy:(fun () -> Sched_linux.create (sched_params ~modified_yield:true))
+    ~supports_fixed_priority:false
+
+let with_handoff = modified_yield
+(* The handoff syscall is available on every policy through
+   [Usys.handoff]; the paper's Linux implementation ran it on top of the
+   modified-yield scheduler. *)

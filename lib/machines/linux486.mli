@@ -1,0 +1,15 @@
+(** The Linux 1.0.32 / 66 MHz 486 machine of §6, in three scheduler
+    variants. *)
+
+val stock : Machine.t
+(** Original scheduler: tick-grain counter accounting plus a last-run
+    affinity edge make [sched_yield] between spinners return to the caller
+    for a whole tick — BSS round-trips land in the tens of milliseconds. *)
+
+val modified_yield : Machine.t
+(** The paper's fix: [sched_yield] expires the caller's quantum and forces
+    a switch, restoring the ~120 µs round-trip. *)
+
+val with_handoff : Machine.t
+(** The modified-yield scheduler; the [handoff] system call is exercised by
+    the HANDOFF protocol on top of it, as in §6. *)

@@ -1,0 +1,25 @@
+type t = {
+  name : string;
+  description : string;
+  ncpus : int;
+  multiprocessor : bool;
+  costs : Ulipc_os.Costs.t;
+  policy : unit -> Ulipc_os.Policy.t;
+  supports_fixed_priority : bool;
+}
+
+let v ~name ~description ~ncpus ~costs ~policy ~supports_fixed_priority =
+  if ncpus <= 0 then invalid_arg "Machine.v: ncpus must be positive";
+  {
+    name;
+    description;
+    ncpus;
+    multiprocessor = ncpus > 1;
+    costs;
+    policy;
+    supports_fixed_priority;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%s, %d cpu%s)" t.name t.description t.ncpus
+    (if t.ncpus = 1 then "" else "s")

@@ -1,0 +1,31 @@
+(** A calibrated machine model: CPUs, a cost table, and a scheduler.
+
+    The four machines of the paper's evaluation live in sibling modules
+    ({!Sgi_indy}, {!Ibm_p4}, {!Sgi_challenge}, {!Linux486}).  A machine's
+    [policy] field is a factory — policies are stateful, so every
+    simulation run must create its own instance. *)
+
+type t = {
+  name : string;
+  description : string;  (** hardware/OS line, as the paper describes it *)
+  ncpus : int;
+  multiprocessor : bool;
+      (** drives the protocols' [busy_wait] choice (§2.1); true iff
+          [ncpus > 1] *)
+  costs : Ulipc_os.Costs.t;
+  policy : unit -> Ulipc_os.Policy.t;  (** fresh scheduler instance *)
+  supports_fixed_priority : bool;
+      (** whether the Figure-3/8 fixed-priority runs are possible here *)
+}
+
+val v :
+  name:string ->
+  description:string ->
+  ncpus:int ->
+  costs:Ulipc_os.Costs.t ->
+  policy:(unit -> Ulipc_os.Policy.t) ->
+  supports_fixed_priority:bool ->
+  t
+(** Smart constructor; sets [multiprocessor] from [ncpus]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+open Ulipc_engine
+open Ulipc_os
+
+(* The 8-processor SGI Challenge of §5.  Same software as the uniprocessor
+   runs; the only difference the paper makes is that busy-waiting becomes a
+   25 µs delay loop with the empty check on every iteration.  Costs follow
+   the Indy calibration (the Challenge's processors are of the same
+   generation); the kernel wake path is what BSLS's positive-feedback
+   collapse turns on, so [wake_extra] stays substantial. *)
+
+let costs : Costs.t =
+  {
+    Sgi_indy.costs with
+    ctx_switch = Sim_time.us 14;
+    poll_spin = Sim_time.us 25;
+  }
+
+let sched_params : Sched_decay.params =
+  { Sgi_indy.sched_params with quantum = Sim_time.ms 10 }
+
+let machine =
+  Machine.v ~name:"sgi-challenge" ~description:"IRIX, 8-CPU SGI Challenge"
+    ~ncpus:8 ~costs
+    ~policy:(fun () -> Sched_decay.create sched_params)
+    ~supports_fixed_priority:true

@@ -1,0 +1,4 @@
+(** The 8-processor SGI Challenge of §5.  Identical software to the
+    uniprocessor runs; busy-waiting becomes a 25 µs checking delay loop. *)
+
+val machine : Machine.t

@@ -1,0 +1,20 @@
+(** The SGI Indy of §2.2: IRIX 6.2 on a 133 MHz MIPS R4000, 32 KB split L1
+    and 512 KB L2.
+
+    Calibration anchors, all from the paper:
+    - Table 1: enqueue/dequeue pair 3 µs, msgsnd/msgrcv pair 37 µs,
+      concurrent-yield trip 16 µs alone;
+    - §2.2: BSS round-trip ≈ 119 µs with one client, ~2.5 yields per
+      process per round-trip, caused by degrading priorities;
+    - Figure 3: fixed priorities buy ≈ 50%.
+
+    The context-switch cost (18 µs) is deliberately larger than the pure
+    yield-to-yield delta of Table 1: it folds in the cache-state loss the
+    paper's own fixed-priority measurement exposes (Table 1's tiny yield
+    loop keeps its footprint cached; the IPC workload does not). *)
+
+val costs : Ulipc_os.Costs.t
+(** The calibrated cost table; {!Sgi_challenge} derives from it. *)
+
+val sched_params : Ulipc_os.Sched_decay.params
+val machine : Machine.t

@@ -1,0 +1,54 @@
+open Ulipc_engine
+
+type t = {
+  syscall_entry : Sim_time.t;
+  yield_body : Sim_time.t;
+  ctx_switch : Sim_time.t;
+  ctx_switch_per_ready : Sim_time.t;
+  sem_op : Sim_time.t;
+  msg_op : Sim_time.t;
+  sleep_setup : Sim_time.t;
+  block_extra : Sim_time.t;
+  wake_extra : Sim_time.t;
+  time_read : Sim_time.t;
+  shared_read : Sim_time.t;
+  shared_write : Sim_time.t;
+  tas : Sim_time.t;
+  flag_write : Sim_time.t;
+  queue_op_body : Sim_time.t;
+  poll_spin : Sim_time.t;
+  spin_delay : Sim_time.t;
+}
+
+let default =
+  {
+    syscall_entry = Sim_time.us 5;
+    yield_body = Sim_time.us 2;
+    ctx_switch = Sim_time.us 10;
+    ctx_switch_per_ready = Sim_time.zero;
+    sem_op = Sim_time.us 10;
+    msg_op = Sim_time.us 15;
+    sleep_setup = Sim_time.us 2;
+    block_extra = Sim_time.us 5;
+    wake_extra = Sim_time.us 5;
+    time_read = Sim_time.ns 200;
+    shared_read = Sim_time.ns 100;
+    shared_write = Sim_time.ns 150;
+    tas = Sim_time.ns 300;
+    flag_write = Sim_time.ns 150;
+    queue_op_body = Sim_time.ns 600;
+    poll_spin = Sim_time.us 25;
+    spin_delay = Sim_time.us 1;
+  }
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>syscall_entry=%a yield_body=%a ctx_switch=%a (+%a/ready)@,\
+     sem_op=%a msg_op=%a sleep_setup=%a block/wake extra=%a/%a time_read=%a@,\
+     shared r/w=%a/%a tas=%a queue_op=%a poll_spin=%a@]"
+    Sim_time.pp c.syscall_entry Sim_time.pp c.yield_body Sim_time.pp
+    c.ctx_switch Sim_time.pp c.ctx_switch_per_ready Sim_time.pp c.sem_op
+    Sim_time.pp c.msg_op Sim_time.pp c.sleep_setup Sim_time.pp c.block_extra
+    Sim_time.pp c.wake_extra Sim_time.pp c.time_read
+    Sim_time.pp c.shared_read Sim_time.pp c.shared_write Sim_time.pp c.tas
+    Sim_time.pp c.queue_op_body Sim_time.pp c.poll_spin

@@ -1,0 +1,52 @@
+(** Cost model for a simulated machine.
+
+    All durations are {!Ulipc_engine.Sim_time.t} (nanoseconds).  The values
+    are calibrated per machine in [lib/machines] against Table 1 of the
+    paper and the text's reported latencies. *)
+
+type t = {
+  syscall_entry : Ulipc_engine.Sim_time.t;
+      (** trap + kernel entry/exit, charged on every system call *)
+  yield_body : Ulipc_engine.Sim_time.t;
+      (** run-queue requeue work inside [yield], excluding dispatch *)
+  ctx_switch : Ulipc_engine.Sim_time.t;
+      (** base cost of switching the CPU to a different process *)
+  ctx_switch_per_ready : Ulipc_engine.Sim_time.t;
+      (** added switch cost per ready process (run-queue scan, cache
+          pollution grows with the multiprogramming level) *)
+  sem_op : Ulipc_engine.Sim_time.t;
+      (** kernel work of a System V semaphore P or V beyond [syscall_entry] *)
+  msg_op : Ulipc_engine.Sim_time.t;
+      (** kernel work of [msgsnd]/[msgrcv] beyond [syscall_entry]: queue
+          manipulation plus the copy of one fixed-size message *)
+  sleep_setup : Ulipc_engine.Sim_time.t;
+      (** timer arming work of [sleep] beyond [syscall_entry] *)
+  block_extra : Ulipc_engine.Sim_time.t;
+      (** additional kernel work when a system call actually blocks the
+          caller: wait-channel enqueue, sleep bookkeeping *)
+  wake_extra : Ulipc_engine.Sim_time.t;
+      (** additional kernel work charged to the caller of a V/[msgsnd]
+          that readies a blocked process *)
+  time_read : Ulipc_engine.Sim_time.t;  (** cost of reading the clock *)
+  shared_read : Ulipc_engine.Sim_time.t;  (** uncontended shared-memory load *)
+  shared_write : Ulipc_engine.Sim_time.t;  (** shared-memory store *)
+  tas : Ulipc_engine.Sim_time.t;  (** test-and-set (atomic RMW) *)
+  flag_write : Ulipc_engine.Sim_time.t;
+      (** plain store to a synchronization flag (the [awake] flag lives on
+          its own contended cache line, so its store cost is modelled
+          separately from ordinary shared stores) *)
+  queue_op_body : Ulipc_engine.Sim_time.t;
+      (** pointer surgery of one enqueue or dequeue, on top of the lock
+          acquire/release modelled separately with [tas]/[shared_write] *)
+  poll_spin : Ulipc_engine.Sim_time.t;
+      (** one BSLS [poll_queue] delay on a multiprocessor (25 µs on the
+          SGI Challenge, §5) *)
+  spin_delay : Ulipc_engine.Sim_time.t;
+      (** one turn of the tight busy-wait delay loop between queue
+          re-checks on a multiprocessor (the BSS [busy_wait]) *)
+}
+
+val default : t
+(** A neutral, round-numbered model used by unit tests. *)
+
+val pp : Format.formatter -> t -> unit

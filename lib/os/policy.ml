@@ -1,0 +1,17 @@
+type reason = New | Preempted | Yielded | Woken
+
+type hint = Favor of Proc.t | Avoid of Proc.t
+
+type t = {
+  name : string;
+  enqueue : Proc.t -> reason -> now:Ulipc_engine.Sim_time.t -> unit;
+  pick : now:Ulipc_engine.Sim_time.t -> Proc.t option;
+  ready_count : unit -> int;
+  charge :
+    Proc.t -> ran:Ulipc_engine.Sim_time.t -> now:Ulipc_engine.Sim_time.t -> unit;
+  should_preempt : Proc.t -> now:Ulipc_engine.Sim_time.t -> bool;
+  on_yield : Proc.t -> now:Ulipc_engine.Sim_time.t -> unit;
+  set_hint : hint -> unit;
+  supports_fixed_priority : bool;
+  remove : Proc.t -> unit;
+}

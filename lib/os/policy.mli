@@ -1,0 +1,40 @@
+(** Scheduling policy interface.
+
+    A policy owns the ready set and all priority bookkeeping.  The kernel
+    calls [enqueue]/[pick] around every scheduling point, [charge] after
+    every burst of CPU the process consumes, and [should_preempt] before
+    letting the current process continue.  Policies are records of closures
+    so different machines can carry differently-parameterised instances of
+    the same family. *)
+
+type reason =
+  | New  (** process just spawned *)
+  | Preempted  (** lost the CPU involuntarily *)
+  | Yielded  (** called [yield] (or handoff) *)
+  | Woken  (** unblocked by a semaphore, message or timer *)
+
+type hint =
+  | Favor of Proc.t  (** hand-off target: pick this process next if ready *)
+  | Avoid of Proc.t
+      (** hand-off [To_any]: next pick skips this process when possible *)
+
+type t = {
+  name : string;
+  enqueue : Proc.t -> reason -> now:Ulipc_engine.Sim_time.t -> unit;
+  pick : now:Ulipc_engine.Sim_time.t -> Proc.t option;
+      (** remove and return the next process to run; honours and then
+          clears any pending hint *)
+  ready_count : unit -> int;
+  charge :
+    Proc.t -> ran:Ulipc_engine.Sim_time.t -> now:Ulipc_engine.Sim_time.t -> unit;
+      (** account CPU consumption ending at [now] *)
+  should_preempt : Proc.t -> now:Ulipc_engine.Sim_time.t -> bool;
+      (** called between steps of the running process *)
+  on_yield : Proc.t -> now:Ulipc_engine.Sim_time.t -> unit;
+      (** policy-specific treatment of [yield], before the caller is
+          re-enqueued (e.g. the modified Linux [sched_yield] expires the
+          caller's quantum here) *)
+  set_hint : hint -> unit;
+  supports_fixed_priority : bool;
+  remove : Proc.t -> unit;  (** drop a process from the ready set if present *)
+}

@@ -1,0 +1,100 @@
+open Ulipc_engine
+
+type pid = int
+
+type step =
+  | Working : Sim_time.t * (unit, step) Effect.Deep.continuation -> step
+  | Calling : 'a Syscall.t * ('a, step) Effect.Deep.continuation -> step
+  | Finished
+  | Failed of exn
+
+type _ Effect.t +=
+  | Work : Sim_time.t -> unit Effect.t
+  | Call : 'a Syscall.t -> 'a Effect.t
+
+type run_state = Ready | Running of int | Blocked of string | Dead
+
+type t = {
+  pid : pid;
+  name : string;
+  mutable next : (unit -> step) option;
+  mutable state : run_state;
+  mutable base_prio : float;
+  mutable usage : float;
+  mutable usage_stamp : Sim_time.t;
+  mutable counter : float;
+  mutable fixed_prio : bool;
+  mutable ready_since : Sim_time.t;
+  mutable quantum_used : Sim_time.t;
+  mutable preempted : bool;
+  mutable vcsw : int;
+  mutable icsw : int;
+  mutable cpu_time : Sim_time.t;
+  mutable syscall_count : int;
+  mutable yield_count : int;
+}
+
+let handler : (unit, step) Effect.Deep.handler =
+  {
+    retc = (fun () -> Finished);
+    exnc = (fun e -> Failed e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Work d ->
+          Some
+            (fun (k : (a, step) Effect.Deep.continuation) -> Working (d, k))
+        | Call req -> Some (fun k -> Calling (req, k))
+        | _ -> None);
+  }
+
+let make ~pid ~name ~body =
+  {
+    pid;
+    name;
+    next = Some (fun () -> Effect.Deep.match_with body () handler);
+    state = Ready;
+    base_prio = 0.0;
+    usage = 0.0;
+    usage_stamp = Sim_time.zero;
+    counter = 0.0;
+    fixed_prio = false;
+    ready_since = Sim_time.zero;
+    quantum_used = Sim_time.zero;
+    preempted = false;
+    vcsw = 0;
+    icsw = 0;
+    cpu_time = Sim_time.zero;
+    syscall_count = 0;
+    yield_count = 0;
+  }
+
+let run_next p =
+  match p.next with
+  | None -> invalid_arg "Proc.run_next: no pending step"
+  | Some thunk ->
+    p.next <- None;
+    thunk ()
+
+let set_resume p k v = p.next <- Some (fun () -> Effect.Deep.continue k v)
+
+let usage_snapshot p =
+  {
+    Syscall.voluntary_switches = p.vcsw;
+    involuntary_switches = p.icsw;
+    cpu_time = p.cpu_time;
+    syscalls = p.syscall_count;
+  }
+
+let is_alive p = match p.state with Dead -> false | _ -> true
+
+let pp ppf p =
+  let state =
+    match p.state with
+    | Ready -> "ready"
+    | Running cpu -> Printf.sprintf "running@cpu%d" cpu
+    | Blocked why -> Printf.sprintf "blocked(%s)" why
+    | Dead -> "dead"
+  in
+  Format.fprintf ppf "[%d:%s %s cpu=%a vcsw=%d icsw=%d]" p.pid p.name state
+    Sim_time.pp p.cpu_time p.vcsw p.icsw

@@ -1,0 +1,78 @@
+(** Simulated processes.
+
+    A process body is ordinary OCaml code written in direct style that
+    performs effects to consume CPU time ({!Usys.work}) and to enter the
+    kernel ({!Usys.yield}, {!Usys.sem_p}, …).  The kernel runs a body one
+    {e step} at a time: a step is the code between two effects, and its
+    memory side effects take place atomically at the simulated instant the
+    step is dispatched.  This is the granularity of the paper's Figure-4
+    interleaving diagrams.
+
+    The record fields are bookkeeping owned by the kernel and the
+    scheduling policy; user code never touches them. *)
+
+type pid = int
+
+(** Result of running a process until its next effect. *)
+type step =
+  | Working : Ulipc_engine.Sim_time.t * (unit, step) Effect.Deep.continuation
+      -> step  (** consumed CPU for the given duration *)
+  | Calling : 'a Syscall.t * ('a, step) Effect.Deep.continuation -> step
+      (** entered the kernel *)
+  | Finished  (** body returned *)
+  | Failed of exn  (** body raised *)
+
+type _ Effect.t +=
+  | Work : Ulipc_engine.Sim_time.t -> unit Effect.t
+  | Call : 'a Syscall.t -> 'a Effect.t
+
+type run_state =
+  | Ready
+  | Running of int  (** CPU index *)
+  | Blocked of string  (** reason, for traces and debugging *)
+  | Dead
+
+type t = {
+  pid : pid;
+  name : string;
+  mutable next : (unit -> step) option;
+      (** thunk resuming the process; [None] while it runs or once dead *)
+  mutable state : run_state;
+  (* -- scheduling state, owned by the policy -- *)
+  mutable base_prio : float;
+  mutable usage : float;  (** decayed CPU usage driving dynamic priority *)
+  mutable usage_stamp : Ulipc_engine.Sim_time.t;
+      (** when [usage] was last brought current *)
+  mutable counter : float;  (** Linux-style remaining quantum, in ns *)
+  mutable fixed_prio : bool;
+  mutable ready_since : Ulipc_engine.Sim_time.t;
+  mutable quantum_used : Ulipc_engine.Sim_time.t;
+      (** CPU consumed since last gaining the processor *)
+  mutable preempted : bool;
+      (** transient: set while the process sits in the ready queue because
+          of a preemption, so the switch is not double-counted *)
+  (* -- accounting (getrusage) -- *)
+  mutable vcsw : int;
+  mutable icsw : int;
+  mutable cpu_time : Ulipc_engine.Sim_time.t;
+  mutable syscall_count : int;
+  mutable yield_count : int;
+      (** yield and handoff calls, the §2.2 instrumentation *)
+}
+
+val make : pid:pid -> name:string -> body:(unit -> unit) -> t
+(** A fresh process whose first step runs [body] from the beginning. *)
+
+val run_next : t -> step
+(** Execute the process's next step.  Consumes the stored thunk.
+    @raise Invalid_argument if the process has no pending step. *)
+
+val set_resume : t -> ('a, step) Effect.Deep.continuation -> 'a -> unit
+(** [set_resume p k v] arranges for [p]'s next step to resume continuation
+    [k] with value [v]. *)
+
+val usage_snapshot : t -> Syscall.usage
+
+val is_alive : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type entry = { proc : Proc.t; seq : int }
+type t = { mutable entries : entry list; mutable next_seq : int }
+
+let create () = { entries = []; next_seq = 0 }
+
+let mem t p = List.exists (fun e -> e.proc == p) t.entries
+
+let add t p =
+  if mem t p then invalid_arg "Ready_set.add: process already queued";
+  t.entries <- t.entries @ [ { proc = p; seq = t.next_seq } ];
+  t.next_seq <- t.next_seq + 1
+
+let remove t p =
+  let present = mem t p in
+  if present then t.entries <- List.filter (fun e -> e.proc != p) t.entries;
+  present
+
+let count t = List.length t.entries
+let is_empty t = t.entries = []
+let to_list t = List.map (fun e -> e.proc) t.entries
+
+let take_first t =
+  match t.entries with
+  | [] -> None
+  | e :: rest ->
+    t.entries <- rest;
+    Some e.proc
+
+(* Lowest score wins; FIFO (lowest seq) among equals.  Entries are kept in
+   seq order, so the first strictly-better entry encountered wins. *)
+let best_entry entries ~score ~skip =
+  let better candidate incumbent =
+    match incumbent with
+    | None -> true
+    | Some (inc_score, _) -> candidate < inc_score
+  in
+  List.fold_left
+    (fun acc e ->
+      if skip e.proc then acc
+      else
+        let s = score e.proc in
+        if better s acc then Some (s, e) else acc)
+    None entries
+
+let peek_best t ~score =
+  match best_entry t.entries ~score ~skip:(fun _ -> false) with
+  | None -> None
+  | Some (_, e) -> Some e.proc
+
+let take_best t ~score =
+  match peek_best t ~score with
+  | None -> None
+  | Some p ->
+    ignore (remove t p : bool);
+    Some p
+
+let take_best_excluding t ~score p =
+  match best_entry t.entries ~score ~skip:(fun q -> q == p) with
+  | Some (_, e) ->
+    ignore (remove t e.proc : bool);
+    Some e.proc
+  | None ->
+    (* [p] may be the only member. *)
+    take_best t ~score

@@ -1,0 +1,37 @@
+(** The set of runnable processes, shared by all scheduling policies.
+
+    Keeps insertion order (a monotonically increasing sequence number) so
+    ties between equal-priority processes resolve FIFO and runs stay
+    deterministic.  Process counts in the reproduced experiments are tiny
+    (≤ a dozen), so a linked list with linear scans is the simplest correct
+    structure. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Proc.t -> unit
+(** @raise Invalid_argument if the process is already in the set. *)
+
+val remove : t -> Proc.t -> bool
+(** [remove t p] takes [p] out; returns whether it was present. *)
+
+val mem : t -> Proc.t -> bool
+val count : t -> int
+val is_empty : t -> bool
+
+val to_list : t -> Proc.t list
+(** In FIFO (insertion) order. *)
+
+val take_first : t -> Proc.t option
+(** Remove and return the longest-waiting process. *)
+
+val take_best : t -> score:(Proc.t -> float) -> Proc.t option
+(** Remove and return the process with the {e lowest} score; FIFO among
+    equal scores. *)
+
+val peek_best : t -> score:(Proc.t -> float) -> Proc.t option
+(** Like {!take_best} without removing. *)
+
+val take_best_excluding : t -> score:(Proc.t -> float) -> Proc.t -> Proc.t option
+(** [take_best_excluding t ~score p] is {!take_best} ignoring [p], unless
+    [p] is the only member, in which case [p] is taken. *)

@@ -1,0 +1,112 @@
+open Ulipc_engine
+
+type params = {
+  usage_weight : float;
+  band_ns : float;
+  half_life_ns : float;
+  quantum : Sim_time.t;
+  preempt_margin_bands : float;
+  handoff_penalty_ns : float;
+  supports_fixed : bool;
+}
+
+let default_params =
+  {
+    usage_weight = 1.0;
+    band_ns = 4.0e4 (* 40 us *);
+    half_life_ns = 2.0e8 (* 200 ms *);
+    quantum = Sim_time.ms 100;
+    preempt_margin_bands = 2.0;
+    handoff_penalty_ns = 2.0e4;
+    supports_fixed = true;
+  }
+
+type state = {
+  p : params;
+  ready : Ready_set.t;
+  mutable hint : Policy.hint option;
+  mutable last_run : Proc.t option;
+}
+
+(* Bring [proc.usage] current: usage decays by half every [half_life_ns]
+   of wall-clock time, whether the process waited or ran. *)
+let refresh st proc ~now =
+  let dt = Sim_time.sub now proc.Proc.usage_stamp in
+  if dt > 0 then begin
+    let factor =
+      Float.exp (-.Float.log 2.0 *. float_of_int dt /. st.p.half_life_ns)
+    in
+    proc.Proc.usage <- proc.Proc.usage *. factor;
+    proc.Proc.usage_stamp <- now
+  end
+
+(* Banded dynamic priority; lower is better.  Fixed-priority processes
+   always occupy the best band.  The incumbent (last-run) process gets a
+   half-band bonus so it wins ties within its band — that is what lets a
+   yield return to its caller. *)
+let dyn_prio st proc ~now =
+  if proc.Proc.fixed_prio then proc.Proc.base_prio -. 1.0e6
+  else begin
+    refresh st proc ~now;
+    let weighted = st.p.usage_weight *. proc.Proc.usage in
+    let band = Float.of_int (int_of_float (weighted /. st.p.band_ns)) in
+    let incumbent =
+      match st.last_run with Some q when q == proc -> true | _ -> false
+    in
+    proc.Proc.base_prio +. band -. (if incumbent then 0.5 else 0.0)
+  end
+
+let create p =
+  let st = { p; ready = Ready_set.create (); hint = None; last_run = None } in
+  let score ~now proc = dyn_prio st proc ~now in
+  let enqueue proc (_ : Policy.reason) ~now =
+    refresh st proc ~now;
+    Ready_set.add st.ready proc
+  in
+  let pick ~now =
+    let hint = st.hint in
+    st.hint <- None;
+    let chosen =
+      match hint with
+      | Some (Policy.Favor target) when Ready_set.mem st.ready target ->
+        ignore (Ready_set.remove st.ready target : bool);
+        (* Favoured once, but pays for the privilege (cf. §6). *)
+        refresh st target ~now;
+        target.Proc.usage <- target.Proc.usage +. st.p.handoff_penalty_ns;
+        Some target
+      | Some (Policy.Avoid shunned) ->
+        Ready_set.take_best_excluding st.ready ~score:(score ~now) shunned
+      | Some (Policy.Favor _) | None ->
+        Ready_set.take_best st.ready ~score:(score ~now)
+    in
+    (match chosen with Some q -> st.last_run <- Some q | None -> ());
+    chosen
+  in
+  let charge proc ~ran ~now =
+    refresh st proc ~now;
+    if not proc.Proc.fixed_prio then
+      proc.Proc.usage <- proc.Proc.usage +. float_of_int ran
+  in
+  let should_preempt proc ~now =
+    if Ready_set.is_empty st.ready then false
+    else if proc.Proc.quantum_used >= st.p.quantum then true
+    else
+      match Ready_set.peek_best st.ready ~score:(score ~now) with
+      | None -> false
+      | Some best ->
+        dyn_prio st best ~now +. st.p.preempt_margin_bands
+        < dyn_prio st proc ~now
+  in
+  let on_yield (_ : Proc.t) ~now:(_ : Sim_time.t) = () in
+  {
+    Policy.name = "decay";
+    enqueue;
+    pick;
+    ready_count = (fun () -> Ready_set.count st.ready);
+    charge;
+    should_preempt;
+    on_yield;
+    set_hint = (fun h -> st.hint <- Some h);
+    supports_fixed_priority = p.supports_fixed;
+    remove = (fun proc -> ignore (Ready_set.remove st.ready proc : bool));
+  }

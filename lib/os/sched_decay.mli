@@ -1,0 +1,42 @@
+(** Degrading-priority (classic commercial Unix) scheduling policy.
+
+    Models the IRIX/AIX behaviour the paper measures.  Every process
+    carries a CPU-usage estimate that grows while it runs and decays
+    exponentially over wall-clock time; dynamic priority is the usage
+    {e quantized into bands}, and the process that last ran wins ties
+    within a band.  The consequence — central to §2.2 — is that a [yield]
+    returns to its caller until the caller's accumulated execution time
+    pushes it into a worse band than its peer, at which point a real
+    context switch happens.  With the SGI calibration this yields the
+    paper's ~2.5 yields per possession; with a near-zero band every yield
+    switches, which is the AIX-like behaviour.
+
+    Processes granted the fixed-priority class
+    ({!Usys.set_fixed_priority}) bypass usage entirely: they sit in the
+    best band and schedule FIFO among themselves, so every yield hands off
+    — reproducing the non-degrading-priority runs of Figure 3. *)
+
+type params = {
+  usage_weight : float;
+      (** priority points per nanosecond of decayed usage (normally 1.0) *)
+  band_ns : float;
+      (** width of one priority band, in weighted-usage nanoseconds; a
+          process keeps the CPU across yields until it climbs one band
+          above its peers *)
+  half_life_ns : float;
+      (** usage halves every this many ns of wall-clock time; keeps
+          long-run fairness without disturbing microsecond dynamics *)
+  quantum : Ulipc_engine.Sim_time.t;  (** round-robin slice *)
+  preempt_margin_bands : float;
+      (** a ready process must be better by more than this many bands to
+          preempt the running one between scheduling points *)
+  handoff_penalty_ns : float;
+      (** usage charged to a process scheduled through a hand-off hint, so
+          it is favoured once but cannot monopolise the CPU *)
+  supports_fixed : bool;
+}
+
+val default_params : params
+(** SGI-like calibration: 40 µs bands. *)
+
+val create : params -> Policy.t

@@ -1,0 +1,40 @@
+open Ulipc_engine
+
+type params = { quantum : Sim_time.t }
+
+let default_params = { quantum = Sim_time.ms 100 }
+
+type state = { ready : Ready_set.t; mutable hint : Policy.hint option }
+
+let create p =
+  let st = { ready = Ready_set.create (); hint = None } in
+  let pick ~now:(_ : Sim_time.t) =
+    let hint = st.hint in
+    st.hint <- None;
+    match hint with
+    | Some (Policy.Favor target) when Ready_set.mem st.ready target ->
+      ignore (Ready_set.remove st.ready target : bool);
+      Some target
+    | Some (Policy.Avoid shunned) ->
+      Ready_set.take_best_excluding st.ready
+        ~score:(fun (_ : Proc.t) -> 0.0)
+        shunned
+    | Some (Policy.Favor _) | None -> Ready_set.take_first st.ready
+  in
+  {
+    Policy.name = "fixed-rr";
+    enqueue =
+      (fun proc (_ : Policy.reason) ~now:(_ : Sim_time.t) ->
+        Ready_set.add st.ready proc);
+    pick;
+    ready_count = (fun () -> Ready_set.count st.ready);
+    charge = (fun (_ : Proc.t) ~ran:(_ : Sim_time.t) ~now:(_ : Sim_time.t) -> ());
+    should_preempt =
+      (fun proc ~now:(_ : Sim_time.t) ->
+        proc.Proc.quantum_used >= p.quantum
+        && not (Ready_set.is_empty st.ready));
+    on_yield = (fun (_ : Proc.t) ~now:(_ : Sim_time.t) -> ());
+    set_hint = (fun h -> st.hint <- Some h);
+    supports_fixed_priority = true;
+    remove = (fun proc -> ignore (Ready_set.remove st.ready proc : bool));
+  }

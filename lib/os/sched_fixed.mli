@@ -1,0 +1,12 @@
+(** Fixed-priority round-robin policy.
+
+    All processes share one priority level and schedule FIFO; [yield]
+    always hands the CPU to the longest-waiting ready process.  This is the
+    idealised non-degrading scheduler the paper approximates with
+    super-user real-time priorities, kept as a separate policy both as the
+    simplest reference implementation and for unit-testing the kernel. *)
+
+type params = { quantum : Ulipc_engine.Sim_time.t }
+
+val default_params : params
+val create : params -> Policy.t

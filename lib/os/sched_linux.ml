@@ -1,0 +1,127 @@
+open Ulipc_engine
+
+type params = {
+  quantum : Sim_time.t;
+  tick : Sim_time.t;
+  affinity_bonus : float;
+  modified_yield : bool;
+  handoff_penalty_ns : float;
+}
+
+let default_params =
+  {
+    quantum = Sim_time.ms 30;
+    tick = Sim_time.ms 10;
+    affinity_bonus = 5.0e6 (* half a tick, in ns *);
+    modified_yield = false;
+    handoff_penalty_ns = 5.0e4;
+  }
+
+type state = {
+  p : params;
+  ready : Ready_set.t;
+  mutable hint : Policy.hint option;
+  mutable last_run : Proc.t option;
+}
+
+(* Lower score wins the pick, so score is the negated counter; the process
+   that ran last gets an affinity bonus, which is what keeps an unmodified
+   sched_yield returning to its caller between timer ticks. *)
+let score st proc =
+  let bonus =
+    match st.last_run with Some q when q == proc -> st.p.affinity_bonus | _ -> 0.0
+  in
+  -.(proc.Proc.counter +. bonus)
+
+let refill st proc = proc.Proc.counter <- float_of_int st.p.quantum
+
+(* Counters drain at tick granularity: CPU consumption accumulates in
+   [usage] and is converted to counter decrements one whole tick at a
+   time. *)
+let charge st proc ~ran =
+  proc.Proc.usage <- proc.Proc.usage +. float_of_int ran;
+  let tick = float_of_int st.p.tick in
+  while proc.Proc.usage >= tick do
+    proc.Proc.usage <- proc.Proc.usage -. tick;
+    proc.Proc.counter <- proc.Proc.counter -. tick
+  done
+
+let epoch st extra =
+  List.iter (refill st) (Ready_set.to_list st.ready);
+  match extra with Some p -> refill st p | None -> ()
+
+let create p =
+  let st = { p; ready = Ready_set.create (); hint = None; last_run = None } in
+  let enqueue proc reason ~now:(_ : Sim_time.t) =
+    (match reason with
+    | Policy.New | Policy.Woken ->
+      (* A process that blocked (or just arrived) returns with a fresh
+         quantum, approximating the priority boost sleepers accumulate. *)
+      refill st proc
+    | Policy.Preempted | Policy.Yielded -> ());
+    Ready_set.add st.ready proc
+  in
+  let pick ~now:(_ : Sim_time.t) =
+    let hint = st.hint in
+    st.hint <- None;
+    if
+      (not (Ready_set.is_empty st.ready))
+      && List.for_all
+           (fun q -> q.Proc.counter <= 0.0)
+           (Ready_set.to_list st.ready)
+    then epoch st None;
+    let chosen =
+      match hint with
+      | Some (Policy.Favor target) when Ready_set.mem st.ready target ->
+        (* §6: a hint, not a directive — bump the target's counter so it is
+           favoured, and charge it the small penalty that keeps a malicious
+           client from using handoff to monopolise the CPU.  Scheduling
+           still goes through the normal pick, so a backlog of other ready
+           processes (the batching case) is not jumped over. *)
+        target.Proc.counter <-
+          target.Proc.counter +. st.p.affinity_bonus -. st.p.handoff_penalty_ns;
+        Ready_set.take_best st.ready ~score:(score st)
+      | Some (Policy.Avoid shunned) ->
+        Ready_set.take_best_excluding st.ready ~score:(score st) shunned
+      | Some (Policy.Favor _) | None -> Ready_set.take_best st.ready ~score:(score st)
+    in
+    (match chosen with Some q -> st.last_run <- Some q | None -> ());
+    chosen
+  in
+  let should_preempt proc ~now:(_ : Sim_time.t) =
+    if Ready_set.is_empty st.ready then false
+    else begin
+      if
+        proc.Proc.counter <= 0.0
+        && List.for_all
+             (fun q -> q.Proc.counter <= 0.0)
+             (Ready_set.to_list st.ready)
+      then epoch st (Some proc);
+      match Ready_set.peek_best st.ready ~score:(score st) with
+      | None -> false
+      | Some best ->
+        best.Proc.counter > proc.Proc.counter +. st.p.affinity_bonus
+    end
+  in
+  let on_yield proc ~now:(_ : Sim_time.t) =
+    if st.p.modified_yield then begin
+      (* The paper's fix: expire the caller's quantum and drop its affinity
+         advantage so the yield forces a context switch. *)
+      proc.Proc.counter <- 0.0;
+      match st.last_run with
+      | Some q when q == proc -> st.last_run <- None
+      | Some _ | None -> ()
+    end
+  in
+  {
+    Policy.name = (if p.modified_yield then "linux-mod" else "linux-1.0");
+    enqueue;
+    pick;
+    ready_count = (fun () -> Ready_set.count st.ready);
+    charge = (fun proc ~ran ~now:(_ : Sim_time.t) -> charge st proc ~ran);
+    should_preempt;
+    on_yield;
+    set_hint = (fun h -> st.hint <- Some h);
+    supports_fixed_priority = false;
+    remove = (fun proc -> ignore (Ready_set.remove st.ready proc : bool));
+  }

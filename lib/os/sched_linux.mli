@@ -1,0 +1,27 @@
+(** Linux-1.0-style counter scheduler.
+
+    Each process owns a counter refilled to the quantum at scheduling
+    epochs; the scheduler runs the ready process with the largest counter,
+    with a small affinity bonus for the process that ran last.  Crucially,
+    counters drain only at {e timer-tick} granularity, so an unmodified
+    [sched_yield] between two equal-counter spinners returns to the caller
+    until a whole tick has been accounted — this is what turns the paper's
+    expected 120 µs round-trip into ~33 ms on the stock Linux 1.0.32
+    scheduler (§6).  With [modified_yield] the caller's counter is expired
+    on every yield, forcing a context switch, which restores the 120 µs
+    round-trip. *)
+
+type params = {
+  quantum : Ulipc_engine.Sim_time.t;  (** counter refill at an epoch *)
+  tick : Ulipc_engine.Sim_time.t;  (** usage accounting granularity *)
+  affinity_bonus : float;
+      (** tie-break advantage (in ns of counter) for the last-run process *)
+  modified_yield : bool;  (** [sched_yield] expires the caller's quantum *)
+  handoff_penalty_ns : float;
+      (** counter charged to a process scheduled through a hand-off hint —
+          enough that a malicious client cannot monopolise the CPU via
+          [handoff], small enough not to starve a busy server (§6) *)
+}
+
+val default_params : params
+val create : params -> Policy.t

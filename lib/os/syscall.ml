@@ -1,0 +1,43 @@
+type pid = int
+type sem_id = int
+type msq_id = int
+
+type handoff_target = To_pid of pid | To_self | To_any
+
+type usage = {
+  voluntary_switches : int;
+  involuntary_switches : int;
+  cpu_time : Ulipc_engine.Sim_time.t;
+  syscalls : int;
+}
+
+type _ t =
+  | Yield : unit t
+  | Handoff : handoff_target -> unit t
+  | Sem_p : sem_id -> unit t
+  | Sem_v : sem_id -> unit t
+  | Sem_value : sem_id -> int t
+  | Msg_snd : msq_id * int * Ulipc_engine.Univ.t -> unit t
+  | Msg_rcv : msq_id * int -> Ulipc_engine.Univ.t t
+  | Sleep : Ulipc_engine.Sim_time.t -> unit t
+  | Get_time : Ulipc_engine.Sim_time.t t
+  | Get_usage : usage t
+  | Set_fixed_priority : bool -> bool t
+  | Get_pid : pid t
+
+let pp_request (type a) ppf (req : a t) =
+  match req with
+  | Yield -> Format.pp_print_string ppf "yield"
+  | Handoff (To_pid p) -> Format.fprintf ppf "handoff(pid %d)" p
+  | Handoff To_self -> Format.pp_print_string ppf "handoff(self)"
+  | Handoff To_any -> Format.pp_print_string ppf "handoff(any)"
+  | Sem_p s -> Format.fprintf ppf "P(sem %d)" s
+  | Sem_v s -> Format.fprintf ppf "V(sem %d)" s
+  | Sem_value s -> Format.fprintf ppf "semvalue(sem %d)" s
+  | Msg_snd (q, ty, _) -> Format.fprintf ppf "msgsnd(q %d, type %d)" q ty
+  | Msg_rcv (q, ty) -> Format.fprintf ppf "msgrcv(q %d, type %d)" q ty
+  | Sleep d -> Format.fprintf ppf "sleep(%a)" Ulipc_engine.Sim_time.pp d
+  | Get_time -> Format.pp_print_string ppf "gettime"
+  | Get_usage -> Format.pp_print_string ppf "getrusage"
+  | Set_fixed_priority b -> Format.fprintf ppf "setfixedprio(%b)" b
+  | Get_pid -> Format.pp_print_string ppf "getpid"

@@ -1,0 +1,39 @@
+(** User-side API for simulated processes.
+
+    These functions may only be called from inside a process body spawned
+    with {!Kernel.spawn}; they perform effects the kernel interprets.
+    Calling them outside a simulation raises [Effect.Unhandled]. *)
+
+val work : Ulipc_engine.Sim_time.t -> unit
+(** Consume CPU for the given duration.  The memory side effects of the
+    code following [work] happen atomically when the duration has been
+    charged. *)
+
+val yield : unit -> unit
+(** Give the scheduler a chance to run someone else.  Whether a context
+    switch actually happens is entirely up to the policy — the point the
+    paper turns on. *)
+
+val handoff : Syscall.handoff_target -> unit
+(** The paper's proposed hand-off scheduling call (§6). *)
+
+val sem_p : Syscall.sem_id -> unit
+(** Down/P: block while the count is zero. *)
+
+val sem_v : Syscall.sem_id -> unit
+(** Up/V: wake one waiter or increment the count.  Does not reschedule. *)
+
+val sem_value : Syscall.sem_id -> int
+
+val msgsnd : Syscall.msq_id -> mtype:int -> Ulipc_engine.Univ.t -> unit
+(** Kernel-mediated send; blocks while the queue is full. *)
+
+val msgrcv : Syscall.msq_id -> mtype:int -> Ulipc_engine.Univ.t
+(** Kernel-mediated receive; [mtype = 0] takes the queue head, a positive
+    [mtype] the first message of that type.  Blocks while empty. *)
+
+val sleep : Ulipc_engine.Sim_time.t -> unit
+val time : unit -> Ulipc_engine.Sim_time.t
+val usage : unit -> Syscall.usage
+val set_fixed_priority : bool -> bool
+val pid : unit -> Syscall.pid

@@ -1,0 +1,112 @@
+type waiting = Spin | Block | Limited_spin of int
+
+(* One direction: a queue plus the sleep/wake-up state of its consumer. *)
+type 'a channel = { q : 'a Tl_queue.t; awake : bool Atomic.t; sem : Rsem.t }
+
+type ('req, 'rep) t = {
+  waiting : waiting;
+  request : (int * 'req) channel;
+  replies : 'rep channel array;
+}
+
+let channel ~capacity =
+  {
+    q = Tl_queue.create ~capacity ();
+    awake = Atomic.make true;
+    sem = Rsem.create 0;
+  }
+
+let create ?(capacity = 64) ~nclients waiting =
+  if nclients <= 0 then invalid_arg "Rpc.create: nclients must be positive";
+  {
+    waiting;
+    request = channel ~capacity;
+    replies = Array.init nclients (fun _ -> channel ~capacity);
+  }
+
+let nclients t = Array.length t.replies
+
+let reply_channel t client =
+  if client < 0 || client >= Array.length t.replies then
+    invalid_arg (Printf.sprintf "Rpc: no client %d" client);
+  t.replies.(client)
+
+(* Producer side, steps P.1–P.3 with the test-and-set repair: enqueue
+   (spinning through the rare full-queue condition), then wake the consumer
+   only if the flag was clear. *)
+let produce ch v ~wake =
+  while not (Tl_queue.enqueue ch.q v) do
+    Domain.cpu_relax ()
+  done;
+  if wake && not (Atomic.exchange ch.awake true) then Rsem.v ch.sem
+
+let spin_dequeue ch =
+  let rec loop () =
+    match Tl_queue.dequeue ch.q with
+    | Some v -> v
+    | None ->
+      Domain.cpu_relax ();
+      loop ()
+  in
+  loop ()
+
+(* The consumer sequence C.1–C.5 of Figure 5, on real atomics. *)
+let blocking_dequeue ch =
+  let rec outer () =
+    match Tl_queue.dequeue ch.q with (* C.1 *)
+    | Some v -> v
+    | None -> (
+      Atomic.set ch.awake false;
+      (* C.2 *)
+      match Tl_queue.dequeue ch.q with (* C.3 *)
+      | None ->
+        Rsem.p ch.sem;
+        (* C.4 *)
+        Atomic.set ch.awake true;
+        (* C.5 *)
+        outer ()
+      | Some v ->
+        (* A producer that saw the cleared flag also posted a V; drain it
+           or wake-ups accumulate (Interleaving 3). *)
+        if Atomic.exchange ch.awake true then Rsem.p ch.sem;
+        v)
+  in
+  outer ()
+
+let limited_spin_dequeue ch ~max_spin =
+  let rec poll spincnt =
+    if spincnt < max_spin && Tl_queue.is_empty ch.q then begin
+      Domain.cpu_relax ();
+      poll (spincnt + 1)
+    end
+  in
+  poll 0;
+  blocking_dequeue ch
+
+let consume t ch =
+  match t.waiting with
+  | Spin -> spin_dequeue ch
+  | Block -> blocking_dequeue ch
+  | Limited_spin max_spin -> limited_spin_dequeue ch ~max_spin
+
+let wake_needed t = match t.waiting with Spin -> false | Block | Limited_spin _ -> true
+
+let post t ~client req =
+  let (_ : 'rep channel) = reply_channel t client in
+  produce t.request (client, req) ~wake:(wake_needed t)
+
+let collect t ~client = consume t (reply_channel t client)
+
+let send t ~client req =
+  post t ~client req;
+  collect t ~client
+
+let receive t = consume t t.request
+
+let reply t ~client rep =
+  produce (reply_channel t client) rep ~wake:(wake_needed t)
+
+let wake_residue t =
+  Array.fold_left
+    (fun acc ch -> acc + Rsem.value ch.sem)
+    (Rsem.value t.request.sem) t.replies

@@ -1,0 +1,45 @@
+(** The paper's Send/Receive/Reply protocols on real OCaml 5 domains.
+
+    Domains within one process stand in for processes sharing a memory
+    segment: the queue structure, the awake-flag discipline and the race
+    repairs are identical to the simulated protocols; only the protection
+    boundary differs (the paper explicitly defers security).
+
+    A session has one request queue into the server and one reply channel
+    per client, exactly like {!Ulipc.Session}.  Requests and replies are
+    arbitrary OCaml values. *)
+
+type waiting =
+  | Spin  (** BSS: busy-wait with [Domain.cpu_relax], never block *)
+  | Block  (** BSW: awake flag + counting semaphore, the Figure 5 sequence *)
+  | Limited_spin of int
+      (** BSLS: poll up to MAX_SPIN times, then run the Figure 5 sequence *)
+
+type ('req, 'rep) t
+
+val create : ?capacity:int -> nclients:int -> waiting -> ('req, 'rep) t
+(** [capacity] (default 64) bounds every queue.
+    @raise Invalid_argument if [nclients <= 0]. *)
+
+val nclients : ('req, 'rep) t -> int
+
+val send : ('req, 'rep) t -> client:int -> 'req -> 'rep
+(** Synchronous call from client [client] (0-based).  Clients must not
+    share a client number concurrently.
+    @raise Invalid_argument on a bad client number. *)
+
+val receive : ('req, 'rep) t -> int * 'req
+(** Server side: next request as [(client, payload)]. *)
+
+val reply : ('req, 'rep) t -> client:int -> 'rep -> unit
+
+val post : ('req, 'rep) t -> client:int -> 'req -> unit
+(** Asynchronous send: enqueue and wake the server, do not wait. *)
+
+val collect : ('req, 'rep) t -> client:int -> 'rep
+(** Wait for the next reply to this client (pairs with {!post}). *)
+
+val wake_residue : ('req, 'rep) t -> int
+(** Sum of all channel semaphore counts; surplus wake-ups left pending.
+    For tests — with the test-and-set discipline this stays bounded by
+    the number of channels. *)

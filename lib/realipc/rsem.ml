@@ -1,0 +1,25 @@
+type t = { mutex : Mutex.t; nonzero : Condition.t; mutable count : int }
+
+let create count =
+  if count < 0 then invalid_arg "Rsem.create: negative initial count";
+  { mutex = Mutex.create (); nonzero = Condition.create (); count }
+
+let p t =
+  Mutex.lock t.mutex;
+  while t.count = 0 do
+    Condition.wait t.nonzero t.mutex
+  done;
+  t.count <- t.count - 1;
+  Mutex.unlock t.mutex
+
+let v t =
+  Mutex.lock t.mutex;
+  t.count <- t.count + 1;
+  Condition.signal t.nonzero;
+  Mutex.unlock t.mutex
+
+let value t =
+  Mutex.lock t.mutex;
+  let c = t.count in
+  Mutex.unlock t.mutex;
+  c

@@ -1,0 +1,20 @@
+(** Counting semaphore over [Mutex]/[Condition].
+
+    The portable stand-in for the System V semaphores the paper blocks on
+    (and for the futex a modern implementation would use).  Counting
+    semantics matter: the sleep/wake-up protocols rely on a V posted
+    before the P remaining pending (§3, Interleaving 1). *)
+
+type t
+
+val create : int -> t
+(** @raise Invalid_argument on a negative initial count. *)
+
+val p : t -> unit
+(** Down: block while the count is zero, then decrement. *)
+
+val v : t -> unit
+(** Up: increment and wake one waiter. *)
+
+val value : t -> int
+(** Racy snapshot, for tests and residue accounting. *)

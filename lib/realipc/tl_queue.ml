@@ -1,0 +1,58 @@
+type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = {
+  cap : int;
+  head_lock : Mutex.t;
+  tail_lock : Mutex.t;
+  mutable head : 'a node; (* dummy; protected by head_lock *)
+  mutable tail : 'a node; (* protected by tail_lock *)
+  count : int Atomic.t;
+}
+
+let fresh_node value = { value; next = Atomic.make None }
+
+let create ~capacity () =
+  if capacity <= 0 then invalid_arg "Tl_queue.create: capacity must be positive";
+  let dummy = fresh_node None in
+  {
+    cap = capacity;
+    head_lock = Mutex.create ();
+    tail_lock = Mutex.create ();
+    head = dummy;
+    tail = dummy;
+    count = Atomic.make 0;
+  }
+
+let capacity q = q.cap
+
+let enqueue q v =
+  let node = fresh_node (Some v) in
+  Mutex.lock q.tail_lock;
+  let ok = Atomic.get q.count < q.cap in
+  if ok then begin
+    (* The [value] store above happens before this atomic publish, so a
+       dequeuer that observes the link also observes the value. *)
+    Atomic.set q.tail.next (Some node);
+    q.tail <- node;
+    Atomic.incr q.count
+  end;
+  Mutex.unlock q.tail_lock;
+  ok
+
+let dequeue q =
+  Mutex.lock q.head_lock;
+  let result =
+    match Atomic.get q.head.next with
+    | None -> None
+    | Some node ->
+      let v = node.value in
+      node.value <- None;
+      q.head <- node;
+      Atomic.decr q.count;
+      v
+  in
+  Mutex.unlock q.head_lock;
+  result
+
+let is_empty q = Atomic.get q.head.next = None
+let length q = Atomic.get q.count

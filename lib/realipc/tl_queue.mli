@@ -1,0 +1,27 @@
+(** Michael & Scott two-lock FIFO queue, for real, on OCaml 5 domains.
+
+    The same structure the paper's evaluation software uses and that
+    {!Ulipc_shm.Ms_queue} simulates: a linked list with a dummy node, one
+    mutex for the head (dequeuers) and one for the tail (enqueuers), so a
+    single producer and a single consumer never contend.  Node links are
+    [Atomic.t]s so the unlocked {!is_empty} hint and cross-domain
+    publication are sound under the OCaml memory model.  Bounded, because
+    the paper's queues are flow-controlled by a fixed free pool. *)
+
+type 'a t
+
+val create : capacity:int -> unit -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val enqueue : 'a t -> 'a -> bool
+(** [false] when the queue is full. *)
+
+val dequeue : 'a t -> 'a option
+
+val is_empty : 'a t -> bool
+(** Lock-free hint, as used by polling loops: one atomic load. *)
+
+val length : 'a t -> int
+(** Racy snapshot of the element count. *)

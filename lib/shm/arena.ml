@@ -1,0 +1,109 @@
+type allocation = { offset : int; length : int }
+
+(* Free blocks kept sorted by offset so coalescing is a neighbour check. *)
+type block = { b_off : int; b_len : int }
+
+type t = {
+  costs : Ulipc_os.Costs.t;
+  lock : Mem.Spinlock.t;
+  bytes : Bytes.t;
+  total : int;
+  mutable free_blocks : block list;
+  mutable live : allocation list;
+}
+
+let charge d = Ulipc_os.Usys.work d
+let word = 8
+
+(* Cost of touching [n] bytes of shared memory at [per]-per-word. *)
+let touch_cost ~per n = per * ((n + word - 1) / word)
+
+let create ~costs ~size () =
+  if size <= 0 then invalid_arg "Arena.create: size must be positive";
+  {
+    costs;
+    lock = Mem.Spinlock.make ~costs ();
+    bytes = Bytes.make size '\000';
+    total = size;
+    free_blocks = [ { b_off = 0; b_len = size } ];
+    live = [];
+  }
+
+let size t = t.total
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Arena.alloc: size must be positive";
+  Mem.Spinlock.acquire t.lock;
+  charge t.costs.Ulipc_os.Costs.shared_read;
+  (* First fit over the sorted free list. *)
+  let rec take acc = function
+    | [] -> None
+    | b :: rest when b.b_len >= n ->
+      let remainder =
+        if b.b_len = n then []
+        else [ { b_off = b.b_off + n; b_len = b.b_len - n } ]
+      in
+      t.free_blocks <- List.rev_append acc (remainder @ rest);
+      Some { offset = b.b_off; length = n }
+    | b :: rest -> take (b :: acc) rest
+  in
+  let result = take [] t.free_blocks in
+  (match result with
+  | Some a ->
+    charge t.costs.Ulipc_os.Costs.shared_write;
+    t.live <- a :: t.live
+  | None -> ());
+  Mem.Spinlock.release t.lock;
+  result
+
+let free t a =
+  Mem.Spinlock.acquire t.lock;
+  charge t.costs.Ulipc_os.Costs.shared_read;
+  if not (List.exists (fun l -> l.offset = a.offset && l.length = a.length) t.live)
+  then begin
+    Mem.Spinlock.release t.lock;
+    invalid_arg
+      (Printf.sprintf "Arena.free: no live allocation at %d (+%d)" a.offset
+         a.length)
+  end;
+  t.live <-
+    List.filter (fun l -> not (l.offset = a.offset && l.length = a.length)) t.live;
+  (* Insert sorted and coalesce with neighbours. *)
+  let rec insert = function
+    | [] -> [ { b_off = a.offset; b_len = a.length } ]
+    | b :: rest when a.offset < b.b_off ->
+      { b_off = a.offset; b_len = a.length } :: b :: rest
+    | b :: rest -> b :: insert rest
+  in
+  let rec coalesce = function
+    | b1 :: b2 :: rest when b1.b_off + b1.b_len = b2.b_off ->
+      coalesce ({ b_off = b1.b_off; b_len = b1.b_len + b2.b_len } :: rest)
+    | b :: rest -> b :: coalesce rest
+    | [] -> []
+  in
+  charge t.costs.Ulipc_os.Costs.shared_write;
+  t.free_blocks <- coalesce (insert t.free_blocks);
+  Mem.Spinlock.release t.lock
+
+let check_within a data_len =
+  if data_len > a.length then
+    invalid_arg
+      (Printf.sprintf "Arena: %d bytes do not fit allocation of %d" data_len
+         a.length)
+
+let write_bytes t a data =
+  check_within a (Bytes.length data);
+  charge (touch_cost ~per:t.costs.Ulipc_os.Costs.shared_write (Bytes.length data));
+  Bytes.blit data 0 t.bytes a.offset (Bytes.length data)
+
+let read_bytes t a =
+  charge (touch_cost ~per:t.costs.Ulipc_os.Costs.shared_read a.length);
+  Bytes.sub t.bytes a.offset a.length
+
+let free_bytes_peek t =
+  List.fold_left (fun acc b -> acc + b.b_len) 0 t.free_blocks
+
+let largest_free_block_peek t =
+  List.fold_left (fun acc b -> max acc b.b_len) 0 t.free_blocks
+
+let allocations_peek t = List.length t.live

@@ -1,0 +1,47 @@
+(** Variable-sized payloads in shared memory (§2.1).
+
+    "Variable sized messages can be accommodated by using one of the
+    fields of the fixed sized message to point to a variable sized
+    component in shared memory."  This arena is that component's
+    allocator: a first-fit free-list allocator over a fixed byte span,
+    guarded by a spin lock, with every touch cost-charged like the other
+    shared-memory primitives.
+
+    The arena stores bytes; a message carries the returned offset (and
+    length) in its [arg]/[seq] fields.  Offsets are stable for the life of
+    the allocation — there is no compaction, as there would not be in a
+    mapped segment. *)
+
+type t
+
+type allocation = { offset : int; length : int }
+
+val create : costs:Ulipc_os.Costs.t -> size:int -> unit -> t
+(** An arena of [size] bytes.
+    @raise Invalid_argument if [size <= 0]. *)
+
+val size : t -> int
+
+val alloc : t -> int -> allocation option
+(** [alloc t n] reserves [n] bytes (first fit); [None] if no free block is
+    large enough.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val free : t -> allocation -> unit
+(** Return a block; adjacent free blocks coalesce.
+    @raise Invalid_argument on a block that was not allocated by this
+    arena (offset/length mismatch) or was already freed. *)
+
+val write_bytes : t -> allocation -> bytes -> unit
+(** Copy into the block, charging per-word store costs.
+    @raise Invalid_argument if the bytes exceed the allocation. *)
+
+val read_bytes : t -> allocation -> bytes
+(** Copy out of the block, charging per-word load costs. *)
+
+val free_bytes_peek : t -> int
+(** Total free capacity (uncharged). *)
+
+val largest_free_block_peek : t -> int
+val allocations_peek : t -> int
+(** Live allocation count (uncharged). *)

@@ -1,0 +1,70 @@
+let charge_read (c : Ulipc_os.Costs.t) = Ulipc_os.Usys.work c.shared_read
+let charge_write (c : Ulipc_os.Costs.t) = Ulipc_os.Usys.work c.shared_write
+let charge_flag_write (c : Ulipc_os.Costs.t) = Ulipc_os.Usys.work c.flag_write
+let charge_tas (c : Ulipc_os.Costs.t) = Ulipc_os.Usys.work c.tas
+
+module Cell = struct
+  type 'a t = { costs : Ulipc_os.Costs.t; mutable v : 'a }
+
+  let make ~costs v = { costs; v }
+
+  let read c =
+    charge_read c.costs;
+    c.v
+
+  let write c v =
+    charge_write c.costs;
+    c.v <- v
+
+  let peek c = c.v
+end
+
+module Flag = struct
+  type t = { costs : Ulipc_os.Costs.t; mutable v : bool }
+
+  let make ~costs v = { costs; v }
+
+  let read f =
+    charge_read f.costs;
+    f.v
+
+  let write f v =
+    charge_flag_write f.costs;
+    f.v <- v
+
+  let test_and_set f =
+    charge_tas f.costs;
+    let old = f.v in
+    f.v <- true;
+    old
+
+  let clear f = write f false
+  let peek f = f.v
+end
+
+module Spinlock = struct
+  type t = {
+    costs : Ulipc_os.Costs.t;
+    mutable held : bool;
+    mutable contended : int;
+  }
+
+  let make ~costs () = { costs; held = false; contended = 0 }
+
+  let acquire l =
+    let rec spin ~first =
+      charge_tas l.costs;
+      if l.held then begin
+        if first then l.contended <- l.contended + 1;
+        spin ~first:false
+      end
+      else l.held <- true
+    in
+    spin ~first:true
+
+  let release l =
+    charge_write l.costs;
+    l.held <- false
+
+  let contended_acquires l = l.contended
+end

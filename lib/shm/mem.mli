@@ -1,0 +1,60 @@
+(** Cost-charged shared-memory primitives.
+
+    Each operation charges the machine's memory cost via {!Ulipc_os.Usys.work}
+    and then performs the OCaml mutation; because the kernel interleaves
+    processes only between charged steps, every primitive here is one
+    atomic action at one simulated instant — the protocol-step granularity
+    of the paper's Figure 4.
+
+    Every structure carries the cost model it was created with, so several
+    simulated machines can coexist in one OCaml process. *)
+
+(** A shared mutable cell. *)
+module Cell : sig
+  type 'a t
+
+  val make : costs:Ulipc_os.Costs.t -> 'a -> 'a t
+  val read : 'a t -> 'a  (** charged as one shared load *)
+
+  val write : 'a t -> 'a -> unit  (** charged as one shared store *)
+
+  val peek : 'a t -> 'a
+  (** Uncharged read, for assertions and metrics outside simulated time. *)
+end
+
+(** A shared flag supporting test-and-set, e.g. the [awake] flag of the
+    sleep/wake-up protocols. *)
+module Flag : sig
+  type t
+
+  val make : costs:Ulipc_os.Costs.t -> bool -> t
+  val read : t -> bool
+  val write : t -> bool -> unit
+
+  val test_and_set : t -> bool
+  (** Atomically set the flag and return its previous value, charging the
+      machine's atomic-RMW cost. *)
+
+  val clear : t -> unit
+  (** [clear f] is [write f false]. *)
+
+  val peek : t -> bool  (** uncharged, for assertions *)
+end
+
+(** A shared spin lock built from test-and-set, as used inside the
+    Michael & Scott two-lock queue. *)
+module Spinlock : sig
+  type t
+
+  val make : costs:Ulipc_os.Costs.t -> unit -> t
+
+  val acquire : t -> unit
+  (** Spin (charging one RMW per attempt) until the lock is taken.  On the
+      uncontended fast path this is a single test-and-set. *)
+
+  val release : t -> unit
+
+  val contended_acquires : t -> int
+  (** How many acquires found the lock held at least once; for tests and
+      the multiprocessor contention analysis. *)
+end

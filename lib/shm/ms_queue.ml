@@ -1,0 +1,91 @@
+type 'a node = { mutable value : 'a option; mutable next : 'a node option }
+
+type 'a t = {
+  costs : Ulipc_os.Costs.t;
+  cap : int;
+  head_lock : Mem.Spinlock.t;
+  tail_lock : Mem.Spinlock.t;
+  mutable head : 'a node; (* dummy; real elements hang off [next] *)
+  mutable tail : 'a node;
+  mutable count : int;
+  mutable enq_total : int;
+  mutable deq_total : int;
+}
+
+let create ~costs ~capacity () =
+  if capacity <= 0 then invalid_arg "Ms_queue.create: capacity must be positive";
+  let dummy = { value = None; next = None } in
+  {
+    costs;
+    cap = capacity;
+    head_lock = Mem.Spinlock.make ~costs ();
+    tail_lock = Mem.Spinlock.make ~costs ();
+    head = dummy;
+    tail = dummy;
+    count = 0;
+    enq_total = 0;
+    deq_total = 0;
+  }
+
+let capacity q = q.cap
+
+let charge d = Ulipc_os.Usys.work d
+
+(* One enqueue: allocate-and-fill a node from the free pool, then link it in
+   under the tail lock.  The pool bound is the [count] check; it is read
+   under the tail lock so concurrent enqueuers cannot oversubscribe, while a
+   racing dequeuer can only make more room. *)
+let enqueue q v =
+  charge q.costs.Ulipc_os.Costs.queue_op_body;
+  let node = { value = Some v; next = None } in
+  Mem.Spinlock.acquire q.tail_lock;
+  charge q.costs.Ulipc_os.Costs.shared_read;
+  if q.count >= q.cap then begin
+    Mem.Spinlock.release q.tail_lock;
+    false
+  end
+  else begin
+    charge q.costs.Ulipc_os.Costs.shared_write;
+    q.tail.next <- Some node;
+    charge q.costs.Ulipc_os.Costs.shared_write;
+    q.tail <- node;
+    charge q.costs.Ulipc_os.Costs.tas;
+    q.count <- q.count + 1;
+    q.enq_total <- q.enq_total + 1;
+    Mem.Spinlock.release q.tail_lock;
+    true
+  end
+
+let dequeue q =
+  charge q.costs.Ulipc_os.Costs.queue_op_body;
+  Mem.Spinlock.acquire q.head_lock;
+  charge q.costs.Ulipc_os.Costs.shared_read;
+  match q.head.next with
+  | None ->
+    Mem.Spinlock.release q.head_lock;
+    None
+  | Some node ->
+    charge q.costs.Ulipc_os.Costs.shared_read;
+    let v = node.value in
+    node.value <- None;
+    charge q.costs.Ulipc_os.Costs.shared_write;
+    q.head <- node;
+    charge q.costs.Ulipc_os.Costs.tas;
+    q.count <- q.count - 1;
+    q.deq_total <- q.deq_total + 1;
+    Mem.Spinlock.release q.head_lock;
+    (match v with
+    | Some v -> Some v
+    | None ->
+      (* The dummy node never carries a value and real nodes always do. *)
+      assert false)
+
+let is_empty q =
+  charge q.costs.Ulipc_os.Costs.shared_read;
+  match q.head.next with None -> true | Some _ -> false
+
+let length_peek q = q.count
+let enqueues_peek q = q.enq_total
+let dequeues_peek q = q.deq_total
+let head_contention q = Mem.Spinlock.contended_acquires q.head_lock
+let tail_contention q = Mem.Spinlock.contended_acquires q.tail_lock

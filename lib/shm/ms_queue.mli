@@ -1,0 +1,43 @@
+(** Michael & Scott two-lock concurrent FIFO queue, in simulated shared
+    memory.
+
+    This is the queue the paper's evaluation software uses ([9] in the
+    paper): a singly linked list with a dummy node, one spin lock for the
+    head (dequeuers) and one for the tail (enqueuers), so one producer and
+    one consumer never contend.  The paper's queues are flow-controlled
+    (fixed free pool of message buffers), so this implementation is
+    bounded: [enqueue] fails on a full queue and the protocols respond with
+    [sleep(1)].
+
+    Every shared access charges simulated time; see {!Mem}. *)
+
+type 'a t
+
+val create : costs:Ulipc_os.Costs.t -> capacity:int -> unit -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val enqueue : 'a t -> 'a -> bool
+(** Append; [false] if the queue is full (the free pool is exhausted). *)
+
+val dequeue : 'a t -> 'a option
+(** Remove the oldest element; [None] if empty. *)
+
+val is_empty : 'a t -> bool
+(** The cheap [empty(Q)] check of the BSLS polling loop: a single shared
+    read, no locking.  May race with concurrent operations — exactly like
+    the paper's check — but never misreports a non-empty queue that no one
+    is mutating. *)
+
+val length_peek : 'a t -> int
+(** Uncharged, unlocked count; for assertions and metrics only. *)
+
+val enqueues_peek : 'a t -> int
+(** Total successful enqueues; uncharged, for metrics. *)
+
+val dequeues_peek : 'a t -> int
+val head_contention : 'a t -> int
+(** Contended acquisitions of the head lock; for the MP analysis. *)
+
+val tail_contention : 'a t -> int

@@ -1,0 +1,61 @@
+type 'a t = {
+  costs : Ulipc_os.Costs.t;
+  lock : Mem.Spinlock.t;
+  buffers : 'a array;
+  mutable free_list : int list; (* LIFO: hot buffers stay cache-warm *)
+  free_map : bool array; (* double-free detection *)
+}
+
+let charge d = Ulipc_os.Usys.work d
+
+let create ~costs ~slots ~init () =
+  if slots <= 0 then invalid_arg "Pool.create: slots must be positive";
+  {
+    costs;
+    lock = Mem.Spinlock.make ~costs ();
+    buffers = Array.init slots init;
+    free_list = List.init slots (fun i -> i);
+    free_map = Array.make slots true;
+  }
+
+let slots t = Array.length t.buffers
+
+let alloc t =
+  Mem.Spinlock.acquire t.lock;
+  charge t.costs.Ulipc_os.Costs.shared_read;
+  let result =
+    match t.free_list with
+    | [] -> None
+    | slot :: rest ->
+      charge t.costs.Ulipc_os.Costs.shared_write;
+      t.free_list <- rest;
+      t.free_map.(slot) <- false;
+      Some slot
+  in
+  Mem.Spinlock.release t.lock;
+  result
+
+let release t slot =
+  if slot < 0 || slot >= Array.length t.buffers then
+    invalid_arg (Printf.sprintf "Pool.release: slot %d out of range" slot);
+  Mem.Spinlock.acquire t.lock;
+  charge t.costs.Ulipc_os.Costs.shared_read;
+  if t.free_map.(slot) then begin
+    Mem.Spinlock.release t.lock;
+    invalid_arg (Printf.sprintf "Pool.release: slot %d already free" slot)
+  end;
+  charge t.costs.Ulipc_os.Costs.shared_write;
+  t.free_list <- slot :: t.free_list;
+  t.free_map.(slot) <- true;
+  Mem.Spinlock.release t.lock
+
+let get t slot =
+  charge t.costs.Ulipc_os.Costs.shared_read;
+  t.buffers.(slot)
+
+let set t slot v =
+  charge t.costs.Ulipc_os.Costs.shared_write;
+  t.buffers.(slot) <- v
+
+let free_count_peek t = List.length t.free_list
+let in_use_peek t = Array.length t.buffers - List.length t.free_list

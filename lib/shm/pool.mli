@@ -1,0 +1,42 @@
+(** Fixed-size message free pool (§2.1).
+
+    "The interface uses fixed sized messages to permit efficient free-pool
+    management": buffers are pre-allocated in the shared segment and
+    recycled through a LIFO free list guarded by a spin lock, so an
+    allocate or release is a couple of shared-memory operations and never
+    a kernel call.  The pool's bound is what makes the queues
+    flow-controlled: when no buffer is free, the sender must back off
+    (the protocols' queue-full path).
+
+    Elements are whatever the caller stores ('a slots); the pool hands
+    out and takes back {e slot indices}, the shared-memory analogue of a
+    buffer address. *)
+
+type 'a t
+
+val create :
+  costs:Ulipc_os.Costs.t -> slots:int -> init:(int -> 'a) -> unit -> 'a t
+(** [create ~slots ~init] builds a pool of [slots] buffers, the buffer at
+    index [i] initialised to [init i].
+    @raise Invalid_argument if [slots <= 0]. *)
+
+val slots : 'a t -> int
+
+val alloc : 'a t -> int option
+(** Grab a free slot index; [None] when the pool is exhausted.  Charged:
+    lock + free-list pop. *)
+
+val release : 'a t -> int -> unit
+(** Return a slot to the pool.  Charged: lock + free-list push.
+    @raise Invalid_argument if the slot is out of range or already free. *)
+
+val get : 'a t -> int -> 'a
+(** Read slot contents (one charged shared load). *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Write slot contents (one charged shared store). *)
+
+val free_count_peek : 'a t -> int
+(** Uncharged; for assertions. *)
+
+val in_use_peek : 'a t -> int

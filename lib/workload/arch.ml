@@ -1,0 +1,193 @@
+open Ulipc_engine
+open Ulipc_os
+
+type architecture = Single_queue | Thread_per_client | Multi_server of int
+
+let architecture_name = function
+  | Single_queue -> "single-queue"
+  | Thread_per_client -> "thread-per-client"
+  | Multi_server k -> Printf.sprintf "multi-server(%d)" k
+
+type result = {
+  architecture : architecture;
+  protocol : Ulipc.Protocol_kind.t;
+  nclients : int;
+  messages : int;
+  elapsed : Sim_time.t;
+  throughput_msg_per_ms : float;
+  utilization : float;
+  server_threads : int;
+}
+
+let echo_client session ~client ~messages =
+  for seq = 1 to messages do
+    let arg = float_of_int ((client * 1_000_000) + seq) in
+    let ans =
+      Ulipc.Dispatch.send session ~client
+        (Ulipc.Message.make ~opcode:Echo ~reply_chan:client ~seq arg)
+    in
+    if not (Float.equal ans.Ulipc.Message.arg arg) then
+      failwith (Printf.sprintf "arch: echo mismatch, client %d seq %d" client seq)
+  done
+
+let fresh_kernel (machine : Ulipc_machines.Machine.t) =
+  Kernel.create ~ncpus:machine.Ulipc_machines.Machine.ncpus
+    ~policy:(machine.Ulipc_machines.Machine.policy ())
+    ~costs:machine.Ulipc_machines.Machine.costs ()
+
+let fresh_session kernel (machine : Ulipc_machines.Machine.t) ~kind ~nclients
+    ~capacity =
+  Ulipc.Session.create ~kernel ~costs:machine.Ulipc_machines.Machine.costs
+    ~multiprocessor:machine.Ulipc_machines.Machine.multiprocessor ~kind
+    ~nclients ~capacity
+
+(* The paper's architecture: one server thread, shared request queue,
+   counting its way to [nclients] Disconnects. *)
+let run_single machine ~kind ~nclients ~messages ~capacity =
+  let kernel = fresh_kernel machine in
+  let session = fresh_session kernel machine ~kind ~nclients ~capacity in
+  let server =
+    Kernel.spawn kernel ~name:"server" (fun () ->
+        let remaining = ref nclients in
+        while !remaining > 0 do
+          let m = Ulipc.Dispatch.receive session in
+          match m.Ulipc.Message.opcode with
+          | Ulipc.Message.Echo ->
+            Ulipc.Dispatch.reply session ~client:m.Ulipc.Message.reply_chan
+              (Ulipc.Message.echo_reply m)
+          | Ulipc.Message.Disconnect -> decr remaining
+          | Ulipc.Message.Connect | Ulipc.Message.Custom _ ->
+            failwith "arch: unexpected opcode"
+        done)
+  in
+  Ulipc.Session.register_server session server.Proc.pid;
+  for client = 0 to nclients - 1 do
+    ignore
+      (Kernel.spawn kernel
+         ~name:(Printf.sprintf "client-%d" client)
+         (fun () ->
+           echo_client session ~client ~messages;
+           Ulipc.Async.post session ~client
+             (Ulipc.Message.make ~opcode:Disconnect ~reply_chan:client 0.0)))
+  done;
+  (kernel, 1)
+
+(* §2.1's alternative: a server thread per client over a full-duplex
+   connection — realised as one single-client session per client. *)
+let run_thread_per_client machine ~kind ~nclients ~messages ~capacity =
+  let kernel = fresh_kernel machine in
+  for client = 0 to nclients - 1 do
+    let session = fresh_session kernel machine ~kind ~nclients:1 ~capacity in
+    let server =
+      Kernel.spawn kernel
+        ~name:(Printf.sprintf "server-%d" client)
+        (fun () ->
+          let live = ref true in
+          while !live do
+            let m = Ulipc.Dispatch.receive session in
+            match m.Ulipc.Message.opcode with
+            | Ulipc.Message.Echo ->
+              Ulipc.Dispatch.reply session ~client:0
+                (Ulipc.Message.echo_reply m)
+            | Ulipc.Message.Disconnect -> live := false
+            | Ulipc.Message.Connect | Ulipc.Message.Custom _ ->
+              failwith "arch: unexpected opcode"
+          done)
+    in
+    Ulipc.Session.register_server session server.Proc.pid;
+    ignore
+      (Kernel.spawn kernel
+         ~name:(Printf.sprintf "client-%d" client)
+         (fun () ->
+           echo_client session ~client:0 ~messages;
+           Ulipc.Async.post session ~client:0
+             (Ulipc.Message.make ~opcode:Disconnect ~reply_chan:0 0.0)))
+  done;
+  (kernel, nclients)
+
+(* §8 future work: [k] server threads sharing the request queue, which
+   requires the per-item grants of the CSEM protocol.  The last client to
+   finish posts one poison Disconnect per server thread. *)
+let run_multi_server machine ~k ~nclients ~messages ~capacity =
+  let kernel = fresh_kernel machine in
+  let session =
+    fresh_session kernel machine ~kind:Ulipc.Protocol_kind.CSEM ~nclients
+      ~capacity
+  in
+  for i = 0 to k - 1 do
+    ignore
+      (Kernel.spawn kernel
+         ~name:(Printf.sprintf "server-%d" i)
+         (fun () ->
+           let live = ref true in
+           while !live do
+             let m = Ulipc.Dispatch.receive session in
+             match m.Ulipc.Message.opcode with
+             | Ulipc.Message.Echo ->
+               Ulipc.Dispatch.reply session ~client:m.Ulipc.Message.reply_chan
+                 (Ulipc.Message.echo_reply m)
+             | Ulipc.Message.Disconnect -> live := false
+             | Ulipc.Message.Connect | Ulipc.Message.Custom _ ->
+               failwith "arch: unexpected opcode"
+           done))
+  done;
+  (* Zero-cost harness bookkeeping, not protocol state. *)
+  let finished = ref 0 in
+  for client = 0 to nclients - 1 do
+    ignore
+      (Kernel.spawn kernel
+         ~name:(Printf.sprintf "client-%d" client)
+         (fun () ->
+           echo_client session ~client ~messages;
+           incr finished;
+           if !finished = nclients then
+             for _ = 1 to k do
+               Ulipc.Async.post session ~client
+                 (Ulipc.Message.make ~opcode:Disconnect ~reply_chan:client 0.0)
+             done))
+  done;
+  (kernel, k)
+
+let run ?(capacity = 64) ~machine ~kind ~architecture ~nclients
+    ~messages_per_client () =
+  if nclients <= 0 then invalid_arg "Arch.run: nclients must be positive";
+  if messages_per_client <= 0 then
+    invalid_arg "Arch.run: messages_per_client must be positive";
+  let messages = messages_per_client in
+  let protocol =
+    match architecture with
+    | Multi_server _ -> Ulipc.Protocol_kind.CSEM
+    | Single_queue | Thread_per_client -> kind
+  in
+  let kernel, server_threads =
+    match architecture with
+    | Single_queue -> run_single machine ~kind ~nclients ~messages ~capacity
+    | Thread_per_client ->
+      run_thread_per_client machine ~kind ~nclients ~messages ~capacity
+    | Multi_server k ->
+      if k <= 0 then invalid_arg "Arch.run: server threads must be positive";
+      run_multi_server machine ~k ~nclients ~messages ~capacity
+  in
+  (match Kernel.run kernel with
+  | Kernel.Completed -> ()
+  | r -> Format.kasprintf failwith "Arch.run: %a" Kernel.pp_result r);
+  let elapsed = Kernel.now kernel in
+  let total = nclients * messages in
+  {
+    architecture;
+    protocol;
+    nclients;
+    messages = total;
+    elapsed;
+    throughput_msg_per_ms = float_of_int total /. Sim_time.to_ms elapsed;
+    utilization = Kernel.utilization kernel;
+    server_threads;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-18s %-8s %2d clients %d srv  %8.2f msg/ms  util %5.1f%%"
+    (architecture_name r.architecture)
+    (Ulipc.Protocol_kind.name r.protocol)
+    r.nclients r.server_threads r.throughput_msg_per_ms
+    (100.0 *. r.utilization)

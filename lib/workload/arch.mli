@@ -1,0 +1,56 @@
+(** Server architectures (§2.1's design discussion and §8's
+    multiprocessor future work).
+
+    The paper's evaluation uses one single-threaded server with one shared
+    request queue and a reply queue per client, and notes that "an
+    alternative architecture might be to have a server thread per client,
+    but that would require two queues per client to implement the
+    full-duplex virtual connection".  On the 8-CPU Challenge the single
+    server is also the saturation point of Figure 11, which §8's
+    multiprocessor future work invites us past.  This module runs the echo
+    workload under three architectures:
+
+    - {!Single_queue}: the paper's setup (any protocol);
+    - {!Thread_per_client}: one server thread and one full-duplex
+      connection (two queues) per client — each connection is simply a
+      one-client session of the chosen protocol;
+    - {!Multi_server}: [k] server threads sharing one request queue.
+      Sharing a blocking queue among consumers needs per-item wake-up
+      grants, so this architecture runs the {!Ulipc.Protocol_kind.CSEM}
+      protocol regardless of [kind]. *)
+
+type architecture =
+  | Single_queue
+  | Thread_per_client
+  | Multi_server of int  (** number of server threads; must be > 0 *)
+
+val architecture_name : architecture -> string
+
+type result = {
+  architecture : architecture;
+  protocol : Ulipc.Protocol_kind.t;  (** the protocol actually run *)
+  nclients : int;
+  messages : int;
+  elapsed : Ulipc_engine.Sim_time.t;  (** whole run, spawn to completion *)
+  throughput_msg_per_ms : float;
+  utilization : float;
+  server_threads : int;
+}
+
+val run :
+  ?capacity:int ->
+  machine:Ulipc_machines.Machine.t ->
+  kind:Ulipc.Protocol_kind.t ->
+  architecture:architecture ->
+  nclients:int ->
+  messages_per_client:int ->
+  unit ->
+  result
+(** Run the echo workload under the given architecture.  Unlike
+    {!Driver.run} there is no barrier phase: all architectures are
+    measured over the whole run, so results compare across architectures
+    but not against {!Driver} numbers.
+    @raise Invalid_argument on bad parameters.
+    @raise Failure if the run does not complete. *)
+
+val pp_result : Format.formatter -> result -> unit

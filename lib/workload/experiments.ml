@@ -1,0 +1,600 @@
+open Ulipc_engine
+open Ulipc_os
+
+type series = { label : string; points : (int * Metrics.t) list }
+type check = { claim : string; holds : bool }
+type figure = { id : string; title : string; series : series list; checks : check list }
+
+let messages_default = 5_000
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+let run_one ?(messages = messages_default) ?(fixed = false) ?capacity machine
+    kind nclients =
+  Driver.run
+    (Driver.config ?capacity ~machine ~kind ~nclients
+       ~messages_per_client:messages ~fixed_priority:fixed ())
+
+let sweep ?messages ?fixed ~label machine kind clients =
+  {
+    label;
+    points =
+      List.map (fun n -> (n, run_one ?messages ?fixed machine kind n)) clients;
+  }
+
+let tp series n =
+  match List.assoc_opt n series.points with
+  | Some m -> m.Metrics.throughput_msg_per_ms
+  | None -> invalid_arg (Printf.sprintf "no point at %d clients" n)
+
+let metric series n =
+  match List.assoc_opt n series.points with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "no point at %d clients" n)
+
+let peak series = List.fold_left (fun acc (_, m) -> Float.max acc m.Metrics.throughput_msg_per_ms) 0.0 series.points
+let trough series =
+  List.fold_left
+    (fun acc (_, m) -> Float.min acc m.Metrics.throughput_msg_per_ms)
+    infinity series.points
+
+(* Relative spread of a curve: (max - min) / max. *)
+let spread series =
+  let hi = peak series and lo = trough series in
+  if hi <= 0.0 then 0.0 else (hi -. lo) /. hi
+
+let dominates a b =
+  (* [a] is above [b] at every common client count. *)
+  List.for_all
+    (fun (n, _) ->
+      match List.assoc_opt n b.points with
+      | None -> true
+      | Some _ -> tp a n > tp b n)
+    a.points
+
+let checkf holds fmt = Format.kasprintf (fun claim -> { claim; holds }) fmt
+
+let uniprocessor_clients = [ 1; 2; 3; 4; 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 *)
+
+type table1_row = { operation : string; sgi_us : float; ibm_us : float }
+
+let univ_int : (int -> Univ.t) * (Univ.t -> int option) = Univ.embed ()
+
+(* Average cost of one queue-pair iteration measured by a single process in
+   a tight loop, exactly as §2.2 measures the Table 1 primitives. *)
+let measure_loop machine body_iter ~iters =
+  let m = machine.Ulipc_machines.Machine.costs in
+  let kernel =
+    Kernel.create ~ncpus:1
+      ~policy:(machine.Ulipc_machines.Machine.policy ())
+      ~costs:m ()
+  in
+  let elapsed = ref Sim_time.zero in
+  let setup = body_iter kernel in
+  let _ =
+    Kernel.spawn kernel ~name:"measure" (fun () ->
+        let t0 = Usys.time () in
+        for _ = 1 to iters do
+          setup ()
+        done;
+        let t1 = Usys.time () in
+        elapsed := Sim_time.sub t1 t0)
+  in
+  (match Kernel.run kernel with
+  | Kernel.Completed -> ()
+  | r -> failwith (Format.asprintf "measure_loop: %a" Kernel.pp_result r));
+  Sim_time.to_us !elapsed /. float_of_int iters
+
+let measure_queue_pair machine =
+  measure_loop machine ~iters:1000 (fun _kernel ->
+      let q =
+        Ulipc_shm.Ms_queue.create
+          ~costs:machine.Ulipc_machines.Machine.costs ~capacity:4 ()
+      in
+      fun () ->
+        ignore (Ulipc_shm.Ms_queue.enqueue q 1 : bool);
+        ignore (Ulipc_shm.Ms_queue.dequeue q : int option))
+
+let measure_msgq_pair machine =
+  let inj, _ = univ_int in
+  measure_loop machine ~iters:1000 (fun kernel ->
+      let q = Kernel.new_msgq kernel ~capacity:4 in
+      fun () ->
+        Usys.msgsnd q ~mtype:1 (inj 1);
+        ignore (Usys.msgrcv q ~mtype:0 : Univ.t))
+
+(* §2.2: n processes barrier, then enter a tight yield loop; the reported
+   time is the average loop-trip time per process — total elapsed divided
+   by the total number of trips. *)
+let measure_concurrent_yields machine ~procs =
+  let iters = 1000 in
+  let kernel =
+    Kernel.create ~ncpus:1
+      ~policy:(machine.Ulipc_machines.Machine.policy ())
+      ~costs:machine.Ulipc_machines.Machine.costs ()
+  in
+  for _ = 1 to procs do
+    ignore
+      (Kernel.spawn kernel ~name:"yielder" (fun () ->
+           for _ = 1 to iters do
+             Usys.yield ()
+           done))
+  done;
+  (match Kernel.run kernel with
+  | Kernel.Completed -> ()
+  | r -> failwith (Format.asprintf "concurrent yields: %a" Kernel.pp_result r));
+  Sim_time.to_us (Kernel.now kernel) /. float_of_int (procs * iters)
+
+let table1 () =
+  let sgi = Ulipc_machines.Sgi_indy.machine in
+  let ibm = Ulipc_machines.Ibm_p4.machine in
+  let row operation f = { operation; sgi_us = f sgi; ibm_us = f ibm } in
+  [
+    row "enqueue/dequeue pair" measure_queue_pair;
+    row "msgsnd/msgrcv pair" measure_msgq_pair;
+    row "concurrent yields, 1 process" (measure_concurrent_yields ~procs:1);
+    row "concurrent yields, 2 processes" (measure_concurrent_yields ~procs:2);
+    row "concurrent yields, 4 processes" (measure_concurrent_yields ~procs:4);
+  ]
+
+let pp_table1 ppf rows =
+  Format.fprintf ppf "%-32s %10s %10s@." "Primitive Operation" "SGI" "IBM";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-32s %8.1fus %8.1fus@." r.operation r.sgi_us
+        r.ibm_us)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: BSS vs SYSV on both uniprocessors *)
+
+let fig2_machine ?messages ~suffix machine ~rising =
+  let bss =
+    sweep ?messages ~label:"BSS" machine Ulipc.Protocol_kind.BSS
+      uniprocessor_clients
+  in
+  let sysv =
+    sweep ?messages ~label:"SYSV" machine Ulipc.Protocol_kind.SYSV
+      uniprocessor_clients
+  in
+  let m1 = metric bss 1 in
+  let checks =
+    [
+      checkf (tp bss 1 > tp sysv 1) "BSS beats System V at one client (%.1f vs %.1f msg/ms)" (tp bss 1) (tp sysv 1);
+      checkf (peak bss /. tp sysv 1 >= 1.4)
+        "user-level IPC outperforms kernel IPC by >= 1.4x (peak ratio %.2f)"
+        (peak bss /. tp sysv 1);
+      checkf (spread sysv < spread bss +. 0.1)
+        "System V curve is flatter than BSS (spread %.2f vs %.2f)" (spread sysv)
+        (spread bss);
+    ]
+    @
+    if rising then
+      [
+        checkf (tp bss 6 > tp bss 1)
+          "throughput increases with clients, the non-intuitive SGI effect \
+           (%.1f -> %.1f msg/ms)"
+          (tp bss 1) (tp bss 6);
+        checkf
+          (let y = Metrics.yields_per_message m1 in
+           y >= 3.0 && y <= 6.5)
+          "multiple yields per process per round-trip, the paper's ~2.5 \
+           (measured %.2f per process)"
+          (Metrics.yields_per_message m1 /. 2.0);
+        checkf
+          (let rt = Metrics.round_trip_us m1 in
+           rt >= 85.0 && rt <= 150.0)
+          "round-trip on the order of the paper's 119 us at one client \
+           (measured %.1f us)"
+          (Metrics.round_trip_us m1);
+        checkf
+          (Metrics.server_vcsw_per_message m1 >= 0.95
+          && Metrics.server_vcsw_per_message m1 <= 1.05)
+          "server makes one voluntary context switch per request at one \
+           client (measured %.2f)"
+          (Metrics.server_vcsw_per_message m1);
+      ]
+    else
+      [
+        checkf (tp bss 6 < 0.75 *. peak bss)
+          "throughput rolls off as clients are added (peak %.1f -> %.1f \
+           msg/ms at 6)"
+          (peak bss) (tp bss 6);
+      ]
+  in
+  {
+    id = "fig2" ^ suffix;
+    title =
+      Printf.sprintf
+        "Figure 2%s: uniprocessor server throughput, BSS vs System V (%s)"
+        suffix machine.Ulipc_machines.Machine.name;
+    series = [ bss; sysv ];
+    checks;
+  }
+
+let fig2 ?messages () =
+  ( fig2_machine ?messages ~suffix:"a" Ulipc_machines.Sgi_indy.machine
+      ~rising:true,
+    fig2_machine ?messages ~suffix:"b" Ulipc_machines.Ibm_p4.machine
+      ~rising:false )
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: non-degrading priorities *)
+
+let fig3_machine ?messages ~suffix machine ~gain_lo ~gain_hi =
+  let bss =
+    sweep ?messages ~label:"BSS" machine Ulipc.Protocol_kind.BSS
+      uniprocessor_clients
+  in
+  let bss_fixed =
+    sweep ?messages ~fixed:true ~label:"BSS-fixed" machine
+      Ulipc.Protocol_kind.BSS uniprocessor_clients
+  in
+  let sysv =
+    sweep ?messages ~label:"SYSV" machine Ulipc.Protocol_kind.SYSV
+      uniprocessor_clients
+  in
+  let gain = tp bss_fixed 1 /. tp bss 1 in
+  let checks =
+    [
+      checkf (dominates bss_fixed bss)
+        "fixed priorities beat degrading priorities at every client count";
+      checkf
+        (gain >= gain_lo && gain <= gain_hi)
+        "fixed-priority gain at one client in [%.0f%%, %.0f%%] (measured \
+         +%.0f%%)"
+        ((gain_lo -. 1.0) *. 100.)
+        ((gain_hi -. 1.0) *. 100.)
+        ((gain -. 1.0) *. 100.);
+    ]
+  in
+  {
+    id = "fig3" ^ suffix;
+    title =
+      Printf.sprintf
+        "Figure 3%s: non-degrading priorities, BSS (%s)" suffix
+        machine.Ulipc_machines.Machine.name;
+    series = [ bss_fixed; bss; sysv ];
+    checks;
+  }
+
+let fig3 ?messages () =
+  ( fig3_machine ?messages ~suffix:"a" Ulipc_machines.Sgi_indy.machine
+      ~gain_lo:1.3 ~gain_hi:1.9,
+    fig3_machine ?messages ~suffix:"b" Ulipc_machines.Ibm_p4.machine
+      ~gain_lo:1.1 ~gain_hi:1.7 )
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: Both Sides Wait *)
+
+let fig6_machine ?messages ~suffix machine =
+  let bss =
+    sweep ?messages ~label:"BSS" machine Ulipc.Protocol_kind.BSS
+      uniprocessor_clients
+  in
+  let bsw =
+    sweep ?messages ~label:"BSW" machine Ulipc.Protocol_kind.BSW
+      uniprocessor_clients
+  in
+  let sysv =
+    sweep ?messages ~label:"SYSV" machine Ulipc.Protocol_kind.SYSV
+      uniprocessor_clients
+  in
+  let ratio = tp bsw 1 /. tp sysv 1 in
+  let checks =
+    [
+      checkf
+        (ratio >= 0.75 && ratio <= 1.3)
+        "BSW more or less matches kernel-mediated IPC at one client \
+         (BSW/SYSV = %.2f)"
+        ratio;
+      checkf
+        (tp bsw 1 < 0.75 *. tp bss 1)
+        "blocking costs BSW the busy-wait advantage (BSW %.1f vs BSS %.1f \
+         msg/ms at one client)"
+        (tp bsw 1) (tp bss 1);
+      checkf
+        (let m = metric bsw 1 in
+         let c = m.Metrics.counters in
+         let per_msg =
+           float_of_int
+             (c.Ulipc.Counters.client_blocks + c.Ulipc.Counters.server_blocks
+            + c.Ulipc.Counters.client_wakeups
+            + c.Ulipc.Counters.server_wakeups)
+           /. float_of_int (max 1 m.Metrics.messages)
+         in
+         per_msg >= 3.5 && per_msg <= 4.5)
+        "four system calls per round-trip at one client (two V, two P)";
+    ]
+  in
+  {
+    id = "fig6" ^ suffix;
+    title =
+      Printf.sprintf "Figure 6%s: Both Sides Wait (%s)" suffix
+        machine.Ulipc_machines.Machine.name;
+    series = [ bss; bsw; sysv ];
+    checks;
+  }
+
+let fig6 ?messages () =
+  ( fig6_machine ?messages ~suffix:"a" Ulipc_machines.Sgi_indy.machine,
+    fig6_machine ?messages ~suffix:"b" Ulipc_machines.Ibm_p4.machine )
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: Both Sides Wait and Yield *)
+
+let fig8_machine ?messages ~suffix machine ~degrades =
+  let bss =
+    sweep ?messages ~label:"BSS" machine Ulipc.Protocol_kind.BSS
+      uniprocessor_clients
+  in
+  let bsw =
+    sweep ?messages ~label:"BSW" machine Ulipc.Protocol_kind.BSW
+      uniprocessor_clients
+  in
+  let bswy =
+    sweep ?messages ~label:"BSWY" machine Ulipc.Protocol_kind.BSWY
+      uniprocessor_clients
+  in
+  let bswy_fixed =
+    sweep ?messages ~fixed:true ~label:"BSWY-fixed" machine
+      Ulipc.Protocol_kind.BSWY uniprocessor_clients
+  in
+  let bss_fixed =
+    sweep ?messages ~fixed:true ~label:"BSS-fixed" machine
+      Ulipc.Protocol_kind.BSS uniprocessor_clients
+  in
+  let checks =
+    [
+      checkf
+        (tp bswy 1 >= 1.1 *. tp bsw 1)
+        "the hand-off busy_waits are effective at one client (BSWY %.1f vs \
+         BSW %.1f msg/ms)"
+        (tp bswy 1) (tp bsw 1);
+      checkf
+        (let r = tp bswy_fixed 1 /. tp bss_fixed 1 in
+         r >= 0.85 && r <= 1.15)
+        "under fixed priorities BSWY matches busy-waiting BSS (ratio %.2f)"
+        (tp bswy_fixed 1 /. tp bss_fixed 1);
+    ]
+    @
+    if degrades then
+      [
+        checkf
+          (tp bswy 6 < 0.75 *. tp bss 6)
+          "with more clients the blind yields hurt: BSWY falls well below \
+           BSS (%.1f vs %.1f msg/ms at 6)"
+          (tp bswy 6) (tp bss 6);
+      ]
+    else []
+  in
+  {
+    id = "fig8" ^ suffix;
+    title =
+      Printf.sprintf "Figure 8%s: Both Sides Wait and Yield (%s)" suffix
+        machine.Ulipc_machines.Machine.name;
+    series = [ bss_fixed; bswy_fixed; bss; bswy; bsw ];
+    checks;
+  }
+
+let fig8 ?messages () =
+  ( fig8_machine ?messages ~suffix:"a" Ulipc_machines.Sgi_indy.machine
+      ~degrades:true,
+    fig8_machine ?messages ~suffix:"b" Ulipc_machines.Ibm_p4.machine
+      ~degrades:false )
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: BSLS MAX_SPIN sensitivity *)
+
+let fig10 ?messages () =
+  let machine = Ulipc_machines.Sgi_indy.machine in
+  let spins = [ 1; 5; 10; 20 ] in
+  let series =
+    List.map
+      (fun s ->
+        sweep ?messages
+          ~label:(Printf.sprintf "BSLS(%d)" s)
+          machine (Ulipc.Protocol_kind.BSLS s) uniprocessor_clients)
+      spins
+  in
+  let find s = List.nth series (Option.get (List.find_index (( = ) s) spins)) in
+  let s20 = find 20 and s10 = find 10 and s1 = find 1 in
+  let stats s n =
+    let m = metric s n in
+    let sends = max 1 m.Metrics.messages in
+    let c = m.Metrics.counters in
+    ( float_of_int c.Ulipc.Counters.spin_fallthroughs
+      /. float_of_int sends *. 100.0,
+      float_of_int c.Ulipc.Counters.spin_iterations /. float_of_int sends )
+  in
+  let fall1, iter1 = stats s20 1 in
+  let fall6, iter6 = stats s20 6 in
+  let checks =
+    [
+      checkf
+        (List.for_all (fun n -> tp s20 n >= 0.95 *. tp s10 n) [ 4; 5; 6 ])
+        "performance generally improves with MAX_SPIN: 20 never worse than \
+         10 under load";
+      checkf
+        (tp s1 6 < 0.6 *. tp s20 6)
+        "a too-small MAX_SPIN collapses under load (BSLS(1) %.1f vs \
+         BSLS(20) %.1f msg/ms at 6 clients)"
+        (tp s1 6) (tp s20 6);
+      checkf (fall1 <= 5.0)
+        "at MAX_SPIN 20 a single client rarely blocks (fall-through %.1f%%, \
+         paper ~3%%)"
+        fall1;
+      checkf
+        (iter1 >= 1.0 && iter1 <= 3.5)
+        "a single client sees its reply within ~2 poll iterations (measured \
+         %.1f)"
+        iter1;
+      checkf (fall6 <= 15.0)
+        "with six clients fall-throughs stay bounded (%.1f%%, paper ~10%%)"
+        fall6;
+      checkf
+        (iter6 >= 1.0 && iter6 <= 5.0)
+        "loop iterations stay in the paper's 2-4 band under load (%.1f at 1 \
+         client, %.1f at 6; paper reports 2 -> 4)"
+        iter1 iter6;
+    ]
+  in
+  {
+    id = "fig10";
+    title = "Figure 10: Both Sides Limited Spin, MAX_SPIN sensitivity (sgi-indy)";
+    series;
+    checks;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: the 8-CPU SGI Challenge *)
+
+let fig11 ?messages () =
+  let machine = Ulipc_machines.Sgi_challenge.machine in
+  let clients = [ 1; 2; 4; 6; 8; 10; 12 ] in
+  let bss = sweep ?messages ~label:"BSS" machine Ulipc.Protocol_kind.BSS clients in
+  let bsls =
+    List.map
+      (fun s ->
+        sweep ?messages
+          ~label:(Printf.sprintf "BSLS(%d)" s)
+          machine (Ulipc.Protocol_kind.BSLS s) clients)
+      [ 2; 5; 10 ]
+  in
+  let sysv =
+    sweep ?messages ~label:"SYSV" machine Ulipc.Protocol_kind.SYSV clients
+  in
+  let bsls2 = List.nth bsls 0 and bsls10 = List.nth bsls 2 in
+  let checks =
+    [
+      checkf
+        (peak bss > 1.5 *. tp bss 1)
+        "BSS throughput rises rapidly until the server saturates (%.0f -> \
+         %.0f msg/ms)"
+        (tp bss 1) (peak bss);
+      checkf
+        (tp bss 6 > 0.8 *. peak bss)
+        "BSS stays near saturation once the server is busy";
+      checkf (dominates bss sysv)
+        "System V message queues perform the worst and do not scale";
+      checkf (spread sysv < 0.15) "the System V curve is flat (spread %.2f)"
+        (spread sysv);
+      checkf
+        (let r = tp bsls10 2 /. tp bss 2 in
+         r >= 0.8)
+        "BSLS tracks BSS while spins succeed (ratio %.2f at 2 clients)"
+        (tp bsls10 2 /. tp bss 2);
+      checkf
+        (List.exists (fun n -> tp bsls2 n < 0.3 *. tp bss n) clients)
+        "once clients out-spin MAX_SPIN the wake-up feedback collapses BSLS";
+      checkf
+        (let collapse s =
+           List.find_opt (fun n -> tp s n < 0.5 *. peak s) clients
+         in
+         match (collapse bsls2, collapse bsls10) with
+         | Some n2, Some n10 -> n2 <= n10
+         | Some _, None -> true
+         | None, _ -> false)
+        "larger MAX_SPIN defers the collapse point";
+    ]
+  in
+  {
+    id = "fig11";
+    title = "Figure 11: multiprocessor server throughput (sgi-challenge, 8 CPUs)";
+    series = (bss :: bsls) @ [ sysv ];
+    checks;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: Linux with the modified sched_yield *)
+
+let fig12 ?messages () =
+  let machine = Ulipc_machines.Linux486.modified_yield in
+  let clients = uniprocessor_clients in
+  let bss = sweep ?messages ~label:"BSS" machine Ulipc.Protocol_kind.BSS clients in
+  let bswy =
+    sweep ?messages ~label:"BSWY" machine Ulipc.Protocol_kind.BSWY clients
+  in
+  let handoff =
+    sweep ?messages ~label:"HANDOFF" machine Ulipc.Protocol_kind.HANDOFF clients
+  in
+  let sysv =
+    sweep ?messages ~label:"SYSV" machine Ulipc.Protocol_kind.SYSV clients
+  in
+  (* The stock-scheduler data point quoted in §6: tens of milliseconds per
+     round-trip until sched_yield is fixed. *)
+  let stock =
+    run_one ~messages:30 Ulipc_machines.Linux486.stock Ulipc.Protocol_kind.BSS 1
+  in
+  let stock_rt_ms = Metrics.round_trip_us stock /. 1000.0 in
+  let mod_rt = Metrics.round_trip_us (metric bss 1) in
+  let close a b lo hi =
+    let r = a /. b in
+    r >= lo && r <= hi
+  in
+  let checks =
+    [
+      checkf (stock_rt_ms > 5.0)
+        "stock Linux 1.0 sched_yield leaves BSS at millisecond round-trips \
+         (measured %.0f ms, paper ~33 ms)"
+        stock_rt_ms;
+      checkf
+        (mod_rt >= 90.0 && mod_rt <= 160.0)
+        "the modified sched_yield restores ~120 us round-trips (measured \
+         %.0f us)"
+        mod_rt;
+      checkf
+        (List.for_all (fun n -> close (tp bswy n) (tp bss n) 0.9 1.1) clients)
+        "BSWY — without client-side spinning — performs as well as \
+         busy-waiting BSS";
+      checkf
+        (List.for_all
+           (fun n -> close (tp handoff n) (tp bswy n) 0.8 1.15)
+           clients)
+        "the handoff system call roughly matches BSWY and does not improve \
+         it further (the eager hand-off costs a little request batching at \
+         several clients)";
+    ]
+  in
+  {
+    id = "fig12";
+    title =
+      "Figure 12: Linux 1.0 with modified sched_yield (66 MHz 486)";
+    series = [ bss; bswy; handoff; sysv ];
+    checks;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let all_checks f = f.checks
+let failed_checks f = List.filter (fun c -> not c.holds) f.checks
+
+let pp_figure ppf f =
+  Format.fprintf ppf "== %s ==@." f.title;
+  let clients =
+    List.sort_uniq compare
+      (List.concat_map (fun s -> List.map fst s.points) f.series)
+  in
+  Format.fprintf ppf "%8s" "clients";
+  List.iter (fun s -> Format.fprintf ppf " %12s" s.label) f.series;
+  Format.fprintf ppf "   (msg/ms)@.";
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "%8d" n;
+      List.iter
+        (fun s ->
+          match List.assoc_opt n s.points with
+          | Some m -> Format.fprintf ppf " %12.2f" m.Metrics.throughput_msg_per_ms
+          | None -> Format.fprintf ppf " %12s" "-")
+        f.series;
+      Format.fprintf ppf "@.")
+    clients;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  [%s] %s@." (if c.holds then "OK" else "FAIL") c.claim)
+    f.checks

@@ -1,0 +1,72 @@
+(** One definition per table and figure of the paper's evaluation.
+
+    Each [figN] function runs the workload sweeps that figure plots and
+    returns a {!figure}: the series (one per curve), the paper's
+    qualitative claims as executable {!check}s, and a pretty-printer that
+    renders the same rows the paper reports.  The benchmark harness prints
+    them; the integration tests run them at reduced message counts and
+    assert every check. *)
+
+type series = {
+  label : string;
+  points : (int * Metrics.t) list;  (** client count → run metrics *)
+}
+
+type check = {
+  claim : string;  (** the paper's statement, paraphrased *)
+  holds : bool;
+}
+
+type figure = {
+  id : string;  (** e.g. ["fig2a"] *)
+  title : string;
+  series : series list;
+  checks : check list;
+}
+
+val messages_default : int
+(** Messages per client used by the full benchmark harness (5000). *)
+
+(** {1 Table 1 — primitive costs} *)
+
+type table1_row = { operation : string; sgi_us : float; ibm_us : float }
+
+val table1 : unit -> table1_row list
+(** Measured inside the simulator exactly as §2.2 describes: the
+    enqueue/dequeue and msgsnd/msgrcv pairs by a single process in a tight
+    loop; concurrent yields by [n] processes that barrier and then yield in
+    a loop, reporting average loop-trip time per process. *)
+
+val pp_table1 : Format.formatter -> table1_row list -> unit
+
+(** {1 Figures} *)
+
+val fig2 : ?messages:int -> unit -> figure * figure
+(** Uniprocessor BSS vs System V, SGI (a) and IBM (b), 1–6 clients. *)
+
+val fig3 : ?messages:int -> unit -> figure * figure
+(** Figure 2 plus the non-degrading (fixed) priority BSS curve. *)
+
+val fig6 : ?messages:int -> unit -> figure * figure
+(** Both Sides Wait against BSS and System V. *)
+
+val fig8 : ?messages:int -> unit -> figure * figure
+(** Both Sides Wait and Yield, default and fixed-priority scheduling. *)
+
+val fig10 : ?messages:int -> unit -> figure
+(** BSLS sensitivity to MAX_SPIN on the SGI uniprocessor, including the
+    §4.2 block-percentage and loop-iteration statistics. *)
+
+val fig11 : ?messages:int -> unit -> figure
+(** The 8-CPU SGI Challenge: BSS, BSLS at three MAX_SPIN values, SYSV. *)
+
+val fig12 : ?messages:int -> unit -> figure
+(** Linux with the modified [sched_yield]: BSS, BSWY, HANDOFF — plus the
+    stock-scheduler round-trip the §6 text quotes (~33 ms). *)
+
+val pp_figure : Format.formatter -> figure -> unit
+(** Aligned text table: one row per client count, one column per series,
+    followed by the shape checks. *)
+
+val all_checks : figure -> check list
+val failed_checks : figure -> check list

@@ -1,0 +1,48 @@
+type t = {
+  machine : string;
+  protocol : Ulipc.Protocol_kind.t;
+  nclients : int;
+  messages : int;
+  elapsed : Ulipc_engine.Sim_time.t;
+  throughput_msg_per_ms : float;
+  latency_us : Ulipc_engine.Stat.t option;
+  counters : Ulipc.Counters.t;
+  server_usage : Ulipc_os.Syscall.usage;
+  client_usage : Ulipc_os.Syscall.usage list;
+  total_sim_time : Ulipc_engine.Sim_time.t;
+  sim_steps : int;
+  total_yields : int;
+  utilization : float;
+}
+
+let round_trip_us t =
+  if t.messages = 0 then nan
+  else
+    float_of_int t.nclients
+    *. Ulipc_engine.Sim_time.to_us t.elapsed
+    /. float_of_int t.messages
+
+let yields_per_message t =
+  if t.messages = 0 then nan
+  else float_of_int t.total_yields /. float_of_int t.messages
+
+let server_vcsw_per_message t =
+  if t.messages = 0 then nan
+  else
+    float_of_int t.server_usage.Ulipc_os.Syscall.voluntary_switches
+    /. float_of_int t.messages
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s %a clients=%d: %.2f msg/ms (%d msgs in %a; rt %.1f us)@,\
+     yields/msg=%.2f server vcsw/msg=%.2f utilization=%.0f%%@,%a@]"
+    t.machine Ulipc.Protocol_kind.pp t.protocol t.nclients
+    t.throughput_msg_per_ms t.messages Ulipc_engine.Sim_time.pp t.elapsed
+    (round_trip_us t) (yields_per_message t) (server_vcsw_per_message t)
+    (100.0 *. t.utilization) Ulipc.Counters.pp t.counters
+
+let pp_row ppf t =
+  Format.fprintf ppf "%-10s %-9s %2d  %8.2f msg/ms  rt %8.1f us"
+    t.machine
+    (Ulipc.Protocol_kind.name t.protocol)
+    t.nclients t.throughput_msg_per_ms (round_trip_us t)

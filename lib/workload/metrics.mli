@@ -1,0 +1,40 @@
+(** Results of one client-server benchmark run. *)
+
+type t = {
+  machine : string;
+  protocol : Ulipc.Protocol_kind.t;
+  nclients : int;
+  messages : int;  (** echo requests processed (excludes connects/disconnects) *)
+  elapsed : Ulipc_engine.Sim_time.t;
+      (** §2.2's measurement window: from the barrier release (first
+          request) until the last client's disconnect is processed *)
+  throughput_msg_per_ms : float;
+  latency_us : Ulipc_engine.Stat.t option;
+      (** per-send round-trip latency in µs, when collection was enabled *)
+  counters : Ulipc.Counters.t;
+  server_usage : Ulipc_os.Syscall.usage;
+  client_usage : Ulipc_os.Syscall.usage list;
+  total_sim_time : Ulipc_engine.Sim_time.t;  (** whole-run simulated time *)
+  sim_steps : int;  (** process steps executed by the simulator *)
+  total_yields : int;
+      (** yield/handoff system calls across all processes during the run *)
+  utilization : float;
+      (** machine utilization over the whole run (busy time / ncpus ×
+          elapsed), in [0, 1]; the cost busy-waiting pays *)
+}
+
+val round_trip_us : t -> float
+(** Mean round-trip latency implied by throughput and client count:
+    [nclients × elapsed / messages], in µs.  Matches the paper's
+    "119 µs round-trip at one client" style of reporting. *)
+
+val yields_per_message : t -> float
+(** Yield-class system calls (yield/handoff) per echo message, summed over
+    all processes — the §2.2 instrumentation that exposed the 2.5-yields
+    effect. *)
+
+val server_vcsw_per_message : t -> float
+
+val pp : Format.formatter -> t -> unit
+val pp_row : Format.formatter -> t -> unit
+(** One aligned table row: protocol, clients, throughput, latency. *)

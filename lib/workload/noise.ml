@@ -1,0 +1,39 @@
+open Ulipc_engine
+open Ulipc_os
+
+type config = {
+  procs : int;
+  busy_mean : Sim_time.t;
+  idle_mean : Sim_time.t;
+  seed : int;
+}
+
+let config ?(procs = 2) ?(busy_mean = Sim_time.us 500)
+    ?(idle_mean = Sim_time.ms 5) ?(seed = 7) () =
+  if procs <= 0 then invalid_arg "Noise.config: procs must be positive";
+  if busy_mean <= 0 || idle_mean <= 0 then
+    invalid_arg "Noise.config: means must be positive";
+  { procs; busy_mean; idle_mean; seed }
+
+let duty_cycle c =
+  float_of_int c.procs
+  *. float_of_int c.busy_mean
+  /. float_of_int (c.busy_mean + c.idle_mean)
+
+let spawn kernel ~stop c =
+  let master = Rng.create ~seed:c.seed in
+  for i = 0 to c.procs - 1 do
+    let rng = Rng.split master in
+    ignore
+      (Kernel.spawn kernel
+         ~name:(Printf.sprintf "noise-%d" i)
+         (fun () ->
+           while not !stop do
+             let burst =
+               Rng.exponential rng ~mean:(float_of_int c.busy_mean)
+             in
+             Usys.work (max 1 (int_of_float burst));
+             let idle = Rng.exponential rng ~mean:(float_of_int c.idle_mean) in
+             Usys.sleep (max 1 (int_of_float idle))
+           done))
+  done

@@ -1,0 +1,34 @@
+(** Background load.
+
+    The paper's measurements ran on real machines with daemons and other
+    users; this simulator is otherwise noiseless, which is why, for
+    example, a BSLS(20) client here never blocks where the paper reports
+    3 % (Figure 10 discussion in EXPERIMENTS.md).  A noise process
+    alternates exponentially-distributed CPU bursts and idle sleeps from
+    its own deterministic random stream, competing for the CPU under the
+    machine's normal scheduling. *)
+
+type config = {
+  procs : int;  (** number of background processes *)
+  busy_mean : Ulipc_engine.Sim_time.t;  (** mean CPU burst *)
+  idle_mean : Ulipc_engine.Sim_time.t;  (** mean sleep between bursts *)
+  seed : int;
+}
+
+val config :
+  ?procs:int ->
+  ?busy_mean:Ulipc_engine.Sim_time.t ->
+  ?idle_mean:Ulipc_engine.Sim_time.t ->
+  ?seed:int ->
+  unit ->
+  config
+(** Defaults: 2 processes, 500 µs bursts every 5 ms, seed 7 — a lightly
+    loaded 1997 workstation. *)
+
+val duty_cycle : config -> float
+(** Expected fraction of one CPU the whole noise ensemble demands. *)
+
+val spawn : Ulipc_os.Kernel.t -> stop:bool ref -> config -> unit
+(** Spawn the noise processes.  They run until [!stop] is true (checked
+    between bursts), so the driver can shut them down when the measured
+    workload completes and the simulation can still terminate. *)

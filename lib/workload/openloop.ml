@@ -1,0 +1,103 @@
+open Ulipc_engine
+open Ulipc_os
+
+type point = {
+  think_mean : Sim_time.t;
+  offered_per_ms : float;
+  achieved_per_ms : float;
+  mean_response_us : float;
+  p99_response_us : float;
+  utilization : float;
+}
+
+let run_point ?(capacity = 64) ?(seed = 42) ~machine ~kind ~nclients
+    ~messages_per_client ~think_mean () =
+  if nclients <= 0 then invalid_arg "Openloop: nclients must be positive";
+  if messages_per_client <= 0 then
+    invalid_arg "Openloop: messages_per_client must be positive";
+  if think_mean <= 0 then invalid_arg "Openloop: think_mean must be positive";
+  let kernel =
+    Kernel.create ~ncpus:machine.Ulipc_machines.Machine.ncpus
+      ~policy:(machine.Ulipc_machines.Machine.policy ())
+      ~costs:machine.Ulipc_machines.Machine.costs ()
+  in
+  let session =
+    Ulipc.Session.create ~kernel ~costs:machine.Ulipc_machines.Machine.costs
+      ~multiprocessor:machine.Ulipc_machines.Machine.multiprocessor ~kind
+      ~nclients ~capacity
+  in
+  let total = nclients * messages_per_client in
+  let server =
+    Kernel.spawn kernel ~name:"server" (fun () ->
+        let remaining = ref nclients in
+        while !remaining > 0 do
+          let m = Ulipc.Dispatch.receive session in
+          match m.Ulipc.Message.opcode with
+          | Ulipc.Message.Echo ->
+            Ulipc.Dispatch.reply session ~client:m.Ulipc.Message.reply_chan
+              (Ulipc.Message.echo_reply m)
+          | Ulipc.Message.Disconnect ->
+            Ulipc.Dispatch.reply session ~client:m.Ulipc.Message.reply_chan
+              (Ulipc.Message.echo_reply m);
+            decr remaining
+          | Ulipc.Message.Connect | Ulipc.Message.Custom _ ->
+            failwith "openloop: unexpected opcode"
+        done)
+  in
+  Ulipc.Session.register_server session server.Proc.pid;
+  let response = Stat.create ~keep_samples:true "response (us)" in
+  let master = Rng.create ~seed in
+  for client = 0 to nclients - 1 do
+    let rng = Rng.split master in
+    ignore
+      (Kernel.spawn kernel
+         ~name:(Printf.sprintf "client-%d" client)
+         (fun () ->
+           for seq = 1 to messages_per_client do
+             (* Idle think time: the client sleeps, it does not spin. *)
+             let think = Rng.exponential rng ~mean:(float_of_int think_mean) in
+             Usys.sleep (max 1 (int_of_float think));
+             let t0 = Usys.time () in
+             let (_ : Ulipc.Message.t) =
+               Ulipc.Dispatch.send session ~client
+                 (Ulipc.Message.make ~opcode:Echo ~reply_chan:client ~seq
+                    (float_of_int seq))
+             in
+             let t1 = Usys.time () in
+             Stat.add response (Sim_time.to_us (Sim_time.sub t1 t0))
+           done;
+           let (_ : Ulipc.Message.t) =
+             Ulipc.Dispatch.send session ~client
+               (Ulipc.Message.make ~opcode:Disconnect ~reply_chan:client 0.0)
+           in
+           ()))
+  done;
+  (match Kernel.run kernel with
+  | Kernel.Completed -> ()
+  | r -> Format.kasprintf failwith "Openloop: %a" Kernel.pp_result r);
+  let elapsed = Kernel.now kernel in
+  {
+    think_mean;
+    offered_per_ms =
+      float_of_int nclients /. Sim_time.to_ms think_mean;
+    achieved_per_ms = float_of_int total /. Sim_time.to_ms elapsed;
+    mean_response_us = Stat.mean response;
+    p99_response_us = Stat.percentile response 99.0;
+    utilization = Kernel.utilization kernel;
+  }
+
+let sweep ?capacity ?seed ~machine ~kind ~nclients ~messages_per_client
+    ~think_means () =
+  List.map
+    (fun think_mean ->
+      run_point ?capacity ?seed ~machine ~kind ~nclients ~messages_per_client
+        ~think_mean ())
+    think_means
+
+let pp_point ppf p =
+  Format.fprintf ppf
+    "think %a  offered %6.2f/ms  achieved %6.2f/ms  response mean %8.1f us  \
+     p99 %8.1f us  util %5.1f%%"
+    Sim_time.pp p.think_mean p.offered_per_ms p.achieved_per_ms
+    p.mean_response_us p.p99_response_us
+    (100.0 *. p.utilization)

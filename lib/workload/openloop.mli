@@ -1,0 +1,48 @@
+(** Latency under offered load.
+
+    The paper's barrage benchmark is closed-loop at zero think time —
+    every curve is a saturation measurement.  A server in production sees
+    arrivals: this workload gives each client exponentially-distributed
+    {e idle} think time (a sleep, not CPU work) between requests and
+    sweeps the think time to trace response time against offered load —
+    the classic queueing curve, and the regime where blocking protocols
+    shine (the machine idles instead of spinning between arrivals).
+
+    Response times are measured per send with simulated clock reads. *)
+
+type point = {
+  think_mean : Ulipc_engine.Sim_time.t;
+  offered_per_ms : float;
+      (** upper bound on the attempted arrival rate (clients / mean think
+          time); the true closed-loop rate is lower by the response time,
+          so treat this as the load axis, not a drop measurement *)
+  achieved_per_ms : float;  (** measured completion rate *)
+  mean_response_us : float;
+  p99_response_us : float;
+  utilization : float;
+}
+
+val run_point :
+  ?capacity:int ->
+  ?seed:int ->
+  machine:Ulipc_machines.Machine.t ->
+  kind:Ulipc.Protocol_kind.t ->
+  nclients:int ->
+  messages_per_client:int ->
+  think_mean:Ulipc_engine.Sim_time.t ->
+  unit ->
+  point
+(** One load level.  @raise Failure if the run does not complete. *)
+
+val sweep :
+  ?capacity:int ->
+  ?seed:int ->
+  machine:Ulipc_machines.Machine.t ->
+  kind:Ulipc.Protocol_kind.t ->
+  nclients:int ->
+  messages_per_client:int ->
+  think_means:Ulipc_engine.Sim_time.t list ->
+  unit ->
+  point list
+
+val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,238 @@
+(* Direct tests of the scheduling policies through the Policy record
+   interface, without a kernel: priority banding, tick-granular counters,
+   epochs, hints. *)
+
+open Ulipc_engine
+open Ulipc_os
+
+let mk name = Proc.make ~pid:(Hashtbl.hash name land 0xffff) ~name ~body:(fun () -> ())
+
+let names = List.map (fun p -> p.Proc.name)
+
+let drain policy ~now =
+  let rec go acc =
+    match policy.Policy.pick ~now with
+    | None -> List.rev acc
+    | Some p -> go (p :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Sched_fixed *)
+
+let test_fixed_fifo () =
+  let policy = Sched_fixed.create Sched_fixed.default_params in
+  let a = mk "a" and b = mk "b" and c = mk "c" in
+  List.iter (fun p -> policy.Policy.enqueue p Policy.New ~now:0) [ a; b; c ];
+  Alcotest.(check int) "ready count" 3 (policy.Policy.ready_count ());
+  Alcotest.(check (list string)) "fifo" [ "a"; "b"; "c" ]
+    (names (drain policy ~now:0))
+
+let test_fixed_favor_hint () =
+  let policy = Sched_fixed.create Sched_fixed.default_params in
+  let a = mk "a" and b = mk "b" in
+  policy.Policy.enqueue a Policy.New ~now:0;
+  policy.Policy.enqueue b Policy.New ~now:0;
+  policy.Policy.set_hint (Policy.Favor b);
+  Alcotest.(check (list string)) "favored first" [ "b"; "a" ]
+    (names (drain policy ~now:0))
+
+let test_fixed_avoid_hint () =
+  let policy = Sched_fixed.create Sched_fixed.default_params in
+  let a = mk "a" and b = mk "b" in
+  policy.Policy.enqueue a Policy.New ~now:0;
+  policy.Policy.enqueue b Policy.New ~now:0;
+  policy.Policy.set_hint (Policy.Avoid a);
+  Alcotest.(check (list string)) "avoided second" [ "b"; "a" ]
+    (names (drain policy ~now:0))
+
+let test_fixed_quantum_preempt () =
+  let policy = Sched_fixed.create { Sched_fixed.quantum = Sim_time.ms 1 } in
+  let a = mk "a" and b = mk "b" in
+  policy.Policy.enqueue b Policy.New ~now:0;
+  a.Proc.quantum_used <- Sim_time.ms 2;
+  Alcotest.(check bool) "preempt after quantum" true
+    (policy.Policy.should_preempt a ~now:0);
+  a.Proc.quantum_used <- Sim_time.us 10;
+  Alcotest.(check bool) "keep inside quantum" false
+    (policy.Policy.should_preempt a ~now:0)
+
+(* ------------------------------------------------------------------ *)
+(* Sched_decay *)
+
+let decay_params = Ulipc_machines.Sgi_indy.sched_params
+
+let test_decay_prefers_low_usage () =
+  let policy = Sched_decay.create decay_params in
+  let hog = mk "hog" and fresh = mk "fresh" in
+  hog.Proc.usage <- 1.0e6 (* 1 ms of recent CPU *);
+  policy.Policy.enqueue hog Policy.New ~now:0;
+  policy.Policy.enqueue fresh Policy.New ~now:0;
+  Alcotest.(check (list string)) "fresh first" [ "fresh"; "hog" ]
+    (names (drain policy ~now:0))
+
+let test_decay_incumbent_wins_ties () =
+  let policy = Sched_decay.create decay_params in
+  let a = mk "a" and b = mk "b" in
+  (* Same usage; [b] ran last, so within a band it stays preferred even
+     though [a] has FIFO seniority. *)
+  a.Proc.usage <- 5.0e4;
+  b.Proc.usage <- 5.0e4;
+  policy.Policy.enqueue a Policy.New ~now:0;
+  policy.Policy.enqueue b Policy.New ~now:0;
+  (match policy.Policy.pick ~now:0 with
+  | Some first ->
+    Alcotest.(check string) "fifo on first pick" "a" first.Proc.name;
+    policy.Policy.enqueue first Policy.Yielded ~now:0
+  | None -> Alcotest.fail "empty pick");
+  (* Now [a] is the incumbent: it must win the tie against waiting [b]. *)
+  match policy.Policy.pick ~now:0 with
+  | Some again -> Alcotest.(check string) "incumbent repicked" "a" again.Proc.name
+  | None -> Alcotest.fail "empty pick"
+
+let test_decay_usage_decays_over_time () =
+  let policy = Sched_decay.create decay_params in
+  let p = mk "p" in
+  p.Proc.usage <- 1.0e6;
+  p.Proc.usage_stamp <- 0;
+  policy.Policy.enqueue p Policy.New ~now:(Sim_time.ms 500);
+  (* enqueue refreshes the decayed usage *)
+  Alcotest.(check bool)
+    (Printf.sprintf "usage decayed (%.0f < 1e6)" p.Proc.usage)
+    true (p.Proc.usage < 1.0e6 /. 100.0)
+
+let test_decay_fixed_prio_dominates () =
+  let policy = Sched_decay.create decay_params in
+  let rt = mk "rt" and ts = mk "ts" in
+  rt.Proc.fixed_prio <- true;
+  rt.Proc.usage <- 1.0e9 (* irrelevant: fixed class ignores usage *);
+  policy.Policy.enqueue ts Policy.New ~now:0;
+  policy.Policy.enqueue rt Policy.New ~now:0;
+  Alcotest.(check (list string)) "real-time class first" [ "rt"; "ts" ]
+    (names (drain policy ~now:0))
+
+let test_decay_preempt_margin () =
+  let policy = Sched_decay.create decay_params in
+  let running = mk "running" and waiter = mk "waiter" in
+  running.Proc.usage <- 0.0;
+  waiter.Proc.usage <- 0.0;
+  policy.Policy.enqueue waiter Policy.New ~now:0;
+  Alcotest.(check bool) "no preemption among equals" false
+    (policy.Policy.should_preempt running ~now:0);
+  (* Push the runner many bands above the waiter: preempt. *)
+  running.Proc.usage <-
+    decay_params.Sched_decay.band_ns
+    *. (decay_params.Sched_decay.preempt_margin_bands +. 2.0);
+  Alcotest.(check bool) "preempted once far above margin" true
+    (policy.Policy.should_preempt running ~now:0)
+
+(* ------------------------------------------------------------------ *)
+(* Sched_linux *)
+
+let linux_params = Sched_linux.default_params
+
+let test_linux_pick_highest_counter () =
+  let policy = Sched_linux.create linux_params in
+  let a = mk "a" and b = mk "b" in
+  policy.Policy.enqueue a Policy.New ~now:0;
+  policy.Policy.enqueue b Policy.New ~now:0;
+  a.Proc.counter <- 1.0e6;
+  b.Proc.counter <- 2.0e6;
+  match policy.Policy.pick ~now:0 with
+  | Some p -> Alcotest.(check string) "highest counter" "b" p.Proc.name
+  | None -> Alcotest.fail "empty pick"
+
+let test_linux_tick_granular_charge () =
+  let policy = Sched_linux.create linux_params in
+  let p = mk "p" in
+  p.Proc.counter <- float_of_int linux_params.Sched_linux.quantum;
+  let before = p.Proc.counter in
+  (* Half a tick of CPU: no counter movement yet. *)
+  policy.Policy.charge p ~ran:(linux_params.Sched_linux.tick / 2) ~now:0;
+  Alcotest.(check (float 0.0)) "sub-tick usage pending" before p.Proc.counter;
+  (* The second half crosses the tick boundary. *)
+  policy.Policy.charge p ~ran:(linux_params.Sched_linux.tick / 2) ~now:0;
+  Alcotest.(check (float 0.0)) "one tick accounted"
+    (before -. float_of_int linux_params.Sched_linux.tick)
+    p.Proc.counter
+
+let test_linux_affinity_keeps_caller () =
+  let policy = Sched_linux.create linux_params in
+  let a = mk "a" and b = mk "b" in
+  policy.Policy.enqueue a Policy.New ~now:0;
+  policy.Policy.enqueue b Policy.New ~now:0;
+  (* First pick takes [a] (FIFO among equal counters) and makes it the
+     last-run process. *)
+  (match policy.Policy.pick ~now:0 with
+  | Some p -> policy.Policy.enqueue p Policy.Yielded ~now:0
+  | None -> Alcotest.fail "empty pick");
+  match policy.Policy.pick ~now:0 with
+  | Some p ->
+    Alcotest.(check string) "affinity bonus keeps the caller" "a" p.Proc.name
+  | None -> Alcotest.fail "empty pick"
+
+let test_linux_modified_yield_expires () =
+  let policy =
+    Sched_linux.create { linux_params with modified_yield = true }
+  in
+  let a = mk "a" and b = mk "b" in
+  policy.Policy.enqueue a Policy.New ~now:0;
+  policy.Policy.enqueue b Policy.New ~now:0;
+  (match policy.Policy.pick ~now:0 with
+  | Some p ->
+    policy.Policy.on_yield p ~now:0;
+    Alcotest.(check (float 0.0)) "counter expired" 0.0 p.Proc.counter;
+    policy.Policy.enqueue p Policy.Yielded ~now:0
+  | None -> Alcotest.fail "empty pick");
+  match policy.Policy.pick ~now:0 with
+  | Some p -> Alcotest.(check string) "switches to the peer" "b" p.Proc.name
+  | None -> Alcotest.fail "empty pick"
+
+let test_linux_epoch_refills () =
+  let policy = Sched_linux.create linux_params in
+  let a = mk "a" and b = mk "b" in
+  policy.Policy.enqueue a Policy.New ~now:0;
+  policy.Policy.enqueue b Policy.New ~now:0;
+  a.Proc.counter <- 0.0;
+  b.Proc.counter <- -1.0e6;
+  (match policy.Policy.pick ~now:0 with
+  | Some p ->
+    Alcotest.(check bool)
+      (Printf.sprintf "counter refilled to quantum (%.0f)" p.Proc.counter)
+      true
+      (p.Proc.counter > 0.0)
+  | None -> Alcotest.fail "empty pick");
+  Alcotest.(check bool) "peer refilled too" true (b.Proc.counter > 0.0 || a.Proc.counter > 0.0)
+
+let suites =
+  [
+    ( "policies.fixed",
+      [
+        Alcotest.test_case "fifo order" `Quick test_fixed_fifo;
+        Alcotest.test_case "favor hint" `Quick test_fixed_favor_hint;
+        Alcotest.test_case "avoid hint" `Quick test_fixed_avoid_hint;
+        Alcotest.test_case "quantum preemption" `Quick test_fixed_quantum_preempt;
+      ] );
+    ( "policies.decay",
+      [
+        Alcotest.test_case "prefers low usage" `Quick test_decay_prefers_low_usage;
+        Alcotest.test_case "incumbent wins ties" `Quick
+          test_decay_incumbent_wins_ties;
+        Alcotest.test_case "usage decays" `Quick test_decay_usage_decays_over_time;
+        Alcotest.test_case "fixed class dominates" `Quick
+          test_decay_fixed_prio_dominates;
+        Alcotest.test_case "preemption margin" `Quick test_decay_preempt_margin;
+      ] );
+    ( "policies.linux",
+      [
+        Alcotest.test_case "highest counter wins" `Quick
+          test_linux_pick_highest_counter;
+        Alcotest.test_case "tick-granular accounting" `Quick
+          test_linux_tick_granular_charge;
+        Alcotest.test_case "affinity keeps the caller" `Quick
+          test_linux_affinity_keeps_caller;
+        Alcotest.test_case "modified yield expires quantum" `Quick
+          test_linux_modified_yield_expires;
+        Alcotest.test_case "epoch refill" `Quick test_linux_epoch_refills;
+      ] );
+  ]

@@ -1,0 +1,225 @@
+(* Tests for the real OCaml-5-domains implementation: the two-lock queue,
+   the Mutex/Condition semaphore, and the Send/Receive/Reply protocols. *)
+
+open Ulipc_real
+
+(* ------------------------------------------------------------------ *)
+(* Tl_queue *)
+
+let test_tlq_fifo () =
+  let q = Tl_queue.create ~capacity:8 () in
+  List.iter (fun v -> ignore (Tl_queue.enqueue q v : bool)) [ 1; 2; 3 ];
+  (* bind in sequence: list literals evaluate right to left *)
+  let a = Tl_queue.dequeue q in
+  let b = Tl_queue.dequeue q in
+  let c = Tl_queue.dequeue q in
+  let d = Tl_queue.dequeue q in
+  Alcotest.(check (list (option int)))
+    "fifo then empty"
+    [ Some 1; Some 2; Some 3; None ]
+    [ a; b; c; d ]
+
+let test_tlq_capacity () =
+  let q = Tl_queue.create ~capacity:2 () in
+  Alcotest.(check bool) "1st" true (Tl_queue.enqueue q 1);
+  Alcotest.(check bool) "2nd" true (Tl_queue.enqueue q 2);
+  Alcotest.(check bool) "3rd rejected" false (Tl_queue.enqueue q 3);
+  ignore (Tl_queue.dequeue q : int option);
+  Alcotest.(check bool) "room again" true (Tl_queue.enqueue q 4);
+  Alcotest.(check int) "length" 2 (Tl_queue.length q)
+
+let test_tlq_is_empty () =
+  let q = Tl_queue.create ~capacity:4 () in
+  Alcotest.(check bool) "empty" true (Tl_queue.is_empty q);
+  ignore (Tl_queue.enqueue q 1 : bool);
+  Alcotest.(check bool) "non-empty" false (Tl_queue.is_empty q)
+
+let test_tlq_concurrent_transfer () =
+  let q = Tl_queue.create ~capacity:32 () in
+  let per_producer = 2_000 in
+  let producer p () =
+    for i = 1 to per_producer do
+      while not (Tl_queue.enqueue q ((p * 1_000_000) + i)) do
+        Domain.cpu_relax ()
+      done
+    done
+  in
+  let received = ref [] in
+  let consumer () =
+    let remaining = ref (2 * per_producer) in
+    while !remaining > 0 do
+      match Tl_queue.dequeue q with
+      | Some v ->
+        received := v :: !received;
+        decr remaining
+      | None -> Domain.cpu_relax ()
+    done
+  in
+  let d1 = Domain.spawn (producer 1) in
+  let d2 = Domain.spawn (producer 2) in
+  let dc = Domain.spawn consumer in
+  Domain.join d1;
+  Domain.join d2;
+  Domain.join dc;
+  let received = List.rev !received in
+  Alcotest.(check int) "no loss, no duplication" (2 * per_producer)
+    (List.length (List.sort_uniq compare received));
+  let ordered p =
+    let mine = List.filter (fun v -> v / 1_000_000 = p) received in
+    mine = List.sort compare mine
+  in
+  Alcotest.(check bool) "producer 1 fifo" true (ordered 1);
+  Alcotest.(check bool) "producer 2 fifo" true (ordered 2)
+
+let prop_tlq_model =
+  QCheck.Test.make ~name:"Tl_queue matches a FIFO model" ~count:200
+    QCheck.(list (option (int_bound 100)))
+    (fun program ->
+      let q = Tl_queue.create ~capacity:8 () in
+      let model = Queue.create () in
+      List.for_all
+        (function
+          | Some v ->
+            let accepted = Tl_queue.enqueue q v in
+            let model_accepts = Queue.length model < 8 in
+            if model_accepts then Queue.add v model;
+            accepted = model_accepts
+          | None -> Tl_queue.dequeue q = Queue.take_opt model)
+        program)
+
+(* ------------------------------------------------------------------ *)
+(* Rsem *)
+
+let test_rsem_counting () =
+  let s = Rsem.create 2 in
+  Rsem.p s;
+  Rsem.p s;
+  Alcotest.(check int) "drained" 0 (Rsem.value s);
+  Rsem.v s;
+  Rsem.v s;
+  Rsem.v s;
+  Alcotest.(check int) "accumulates" 3 (Rsem.value s)
+
+let test_rsem_pending_v_prevents_block () =
+  (* Interleaving 1 of the paper: a V posted before the P must remain
+     pending.  If it did not, this test would hang. *)
+  let s = Rsem.create 0 in
+  Rsem.v s;
+  Rsem.p s;
+  Alcotest.(check int) "consumed" 0 (Rsem.value s)
+
+let test_rsem_blocks_until_v () =
+  let s = Rsem.create 0 in
+  let woke = Atomic.make false in
+  let waiter =
+    Domain.spawn (fun () ->
+        Rsem.p s;
+        Atomic.set woke true)
+  in
+  (* Give the waiter a chance to block, then wake it. *)
+  Unix.sleepf 0.02;
+  Alcotest.(check bool) "still blocked" false (Atomic.get woke);
+  Rsem.v s;
+  Domain.join waiter;
+  Alcotest.(check bool) "woke after V" true (Atomic.get woke)
+
+let test_rsem_rejects_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Rsem.create: negative initial count")
+    (fun () -> ignore (Rsem.create (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Rpc protocols on real domains *)
+
+let echo_exchange ?(messages = 500) waiting () =
+  let nclients = 2 in
+  let t : (int, int) Rpc.t = Rpc.create ~nclients waiting in
+  let server =
+    Domain.spawn (fun () ->
+        let remaining = ref (nclients * messages) in
+        while !remaining > 0 do
+          let client, v = Rpc.receive t in
+          Rpc.reply t ~client (v * 2);
+          decr remaining
+        done)
+  in
+  let client c =
+    Domain.spawn (fun () ->
+        let bad = ref 0 in
+        for i = 1 to messages do
+          let v = (c * 10_000_000) + i in
+          if Rpc.send t ~client:c v <> 2 * v then incr bad
+        done;
+        !bad)
+  in
+  let clients = List.init nclients client in
+  let bads = List.map Domain.join clients in
+  Domain.join server;
+  Alcotest.(check (list int)) "all echoes correct" [ 0; 0 ] bads;
+  Alcotest.(check bool)
+    (Printf.sprintf "wake residue bounded (%d)" (Rpc.wake_residue t))
+    true
+    (Rpc.wake_residue t <= nclients + 1)
+
+let test_rpc_async () =
+  let t : (int, int) Rpc.t = Rpc.create ~nclients:1 Rpc.Block in
+  let batch = 50 in
+  let server =
+    Domain.spawn (fun () ->
+        for _ = 1 to batch do
+          let client, v = Rpc.receive t in
+          Rpc.reply t ~client (v + 1)
+        done)
+  in
+  let client =
+    Domain.spawn (fun () ->
+        for i = 1 to batch do
+          Rpc.post t ~client:0 i
+        done;
+        let sum = ref 0 in
+        for _ = 1 to batch do
+          sum := !sum + Rpc.collect t ~client:0
+        done;
+        !sum)
+  in
+  let sum = Domain.join client in
+  Domain.join server;
+  Alcotest.(check int) "sum of replies" ((batch * (batch + 1) / 2) + batch) sum
+
+let test_rpc_validation () =
+  let t : (int, int) Rpc.t = Rpc.create ~nclients:2 Rpc.Block in
+  Alcotest.(check int) "nclients" 2 (Rpc.nclients t);
+  Alcotest.check_raises "bad client" (Invalid_argument "Rpc: no client 9")
+    (fun () -> ignore (Rpc.post t ~client:9 0))
+
+let suites =
+  [
+    ( "realipc.tl_queue",
+      [
+        Alcotest.test_case "fifo" `Quick test_tlq_fifo;
+        Alcotest.test_case "capacity" `Quick test_tlq_capacity;
+        Alcotest.test_case "is_empty" `Quick test_tlq_is_empty;
+        Alcotest.test_case "concurrent transfer" `Quick
+          test_tlq_concurrent_transfer;
+        QCheck_alcotest.to_alcotest prop_tlq_model;
+      ] );
+    ( "realipc.rsem",
+      [
+        Alcotest.test_case "counting" `Quick test_rsem_counting;
+        Alcotest.test_case "pending V (Interleaving 1)" `Quick
+          test_rsem_pending_v_prevents_block;
+        Alcotest.test_case "blocks until V" `Quick test_rsem_blocks_until_v;
+        Alcotest.test_case "rejects negative" `Quick test_rsem_rejects_negative;
+      ] );
+    ( "realipc.rpc",
+      [
+        (* Spinning on an oversubscribed host costs an OS quantum per
+           round-trip; keep the spin run short. *)
+        Alcotest.test_case "echo, spin (BSS)" `Quick
+          (echo_exchange ~messages:50 Rpc.Spin);
+        Alcotest.test_case "echo, block (BSW)" `Quick (echo_exchange Rpc.Block);
+        Alcotest.test_case "echo, limited spin (BSLS)" `Quick
+          (echo_exchange (Rpc.Limited_spin 100));
+        Alcotest.test_case "async post/collect" `Quick test_rpc_async;
+        Alcotest.test_case "validation" `Quick test_rpc_validation;
+      ] );
+  ]

@@ -1,0 +1,430 @@
+(* Tests for the simulated shared-memory primitives and the Michael & Scott
+   two-lock queue.  Shared-memory operations only run inside simulated
+   processes, so each test spins up a small kernel. *)
+
+open Ulipc_engine
+open Ulipc_os
+open Ulipc_shm
+
+let costs = Costs.default
+
+let make_kernel ?(ncpus = 1) () =
+  Kernel.create ~ncpus
+    ~policy:(Sched_fixed.create Sched_fixed.default_params)
+    ~costs ()
+
+(* Run [f] inside a single simulated process and return its result. *)
+let in_proc ?ncpus f =
+  let k = make_kernel ?ncpus () in
+  let result = ref None in
+  let _ = Kernel.spawn k ~name:"test" (fun () -> result := Some (f k)) in
+  (match Kernel.run k with
+  | Kernel.Completed -> ()
+  | r -> Alcotest.failf "simulation did not complete: %a" Kernel.pp_result r);
+  match !result with Some v -> v | None -> Alcotest.fail "no result"
+
+(* ------------------------------------------------------------------ *)
+(* Cells and flags *)
+
+let test_cell_read_write () =
+  let v =
+    in_proc (fun _ ->
+        let c = Mem.Cell.make ~costs 1 in
+        Mem.Cell.write c 42;
+        Mem.Cell.read c)
+  in
+  Alcotest.(check int) "round trip" 42 v
+
+let test_cell_charges_time () =
+  let k = make_kernel () in
+  let c = Mem.Cell.make ~costs 0 in
+  let _ =
+    Kernel.spawn k ~name:"t" (fun () ->
+        for i = 1 to 10 do
+          Mem.Cell.write c i
+        done)
+  in
+  ignore (Kernel.run k : Kernel.run_result);
+  Alcotest.(check bool)
+    "time advanced by at least ten stores" true
+    (Kernel.now k >= 10 * costs.Costs.shared_write)
+
+let test_flag_tas_semantics () =
+  let before, after, second =
+    in_proc (fun _ ->
+        let f = Mem.Flag.make ~costs false in
+        let before = Mem.Flag.test_and_set f in
+        let after = Mem.Flag.peek f in
+        let second = Mem.Flag.test_and_set f in
+        (before, after, second))
+  in
+  Alcotest.(check bool) "tas of clear flag returns false" false before;
+  Alcotest.(check bool) "flag set afterwards" true after;
+  Alcotest.(check bool) "second tas returns true" true second
+
+let test_flag_clear () =
+  let v =
+    in_proc (fun _ ->
+        let f = Mem.Flag.make ~costs true in
+        Mem.Flag.clear f;
+        Mem.Flag.read f)
+  in
+  Alcotest.(check bool) "cleared" false v
+
+(* ------------------------------------------------------------------ *)
+(* Spinlock *)
+
+let test_spinlock_mutual_exclusion () =
+  (* Two processes on two CPUs increment a plain counter under the lock;
+     with mutual exclusion the lost-update count is zero. *)
+  let k = make_kernel ~ncpus:2 () in
+  let lock = Mem.Spinlock.make ~costs () in
+  let counter = ref 0 in
+  let body () =
+    for _ = 1 to 500 do
+      Mem.Spinlock.acquire lock;
+      let v = !counter in
+      (* A charged step inside the critical section widens the window a
+         racing increment would need. *)
+      Usys.work (Sim_time.ns 500);
+      counter := v + 1;
+      Mem.Spinlock.release lock
+    done
+  in
+  let _ = Kernel.spawn k ~name:"a" body in
+  let _ = Kernel.spawn k ~name:"b" body in
+  (match Kernel.run k with
+  | Kernel.Completed -> ()
+  | r -> Alcotest.failf "run: %a" Kernel.pp_result r);
+  Alcotest.(check int) "no lost updates" 1000 !counter;
+  Alcotest.(check bool)
+    "lock saw contention on two cpus" true
+    (Mem.Spinlock.contended_acquires lock > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Ms_queue: single-process behaviour *)
+
+let test_queue_fifo () =
+  let out =
+    in_proc (fun _ ->
+        let q = Ms_queue.create ~costs ~capacity:8 () in
+        List.iter (fun v -> ignore (Ms_queue.enqueue q v : bool)) [ 1; 2; 3 ];
+        List.filter_map (fun () -> Ms_queue.dequeue q) [ (); (); (); () ])
+  in
+  Alcotest.(check (list int)) "fifo order, then empty" [ 1; 2; 3 ] out
+
+let test_queue_capacity () =
+  let results =
+    in_proc (fun _ ->
+        let q = Ms_queue.create ~costs ~capacity:2 () in
+        let a = Ms_queue.enqueue q 1 in
+        let b = Ms_queue.enqueue q 2 in
+        let c = Ms_queue.enqueue q 3 in
+        let _ = Ms_queue.dequeue q in
+        let d = Ms_queue.enqueue q 4 in
+        (a, b, c, d))
+  in
+  let a, b, c, d = results in
+  Alcotest.(check (list bool))
+    "full rejects, drain admits" [ true; true; false; true ] [ a; b; c; d ]
+
+let test_queue_is_empty () =
+  let e1, e2, e3 =
+    in_proc (fun _ ->
+        let q = Ms_queue.create ~costs ~capacity:4 () in
+        let e1 = Ms_queue.is_empty q in
+        ignore (Ms_queue.enqueue q 7 : bool);
+        let e2 = Ms_queue.is_empty q in
+        ignore (Ms_queue.dequeue q : int option);
+        let e3 = Ms_queue.is_empty q in
+        (e1, e2, e3))
+  in
+  Alcotest.(check (list bool)) "empty transitions" [ true; false; true ]
+    [ e1; e2; e3 ]
+
+let test_queue_counters () =
+  let enq, deq, len =
+    in_proc (fun _ ->
+        let q = Ms_queue.create ~costs ~capacity:8 () in
+        ignore (Ms_queue.enqueue q 1 : bool);
+        ignore (Ms_queue.enqueue q 2 : bool);
+        ignore (Ms_queue.dequeue q : int option);
+        (Ms_queue.enqueues_peek q, Ms_queue.dequeues_peek q, Ms_queue.length_peek q))
+  in
+  Alcotest.(check (list int)) "counters" [ 2; 1; 1 ] [ enq; deq; len ]
+
+let test_queue_rejects_bad_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Ms_queue.create: capacity must be positive") (fun () ->
+      ignore (Ms_queue.create ~costs ~capacity:0 () : int Ms_queue.t))
+
+(* Property: against a list model, any enqueue/dequeue program agrees. *)
+let prop_queue_model =
+  QCheck.Test.make ~name:"Ms_queue matches a FIFO model" ~count:100
+    QCheck.(list (option (int_bound 100)))
+    (fun program ->
+      in_proc (fun _ ->
+          let q = Ms_queue.create ~costs ~capacity:16 () in
+          let model = Queue.create () in
+          List.for_all
+            (fun op ->
+              match op with
+              | Some v ->
+                let accepted = Ms_queue.enqueue q v in
+                let model_accepts = Queue.length model < 16 in
+                if model_accepts then Queue.add v model;
+                accepted = model_accepts
+              | None -> Ms_queue.dequeue q = Queue.take_opt model)
+            program))
+
+(* ------------------------------------------------------------------ *)
+(* Ms_queue: concurrent behaviour on a multiprocessor *)
+
+let test_queue_concurrent_transfer () =
+  let k = make_kernel ~ncpus:4 () in
+  let q = Ms_queue.create ~costs ~capacity:16 () in
+  let n_producers = 2 and per_producer = 300 in
+  let received = ref [] in
+  for p = 0 to n_producers - 1 do
+    ignore
+      (Kernel.spawn k
+         ~name:(Printf.sprintf "producer-%d" p)
+         (fun () ->
+           for i = 1 to per_producer do
+             let v = (p * 100000) + i in
+             while not (Ms_queue.enqueue q v) do
+               Usys.work (Sim_time.us 1)
+             done
+           done))
+  done;
+  let _ =
+    Kernel.spawn k ~name:"consumer" (fun () ->
+        let remaining = ref (n_producers * per_producer) in
+        while !remaining > 0 do
+          match Ms_queue.dequeue q with
+          | Some v ->
+            received := v :: !received;
+            decr remaining
+          | None -> Usys.work (Sim_time.us 1)
+        done)
+  in
+  (match Kernel.run k with
+  | Kernel.Completed -> ()
+  | r -> Alcotest.failf "run: %a" Kernel.pp_result r);
+  let received = List.rev !received in
+  Alcotest.(check int)
+    "every element transferred exactly once"
+    (n_producers * per_producer)
+    (List.length (List.sort_uniq compare received));
+  (* Per-producer FIFO: each producer's elements arrive in its send order. *)
+  let per_producer_ordered p =
+    let mine = List.filter (fun v -> v / 100000 = p) received in
+    let sorted = List.sort compare mine in
+    mine = sorted
+  in
+  Alcotest.(check bool) "producer 0 order preserved" true (per_producer_ordered 0);
+  Alcotest.(check bool) "producer 1 order preserved" true (per_producer_ordered 1)
+
+let suites =
+  [
+    ( "shm.mem",
+      [
+        Alcotest.test_case "cell round trip" `Quick test_cell_read_write;
+        Alcotest.test_case "cell charges time" `Quick test_cell_charges_time;
+        Alcotest.test_case "flag tas semantics" `Quick test_flag_tas_semantics;
+        Alcotest.test_case "flag clear" `Quick test_flag_clear;
+        Alcotest.test_case "spinlock mutual exclusion" `Quick
+          test_spinlock_mutual_exclusion;
+      ] );
+    ( "shm.ms_queue",
+      [
+        Alcotest.test_case "fifo" `Quick test_queue_fifo;
+        Alcotest.test_case "capacity bound" `Quick test_queue_capacity;
+        Alcotest.test_case "is_empty" `Quick test_queue_is_empty;
+        Alcotest.test_case "statistics" `Quick test_queue_counters;
+        Alcotest.test_case "bad capacity" `Quick test_queue_rejects_bad_capacity;
+        QCheck_alcotest.to_alcotest prop_queue_model;
+        Alcotest.test_case "concurrent transfer" `Quick
+          test_queue_concurrent_transfer;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_alloc_release () =
+  let slots, free0, a, free1 =
+    in_proc (fun _ ->
+        let p = Pool.create ~costs ~slots:3 ~init:(fun i -> i * 10) () in
+        let free0 = Pool.free_count_peek p in
+        let a = Pool.alloc p in
+        (Pool.slots p, free0, a, Pool.free_count_peek p))
+  in
+  Alcotest.(check int) "slots" 3 slots;
+  Alcotest.(check int) "initially all free" 3 free0;
+  Alcotest.(check bool) "allocated" true (a <> None);
+  Alcotest.(check int) "one taken" 2 free1
+
+let test_pool_exhaustion () =
+  let allocs, after_release =
+    in_proc (fun _ ->
+        let p = Pool.create ~costs ~slots:2 ~init:(fun _ -> ()) () in
+        let a = Pool.alloc p and b = Pool.alloc p and c = Pool.alloc p in
+        (match a with Some s -> Pool.release p s | None -> ());
+        let d = Pool.alloc p in
+        ([ a; b; c ], d))
+  in
+  (match allocs with
+  | [ Some _; Some _; None ] -> ()
+  | _ -> Alcotest.fail "expected two allocations then exhaustion");
+  Alcotest.(check bool) "release makes room" true (after_release <> None)
+
+let test_pool_contents () =
+  let v =
+    in_proc (fun _ ->
+        let p = Pool.create ~costs ~slots:2 ~init:(fun i -> i) () in
+        match Pool.alloc p with
+        | None -> Alcotest.fail "alloc failed"
+        | Some s ->
+          Pool.set p s 99;
+          Pool.get p s)
+  in
+  Alcotest.(check int) "slot contents" 99 v
+
+let test_pool_double_free_detected () =
+  in_proc (fun _ ->
+      let p = Pool.create ~costs ~slots:2 ~init:(fun _ -> ()) () in
+      match Pool.alloc p with
+      | None -> Alcotest.fail "alloc failed"
+      | Some s ->
+        Pool.release p s;
+        Alcotest.check_raises "double free"
+          (Invalid_argument (Printf.sprintf "Pool.release: slot %d already free" s))
+          (fun () -> Pool.release p s))
+
+let prop_pool_conservation =
+  QCheck.Test.make ~name:"pool conserves slots" ~count:100
+    QCheck.(list bool)
+    (fun program ->
+      in_proc (fun _ ->
+          let p = Pool.create ~costs ~slots:4 ~init:(fun i -> i) () in
+          let held = ref [] in
+          List.iter
+            (fun alloc ->
+              if alloc then (
+                match Pool.alloc p with
+                | Some s -> held := s :: !held
+                | None -> ())
+              else
+                match !held with
+                | s :: rest ->
+                  Pool.release p s;
+                  held := rest
+                | [] -> ())
+            program;
+          Pool.free_count_peek p + List.length !held = 4
+          && Pool.in_use_peek p = List.length !held))
+
+(* ------------------------------------------------------------------ *)
+(* Arena *)
+
+let test_arena_alloc_free_coalesce () =
+  let ok =
+    in_proc (fun _ ->
+        let a = Arena.create ~costs ~size:100 () in
+        match (Arena.alloc a 40, Arena.alloc a 40) with
+        | Some b1, Some b2 ->
+          (* 20 bytes left: a 40-byte request must fail... *)
+          let failed = Arena.alloc a 40 = None in
+          (* ...until freeing both coalesces the space back. *)
+          Arena.free a b1;
+          Arena.free a b2;
+          failed
+          && Arena.free_bytes_peek a = 100
+          && Arena.largest_free_block_peek a = 100
+          && Arena.alloc a 100 <> None
+        | _ -> false)
+  in
+  Alcotest.(check bool) "alloc/free/coalesce" true ok
+
+let test_arena_payload_roundtrip () =
+  let got =
+    in_proc (fun _ ->
+        let a = Arena.create ~costs ~size:256 () in
+        match Arena.alloc a 11 with
+        | None -> Alcotest.fail "alloc failed"
+        | Some b ->
+          Arena.write_bytes a b (Bytes.of_string "hello arena");
+          Bytes.to_string (Arena.read_bytes a b))
+  in
+  Alcotest.(check string) "payload" "hello arena" got
+
+let test_arena_double_free_detected () =
+  in_proc (fun _ ->
+      let a = Arena.create ~costs ~size:64 () in
+      match Arena.alloc a 8 with
+      | None -> Alcotest.fail "alloc failed"
+      | Some b ->
+        Arena.free a b;
+        Alcotest.check_raises "double free"
+          (Invalid_argument
+             (Printf.sprintf "Arena.free: no live allocation at %d (+%d)"
+                b.Arena.offset b.Arena.length))
+          (fun () -> Arena.free a b))
+
+let test_arena_overflow_write_rejected () =
+  in_proc (fun _ ->
+      let a = Arena.create ~costs ~size:64 () in
+      match Arena.alloc a 4 with
+      | None -> Alcotest.fail "alloc failed"
+      | Some b ->
+        Alcotest.check_raises "overflow"
+          (Invalid_argument "Arena: 5 bytes do not fit allocation of 4")
+          (fun () -> Arena.write_bytes a b (Bytes.of_string "12345")))
+
+let prop_arena_no_overlap =
+  QCheck.Test.make ~name:"arena allocations never overlap" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 12) (int_range 1 40))
+    (fun sizes ->
+      in_proc (fun _ ->
+          let a = Arena.create ~costs ~size:200 () in
+          let blocks = List.filter_map (Arena.alloc a) sizes in
+          let rec pairs = function
+            | [] -> []
+            | b :: rest -> List.map (fun b' -> (b, b')) rest @ pairs rest
+          in
+          List.for_all
+            (fun ((b1 : Arena.allocation), (b2 : Arena.allocation)) ->
+              b1.Arena.offset + b1.Arena.length <= b2.Arena.offset
+              || b2.Arena.offset + b2.Arena.length <= b1.Arena.offset)
+            (pairs blocks)
+          && List.for_all
+               (fun (b : Arena.allocation) ->
+                 b.Arena.offset >= 0
+                 && b.Arena.offset + b.Arena.length <= 200)
+               blocks))
+
+let allocator_suites =
+  [
+    ( "shm.pool",
+      [
+        Alcotest.test_case "alloc/release" `Quick test_pool_alloc_release;
+        Alcotest.test_case "exhaustion" `Quick test_pool_exhaustion;
+        Alcotest.test_case "contents" `Quick test_pool_contents;
+        Alcotest.test_case "double free" `Quick test_pool_double_free_detected;
+        QCheck_alcotest.to_alcotest prop_pool_conservation;
+      ] );
+    ( "shm.arena",
+      [
+        Alcotest.test_case "alloc/free/coalesce" `Quick
+          test_arena_alloc_free_coalesce;
+        Alcotest.test_case "payload round trip" `Quick
+          test_arena_payload_roundtrip;
+        Alcotest.test_case "double free" `Quick test_arena_double_free_detected;
+        Alcotest.test_case "overflow rejected" `Quick
+          test_arena_overflow_write_rejected;
+        QCheck_alcotest.to_alcotest prop_arena_no_overlap;
+      ] );
+  ]
+
+let suites = suites @ allocator_suites
