@@ -251,9 +251,25 @@ let micro_tests () =
     tas;
     round_trip "round-trip, spin (BSS)" Ulipc_real.Rpc.Spin;
     round_trip "round-trip, block (BSW)" Ulipc_real.Rpc.Block;
+    round_trip "round-trip, block+yield (BSWY)" Ulipc_real.Rpc.Block_yield;
     round_trip "round-trip, limited spin (BSLS)"
       (Ulipc_real.Rpc.Limited_spin 500);
+    round_trip "round-trip, handoff" Ulipc_real.Rpc.Handoff;
   ]
+
+(* The same protocol-event counters the simulator reports, now measured on
+   the real backend: one shared core, two substrates, one report format. *)
+let print_real_counters () =
+  Format.printf
+    "--- real-domains echo runs (same counter fields as simulated runs) \
+     ---@.";
+  List.iter
+    (fun waiting ->
+      let m = Real_driver.run ~nclients:2 ~messages:2_000 waiting in
+      Format.printf "%a@.%a@.@." Metrics.pp_row m Ulipc.Counters.pp
+        m.Metrics.counters)
+    Ulipc_real.Rpc.
+      [ Block; Block_yield; Limited_spin 50; Handoff ]
 
 let print_micro () =
   let open Bechamel in
@@ -282,7 +298,8 @@ let print_micro () =
   List.iter
     (fun (name, ns) -> Format.printf "%-40s %10.1f ns/op@." name ns)
     (List.sort compare rows);
-  Format.printf "@."
+  Format.printf "@.";
+  print_real_counters ()
 
 (* ------------------------------------------------------------------ *)
 

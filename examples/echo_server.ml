@@ -23,8 +23,8 @@ let cap_messages ~nclients ~messages waiting =
   match waiting with
   | Ulipc_real.Rpc.Spin when oversubscribed -> min messages 200
   | Ulipc_real.Rpc.Limited_spin _ when oversubscribed -> min messages 2_000
-  | Ulipc_real.Rpc.Spin | Ulipc_real.Rpc.Block | Ulipc_real.Rpc.Limited_spin _
-    -> messages
+  | Ulipc_real.Rpc.Spin | Ulipc_real.Rpc.Block | Ulipc_real.Rpc.Block_yield
+  | Ulipc_real.Rpc.Limited_spin _ | Ulipc_real.Rpc.Handoff -> messages
 
 let run_benchmark ~nclients ~messages waiting label =
   let messages = cap_messages ~nclients ~messages waiting in
@@ -74,5 +74,8 @@ let () =
     nclients messages (Domain.recommended_domain_count ());
   run_benchmark ~nclients ~messages Ulipc_real.Rpc.Spin "spin (BSS)";
   run_benchmark ~nclients ~messages Ulipc_real.Rpc.Block "block (BSW)";
+  run_benchmark ~nclients ~messages Ulipc_real.Rpc.Block_yield
+    "block+yield (BSWY)";
   run_benchmark ~nclients ~messages (Ulipc_real.Rpc.Limited_spin 200)
-    "limited spin (BSLS)"
+    "limited spin (BSLS)";
+  run_benchmark ~nclients ~messages Ulipc_real.Rpc.Handoff "handoff (§6)"

@@ -3,30 +3,7 @@
    is a yield on a uniprocessor (a hand-off attempt) and a 25 µs checking
    delay loop on a multiprocessor.  §4.2 reports that at MAX_SPIN = 20 a
    single client blocks only 3% of the time and sees its reply within ~2
-   poll iterations. *)
+   poll iterations.  Instantiated from Protocol_core over the simulated
+   substrate. *)
 
-let send (s : Session.t) ~client ~max_spin msg =
-  Prims.flow_enqueue s s.Session.request msg;
-  let (_ : bool) = Prims.wake_consumer s s.Session.request ~target:Server in
-  let reply_ch = Session.reply_channel s client in
-  Prims.limited_spin s reply_ch ~side:Client ~max_spin;
-  let ans =
-    Prims.blocking_dequeue s reply_ch ~side:Client
-      ~on_empty:(fun () -> Prims.busy_wait s)
-      ()
-  in
-  s.Session.counters.Counters.sends <- s.Session.counters.Counters.sends + 1;
-  ans
-
-let receive (s : Session.t) ~max_spin =
-  Prims.limited_spin s s.Session.request ~side:Server ~max_spin;
-  let m = Prims.blocking_dequeue s s.Session.request ~side:Server () in
-  s.Session.counters.Counters.receives <-
-    s.Session.counters.Counters.receives + 1;
-  m
-
-let reply (s : Session.t) ~client msg =
-  let ch = Session.reply_channel s client in
-  Prims.flow_enqueue s ch msg;
-  let (_ : bool) = Prims.wake_consumer s ch ~target:Client in
-  s.Session.counters.Counters.replies <- s.Session.counters.Counters.replies + 1
+include Sim_protocols.Bsls

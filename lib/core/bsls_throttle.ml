@@ -1,72 +1,15 @@
-type server_state = {
-  max_active : int;
-  mutable active : int;
-      (* wake-ups issued whose follow-up request has not yet been received *)
-  mutable pending : Channel.t list; (* deferred wake-ups, oldest first *)
-}
+(* Overload-aware BSLS (§5 future work) — re-export of the generic
+   implementation in Protocol_core.Make.Bsls_throttle, instantiated over
+   the simulated substrate, with its iface repackaged as the simulator's
+   Iface.t record. *)
 
-let server_state ~max_pending =
-  if max_pending <= 0 then
-    invalid_arg "Bsls_throttle.server_state: max_pending must be positive";
-  { max_active = max_pending; active = 0; pending = [] }
+type server_state = Sim_protocols.Bsls_throttle.server_state
 
-let pending_wakeups st = List.length st.pending
-
-let wake_now (s : Session.t) st ch =
-  if Prims.wake_consumer s ch ~target:Prims.Client then
-    st.active <- st.active + 1
-
-(* Release deferred clients while the admission window has room.  Called on
-   every receive, including right before the server would block, which is
-   what guarantees no deferred client starves. *)
-let release_window (s : Session.t) st =
-  let rec go () =
-    match st.pending with
-    | ch :: rest when st.active < st.max_active ->
-      st.pending <- rest;
-      wake_now s st ch;
-      go ()
-    | _ :: _ | [] -> ()
-  in
-  go ()
+let server_state = Sim_protocols.Bsls_throttle.server_state
+let pending_wakeups = Sim_protocols.Bsls_throttle.pending_wakeups
 
 let iface ~max_spin st =
-  let send (s : Session.t) ~client msg = Bsls.send s ~client ~max_spin msg in
-  let receive (s : Session.t) =
-    release_window s st;
-    (* Progress guarantee: if no request is waiting we may be about to
-       block, and only a released client can produce the next request —
-       keep releasing until a wake-up actually lands (a false return means
-       the released client was already awake or has exited). *)
-    if Ulipc_shm.Ms_queue.is_empty s.Session.request.Channel.queue then begin
-      let rec force () =
-        match st.pending with
-        | [] -> ()
-        | ch :: rest ->
-          st.pending <- rest;
-          if Prims.wake_consumer s ch ~target:Prims.Client then
-            st.active <- st.active + 1
-          else force ()
-      in
-      force ()
-    end;
-    let m = Bsls.receive s ~max_spin in
-    (* A request arrived: whoever sent it is no longer sleeping. *)
-    if st.active > 0 then st.active <- st.active - 1;
-    m
-  in
-  let reply (s : Session.t) ~client msg =
-    let ch = Session.reply_channel s client in
-    Prims.flow_enqueue s ch msg;
-    (* Defer only while the client is still awake (spinning): the reply is
-       already enqueued, so a client that clears its flag after this read
-       must find it at the second dequeue (step C.3) and never sleeps.  A
-       client whose flag is already clear may be asleep and might never be
-       flushed if the server stops receiving — wake it now. *)
-    if st.active < st.max_active || not (Ulipc_shm.Mem.Flag.read ch.Channel.awake)
-    then wake_now s st ch
-    else st.pending <- st.pending @ [ ch ];
-    s.Session.counters.Counters.replies <-
-      s.Session.counters.Counters.replies + 1
+  let { Sim_protocols.send; receive; reply } =
+    Sim_protocols.Bsls_throttle.iface ~max_spin st
   in
   { Iface.send; receive; reply }

@@ -1,21 +1,7 @@
-(* Both Sides Spin (Figure 1): the busy-waiting baseline.  No process ever
-   blocks; [busy_wait] is a yield on a uniprocessor and a delay loop on a
-   multiprocessor, so performance is entirely in the scheduler's hands —
-   which is the point of §2.2. *)
+(* Both Sides Spin (Figure 1): the busy-waiting baseline.  One
+   instantiation of the substrate-parametric core — see Protocol_core for
+   the algorithm and Sim_substrate for what busy_wait means here (a yield
+   on a uniprocessor, a delay loop on a multiprocessor; §2.2's point is
+   that performance is then entirely in the scheduler's hands). *)
 
-let send (s : Session.t) ~client msg =
-  let reply_ch = Session.reply_channel s client in
-  Prims.spin_enqueue s s.Session.request msg;
-  let ans = Prims.spinning_dequeue s reply_ch in
-  s.Session.counters.Counters.sends <- s.Session.counters.Counters.sends + 1;
-  ans
-
-let receive (s : Session.t) =
-  let m = Prims.spinning_dequeue s s.Session.request in
-  s.Session.counters.Counters.receives <-
-    s.Session.counters.Counters.receives + 1;
-  m
-
-let reply (s : Session.t) ~client msg =
-  Prims.spin_enqueue s (Session.reply_channel s client) msg;
-  s.Session.counters.Counters.replies <- s.Session.counters.Counters.replies + 1
+include Sim_protocols.Bss

@@ -1,27 +1,9 @@
-(* Both Sides Wait (Figure 5): the basic blocking protocol.  Producers
-   conditionally wake the consumer with tas-guarded V operations; consumers
-   run the C.1–C.5 sequence before sleeping.  Functionally correct but, as
-   §3.1 measures, no faster than System V IPC: the V does not force a
-   rescheduling decision, so every round-trip still costs four system calls
-   and two context switches. *)
+(* Both Sides Wait (Figure 5): the basic blocking protocol, instantiated
+   over the simulated substrate.  Producers conditionally wake the
+   consumer with tas-guarded V operations; consumers run the C.1–C.5
+   sequence (Protocol_core.Make.Prims.blocking_dequeue) before sleeping.
+   Functionally correct but, as §3.1 measures, no faster than System V
+   IPC: the V does not force a rescheduling decision, so every round-trip
+   still costs four system calls and two context switches. *)
 
-let send (s : Session.t) ~client msg =
-  Prims.flow_enqueue s s.Session.request msg;
-  let (_ : bool) = Prims.wake_consumer s s.Session.request ~target:Server in
-  let ans =
-    Prims.blocking_dequeue s (Session.reply_channel s client) ~side:Client ()
-  in
-  s.Session.counters.Counters.sends <- s.Session.counters.Counters.sends + 1;
-  ans
-
-let receive (s : Session.t) =
-  let m = Prims.blocking_dequeue s s.Session.request ~side:Server () in
-  s.Session.counters.Counters.receives <-
-    s.Session.counters.Counters.receives + 1;
-  m
-
-let reply (s : Session.t) ~client msg =
-  let ch = Session.reply_channel s client in
-  Prims.flow_enqueue s ch msg;
-  let (_ : bool) = Prims.wake_consumer s ch ~target:Client in
-  s.Session.counters.Counters.replies <- s.Session.counters.Counters.replies + 1
+include Sim_protocols.Bsw

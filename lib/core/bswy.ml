@@ -3,42 +3,7 @@
    busy-waits right after actually waking the server (give it a chance to
    produce the reply before we sleep) and once more when it first finds
    the reply queue empty; the server yields once before entering its
-   blocking sequence so clients can enqueue follow-up requests. *)
+   blocking sequence so clients can enqueue follow-up requests.
+   Instantiated from Protocol_core over the simulated substrate. *)
 
-open Ulipc_os
-
-let send (s : Session.t) ~client msg =
-  Prims.flow_enqueue s s.Session.request msg;
-  if Prims.wake_consumer s s.Session.request ~target:Server then
-    (* We really did wake the server: let it run (Figure 7). *)
-    Prims.busy_wait s;
-  let ans =
-    Prims.blocking_dequeue s
-      (Session.reply_channel s client)
-      ~side:Client
-      ~on_empty:(fun () -> Prims.busy_wait s)
-      ()
-  in
-  s.Session.counters.Counters.sends <- s.Session.counters.Counters.sends + 1;
-  ans
-
-let receive (s : Session.t) =
-  let counters = s.Session.counters in
-  match Ulipc_shm.Ms_queue.dequeue s.Session.request.Channel.queue with
-  | Some m ->
-    (* Requests pending: keep processing rather than give up the CPU —
-       this is what lets the server batch under multiple clients. *)
-    counters.Counters.receives <- counters.Counters.receives + 1;
-    m
-  | None ->
-    Usys.yield ();
-    (* let the clients run *)
-    let m = Prims.blocking_dequeue s s.Session.request ~side:Server () in
-    counters.Counters.receives <- counters.Counters.receives + 1;
-    m
-
-let reply (s : Session.t) ~client msg =
-  let ch = Session.reply_channel s client in
-  Prims.flow_enqueue s ch msg;
-  let (_ : bool) = Prims.wake_consumer s ch ~target:Client in
-  s.Session.counters.Counters.replies <- s.Session.counters.Counters.replies + 1
+include Sim_protocols.Bswy

@@ -2,46 +2,8 @@
    becomes an explicit [handoff] system call.  Clients hand off to the
    server's pid after waking it and while waiting for the reply; the
    server hands off to PID_ANY — "I have no useful work, run whoever is
-   best, even at lower priority than me". *)
+   best, even at lower priority than me".  Instantiated from
+   Protocol_core over the simulated substrate (Sim_substrate maps the
+   hints to the simulated handoff syscall). *)
 
-open Ulipc_os
-
-let handoff_to_server (s : Session.t) =
-  if s.Session.server_pid > 0 then
-    Usys.handoff (Syscall.To_pid s.Session.server_pid)
-  else
-    (* Server not registered yet (connection phase): plain yield. *)
-    Usys.yield ()
-
-let send (s : Session.t) ~client msg =
-  Prims.flow_enqueue s s.Session.request msg;
-  if Prims.wake_consumer s s.Session.request ~target:Server then
-    handoff_to_server s;
-  let ans =
-    Prims.blocking_dequeue s
-      (Session.reply_channel s client)
-      ~side:Client
-      ~on_empty:(fun () -> handoff_to_server s)
-      ()
-  in
-  s.Session.counters.Counters.sends <- s.Session.counters.Counters.sends + 1;
-  ans
-
-let receive (s : Session.t) =
-  let counters = s.Session.counters in
-  match Ulipc_shm.Ms_queue.dequeue s.Session.request.Channel.queue with
-  | Some m ->
-    counters.Counters.receives <- counters.Counters.receives + 1;
-    m
-  | None ->
-    Usys.handoff Syscall.To_any;
-    (* let the clients run *)
-    let m = Prims.blocking_dequeue s s.Session.request ~side:Server () in
-    counters.Counters.receives <- counters.Counters.receives + 1;
-    m
-
-let reply (s : Session.t) ~client msg =
-  let ch = Session.reply_channel s client in
-  Prims.flow_enqueue s ch msg;
-  let (_ : bool) = Prims.wake_consumer s ch ~target:Client in
-  s.Session.counters.Counters.replies <- s.Session.counters.Counters.replies + 1
+include Sim_protocols.Handoff

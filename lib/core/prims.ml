@@ -1,127 +1,6 @@
-open Ulipc_engine
-open Ulipc_os
-open Ulipc_shm
+(* The labelled steps of the paper's figures, instantiated over the
+   simulated substrate.  The implementation lives in Protocol_core.Make
+   (shared verbatim with the real-domains backend); this module keeps the
+   historical path for Ablation, Async, Csem and the tests. *)
 
-type side = Client | Server
-
-let busy_wait (s : Session.t) =
-  if s.multiprocessor then Usys.work s.costs.Costs.spin_delay
-  else Usys.yield ()
-
-(* On a multiprocessor, slice the 25 µs poll into 1 µs pieces and re-check
-   emptiness on every slice (§5: "the empty check is made on every
-   iteration"), so a reply arriving mid-poll is noticed promptly. *)
-let poll_queue (s : Session.t) (ch : Channel.t) =
-  if s.multiprocessor then begin
-    let slice = Sim_time.us 1 in
-    let slices = max 1 (s.costs.Costs.poll_spin / slice) in
-    let rec go i =
-      if i < slices && Ms_queue.is_empty ch.Channel.queue then begin
-        Usys.work slice;
-        go (i + 1)
-      end
-    in
-    go 0
-  end
-  else Usys.yield ()
-
-let flow_enqueue (s : Session.t) (ch : Channel.t) msg =
-  while not (Ms_queue.enqueue ch.Channel.queue msg) do
-    s.counters.Counters.queue_full_sleeps <-
-      s.counters.Counters.queue_full_sleeps + 1;
-    Usys.sleep (Sim_time.sec 1)
-  done
-
-let spin_enqueue (s : Session.t) (ch : Channel.t) msg =
-  while not (Ms_queue.enqueue ch.Channel.queue msg) do
-    busy_wait s
-  done
-
-let wake_consumer (s : Session.t) (ch : Channel.t) ~target =
-  if not (Mem.Flag.test_and_set ch.Channel.awake) then begin
-    (match target with
-    | Client ->
-      s.counters.Counters.client_wakeups <-
-        s.counters.Counters.client_wakeups + 1
-    | Server ->
-      s.counters.Counters.server_wakeups <-
-        s.counters.Counters.server_wakeups + 1);
-    Usys.sem_v ch.Channel.sem;
-    true
-  end
-  else false
-
-let spinning_dequeue (s : Session.t) (ch : Channel.t) =
-  let rec loop () =
-    match Ms_queue.dequeue ch.Channel.queue with
-    | Some m -> m
-    | None ->
-      busy_wait s;
-      loop ()
-  in
-  loop ()
-
-let count_block (s : Session.t) = function
-  | Client ->
-    s.counters.Counters.client_blocks <- s.counters.Counters.client_blocks + 1
-  | Server ->
-    s.counters.Counters.server_blocks <- s.counters.Counters.server_blocks + 1
-
-let blocking_dequeue (s : Session.t) (ch : Channel.t) ~side
-    ?(on_empty = fun () -> ()) () =
-  let rec outer () =
-    match Ms_queue.dequeue ch.Channel.queue with (* C.1 *)
-    | Some m -> m
-    | None ->
-      on_empty ();
-      Mem.Flag.write ch.Channel.awake false;
-      (* C.2 *)
-      (match Ms_queue.dequeue ch.Channel.queue with (* C.3 *)
-      | None ->
-        count_block s side;
-        Usys.sem_p ch.Channel.sem;
-        (* C.4 *)
-        Mem.Flag.write ch.Channel.awake true;
-        (* C.5 *)
-        outer ()
-      | Some m ->
-        (* Not empty after all.  Restore the flag with test-and-set: if a
-           producer already set it, that producer also issued a V we must
-           drain, or wake-ups would accumulate (Interleaving 3). *)
-        if Mem.Flag.test_and_set ch.Channel.awake then begin
-          s.counters.Counters.race_fix_p <- s.counters.Counters.race_fix_p + 1;
-          Usys.sem_p ch.Channel.sem
-        end;
-        m)
-  in
-  outer ()
-
-let limited_spin (s : Session.t) (ch : Channel.t) ~side ~max_spin =
-  let bump_iter () =
-    match side with
-    | Client ->
-      s.counters.Counters.spin_iterations <-
-        s.counters.Counters.spin_iterations + 1
-    | Server ->
-      s.counters.Counters.server_spin_iterations <-
-        s.counters.Counters.server_spin_iterations + 1
-  in
-  let bump_fall () =
-    match side with
-    | Client ->
-      s.counters.Counters.spin_fallthroughs <-
-        s.counters.Counters.spin_fallthroughs + 1
-    | Server ->
-      s.counters.Counters.server_spin_fallthroughs <-
-        s.counters.Counters.server_spin_fallthroughs + 1
-  in
-  let rec loop spincnt =
-    if Ms_queue.is_empty ch.Channel.queue then
-      if spincnt < max_spin then begin
-        bump_iter ();
-        poll_queue s ch;
-        loop (spincnt + 1)
-      end
-      else bump_fall ()
-  in
-  loop 0
+include Sim_protocols.Prims

@@ -1,0 +1,366 @@
+(* The substrate-parametric protocol core: every sleep/wake-up protocol of
+   the paper, written once against the Substrate.S primitives and
+   instantiated over the simulator (Sim_protocols) and over real OCaml 5
+   domains (Ulipc_real.Rpc).  Nothing in this file knows whether time is
+   simulated or real. *)
+
+module Make (S : Substrate.S) = struct
+  module Prims = struct
+    type side = Client | Server
+
+    let busy_wait = S.busy_wait
+    let poll_queue = S.poll
+
+    let flow_enqueue s ch msg =
+      while not (S.enqueue s ch msg) do
+        let c = S.counters s in
+        c.Counters.queue_full_sleeps <- c.Counters.queue_full_sleeps + 1;
+        S.flow_sleep s
+      done
+
+    let spin_enqueue s ch msg =
+      while not (S.enqueue s ch msg) do
+        S.busy_wait s
+      done
+
+    let wake_consumer s ch ~target =
+      if not (S.awake_test_and_set s ch) then begin
+        let c = S.counters s in
+        (match target with
+        | Client -> c.Counters.client_wakeups <- c.Counters.client_wakeups + 1
+        | Server -> c.Counters.server_wakeups <- c.Counters.server_wakeups + 1);
+        S.sem_v s ch;
+        true
+      end
+      else false
+
+    let spinning_dequeue s ch =
+      let rec loop () =
+        match S.dequeue s ch with
+        | Some m -> m
+        | None ->
+          S.busy_wait s;
+          loop ()
+      in
+      loop ()
+
+    let count_block s = function
+      | Client ->
+        let c = S.counters s in
+        c.Counters.client_blocks <- c.Counters.client_blocks + 1
+      | Server ->
+        let c = S.counters s in
+        c.Counters.server_blocks <- c.Counters.server_blocks + 1
+
+    (* The Interleaving-3 repair: the second dequeue (C.3) succeeded, so
+       restore the flag with test-and-set.  If a producer already set it,
+       that producer issued — or is just about to issue — a V we must
+       consume, or wake-ups would accumulate and fire the *next* block
+       sequence spuriously.  The drain is a non-blocking P (Figure 5),
+       retried through the tiny window between the producer's test-and-set
+       and its V, so no stale V is ever left behind. *)
+    let drain_raced_wakeup s ch =
+      if S.awake_test_and_set s ch then begin
+        let c = S.counters s in
+        c.Counters.race_fix_p <- c.Counters.race_fix_p + 1;
+        while not (S.sem_try_p s ch) do
+          S.busy_wait s
+        done
+      end
+
+    let blocking_dequeue s ch ~side ?(on_empty = fun () -> ()) () =
+      let rec outer () =
+        match S.dequeue s ch with (* C.1 *)
+        | Some m -> m
+        | None ->
+          on_empty ();
+          S.awake_clear s ch;
+          (* C.2 *)
+          (match S.dequeue s ch with (* C.3 *)
+          | None ->
+            count_block s side;
+            S.sem_p s ch;
+            (* C.4 *)
+            S.awake_set s ch;
+            (* C.5 *)
+            outer ()
+          | Some m ->
+            drain_raced_wakeup s ch;
+            m)
+      in
+      outer ()
+
+    let limited_spin s ch ~side ~max_spin =
+      let bump_iter () =
+        let c = S.counters s in
+        match side with
+        | Client ->
+          c.Counters.spin_iterations <- c.Counters.spin_iterations + 1
+        | Server ->
+          c.Counters.server_spin_iterations <-
+            c.Counters.server_spin_iterations + 1
+      in
+      let bump_fall () =
+        let c = S.counters s in
+        match side with
+        | Client ->
+          c.Counters.spin_fallthroughs <- c.Counters.spin_fallthroughs + 1
+        | Server ->
+          c.Counters.server_spin_fallthroughs <-
+            c.Counters.server_spin_fallthroughs + 1
+      in
+      let rec loop spincnt =
+        if S.queue_is_empty s ch then
+          if spincnt < max_spin then begin
+            bump_iter ();
+            S.poll s ch;
+            loop (spincnt + 1)
+          end
+          else bump_fall ()
+      in
+      loop 0
+  end
+
+  let bump_sends s =
+    let c = S.counters s in
+    c.Counters.sends <- c.Counters.sends + 1
+
+  let bump_receives s =
+    let c = S.counters s in
+    c.Counters.receives <- c.Counters.receives + 1
+
+  let bump_replies s =
+    let c = S.counters s in
+    c.Counters.replies <- c.Counters.replies + 1
+
+  (* Both Sides Spin (Figure 1): the busy-waiting baseline.  No process
+     ever blocks, so performance is entirely in the scheduler's hands —
+     the point of §2.2. *)
+  module Bss = struct
+    let send s ~client msg =
+      let reply_ch = S.reply_channel s client in
+      Prims.spin_enqueue s (S.request s) msg;
+      let ans = Prims.spinning_dequeue s reply_ch in
+      bump_sends s;
+      ans
+
+    let receive s =
+      let m = Prims.spinning_dequeue s (S.request s) in
+      bump_receives s;
+      m
+
+    let reply s ~client msg =
+      Prims.spin_enqueue s (S.reply_channel s client) msg;
+      bump_replies s
+  end
+
+  (* Both Sides Wait (Figure 5): the basic blocking protocol.  Producers
+     conditionally wake the consumer with tas-guarded V operations;
+     consumers run the C.1–C.5 sequence before sleeping. *)
+  module Bsw = struct
+    let send s ~client msg =
+      let reply_ch = S.reply_channel s client in
+      Prims.flow_enqueue s (S.request s) msg;
+      let (_ : bool) = Prims.wake_consumer s (S.request s) ~target:Server in
+      let ans = Prims.blocking_dequeue s reply_ch ~side:Prims.Client () in
+      bump_sends s;
+      ans
+
+    let receive s =
+      let m = Prims.blocking_dequeue s (S.request s) ~side:Prims.Server () in
+      bump_receives s;
+      m
+
+    let reply s ~client msg =
+      let ch = S.reply_channel s client in
+      Prims.flow_enqueue s ch msg;
+      let (_ : bool) = Prims.wake_consumer s ch ~target:Client in
+      bump_replies s
+  end
+
+  (* Both Sides Wait and Yield (Figure 7): BSW plus busy_wait/yield calls
+     that suggest hand-off scheduling to the operating system. *)
+  module Bswy = struct
+    let send s ~client msg =
+      let reply_ch = S.reply_channel s client in
+      Prims.flow_enqueue s (S.request s) msg;
+      if Prims.wake_consumer s (S.request s) ~target:Server then
+        (* We really did wake the server: let it run (Figure 7). *)
+        S.busy_wait s;
+      let ans =
+        Prims.blocking_dequeue s reply_ch ~side:Prims.Client
+          ~on_empty:(fun () -> S.busy_wait s)
+          ()
+      in
+      bump_sends s;
+      ans
+
+    let receive s =
+      match S.dequeue s (S.request s) with
+      | Some m ->
+        (* Requests pending: keep processing rather than give up the CPU —
+           this is what lets the server batch under multiple clients. *)
+        bump_receives s;
+        m
+      | None ->
+        S.yield s;
+        (* let the clients run *)
+        let m = Prims.blocking_dequeue s (S.request s) ~side:Prims.Server () in
+        bump_receives s;
+        m
+
+    let reply s ~client msg =
+      let ch = S.reply_channel s client in
+      Prims.flow_enqueue s ch msg;
+      let (_ : bool) = Prims.wake_consumer s ch ~target:Client in
+      bump_replies s
+  end
+
+  (* Both Sides Limited Spin (Figure 9): poll the queue up to MAX_SPIN
+     times before running the blocking sequence. *)
+  module Bsls = struct
+    let send s ~client ~max_spin msg =
+      let reply_ch = S.reply_channel s client in
+      Prims.flow_enqueue s (S.request s) msg;
+      let (_ : bool) = Prims.wake_consumer s (S.request s) ~target:Server in
+      Prims.limited_spin s reply_ch ~side:Prims.Client ~max_spin;
+      let ans =
+        Prims.blocking_dequeue s reply_ch ~side:Prims.Client
+          ~on_empty:(fun () -> S.busy_wait s)
+          ()
+      in
+      bump_sends s;
+      ans
+
+    let receive s ~max_spin =
+      Prims.limited_spin s (S.request s) ~side:Prims.Server ~max_spin;
+      let m = Prims.blocking_dequeue s (S.request s) ~side:Prims.Server () in
+      bump_receives s;
+      m
+
+    let reply s ~client msg =
+      let ch = S.reply_channel s client in
+      Prims.flow_enqueue s ch msg;
+      let (_ : bool) = Prims.wake_consumer s ch ~target:Client in
+      bump_replies s
+  end
+
+  (* BSWY with the extended kernel interface of §6: every scheduling hint
+     becomes an explicit handoff. *)
+  module Handoff = struct
+    let send s ~client msg =
+      let reply_ch = S.reply_channel s client in
+      Prims.flow_enqueue s (S.request s) msg;
+      if Prims.wake_consumer s (S.request s) ~target:Server then
+        S.handoff_server s;
+      let ans =
+        Prims.blocking_dequeue s reply_ch ~side:Prims.Client
+          ~on_empty:(fun () -> S.handoff_server s)
+          ()
+      in
+      bump_sends s;
+      ans
+
+    let receive s =
+      match S.dequeue s (S.request s) with
+      | Some m ->
+        bump_receives s;
+        m
+      | None ->
+        S.handoff_any s;
+        (* let the clients run *)
+        let m = Prims.blocking_dequeue s (S.request s) ~side:Prims.Server () in
+        bump_receives s;
+        m
+
+    let reply s ~client msg =
+      let ch = S.reply_channel s client in
+      Prims.flow_enqueue s ch msg;
+      let (_ : bool) = Prims.wake_consumer s ch ~target:Client in
+      bump_replies s
+  end
+
+  type iface = {
+    send : S.t -> client:int -> S.msg -> S.msg;
+    receive : S.t -> S.msg;
+    reply : S.t -> client:int -> S.msg -> unit;
+  }
+
+  (* Overload-aware BSLS: the §5 future-work sketch.  Replies defer their
+     wake-up V operations behind an admission window; deferred wake-ups
+     are released on every receive — including right before the server
+     would block, which is what guarantees no deferred client starves. *)
+  module Bsls_throttle = struct
+    type server_state = {
+      max_active : int;
+      mutable active : int;
+          (* wake-ups issued whose follow-up request has not yet been
+             received *)
+      mutable pending : S.channel list; (* deferred wake-ups, oldest first *)
+    }
+
+    let server_state ~max_pending =
+      if max_pending <= 0 then
+        invalid_arg "Bsls_throttle.server_state: max_pending must be positive";
+      { max_active = max_pending; active = 0; pending = [] }
+
+    let pending_wakeups st = List.length st.pending
+
+    let wake_now s st ch =
+      if Prims.wake_consumer s ch ~target:Prims.Client then
+        st.active <- st.active + 1
+
+    (* Release deferred clients while the admission window has room. *)
+    let release_window s st =
+      let rec go () =
+        match st.pending with
+        | ch :: rest when st.active < st.max_active ->
+          st.pending <- rest;
+          wake_now s st ch;
+          go ()
+        | _ :: _ | [] -> ()
+      in
+      go ()
+
+    let iface ~max_spin st =
+      let send s ~client msg = Bsls.send s ~client ~max_spin msg in
+      let receive s =
+        release_window s st;
+        (* Progress guarantee: if no request is waiting we may be about to
+           block, and only a released client can produce the next request —
+           keep releasing until a wake-up actually lands (a false return
+           means the released client was already awake or has exited). *)
+        if S.queue_is_empty s (S.request s) then begin
+          let rec force () =
+            match st.pending with
+            | [] -> ()
+            | ch :: rest ->
+              st.pending <- rest;
+              if Prims.wake_consumer s ch ~target:Prims.Client then
+                st.active <- st.active + 1
+              else force ()
+          in
+          force ()
+        end;
+        let m = Bsls.receive s ~max_spin in
+        (* A request arrived: whoever sent it is no longer sleeping. *)
+        if st.active > 0 then st.active <- st.active - 1;
+        m
+      in
+      let reply s ~client msg =
+        let ch = S.reply_channel s client in
+        Prims.flow_enqueue s ch msg;
+        (* Defer only while the client is still awake (spinning): the
+           reply is already enqueued, so a client that clears its flag
+           after this read must find it at the second dequeue (step C.3)
+           and never sleeps.  A client whose flag is already clear may be
+           asleep and might never be flushed if the server stops
+           receiving — wake it now. *)
+        if st.active < st.max_active || not (S.awake_read s ch) then
+          wake_now s st ch
+        else st.pending <- st.pending @ [ ch ];
+        bump_replies s
+      in
+      { send; receive; reply }
+  end
+end

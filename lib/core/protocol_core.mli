@@ -1,0 +1,80 @@
+(** The substrate-parametric protocol core.
+
+    [Make (S)] derives {e every} sleep/wake-up protocol of the paper —
+    BSS (Figure 1), BSW (Figure 5), BSWY (Figure 7), BSLS (Figure 9), the
+    §6 hand-off variant and the §5 overload throttle — from the
+    {!Substrate.S} primitives alone.  The library instantiates it twice:
+    {!Sim_protocols} over the simulated kernel (re-exported as the
+    historical {!Bss}/{!Bsw}/… modules) and [Ulipc_real.Rpc] over real
+    OCaml 5 domains.  A third backend only has to provide a substrate;
+    the protocol logic is shared, which is what makes differential
+    testing across substrates meaningful. *)
+
+module Make (S : Substrate.S) : sig
+  (** The labelled steps of the paper's figures, over [S]'s primitives.
+      See {!Prims} (the simulator instantiation) for per-function
+      commentary. *)
+  module Prims : sig
+    type side = Client | Server
+
+    val busy_wait : S.t -> unit
+    val poll_queue : S.t -> S.channel -> unit
+    val flow_enqueue : S.t -> S.channel -> S.msg -> unit
+    val spin_enqueue : S.t -> S.channel -> S.msg -> unit
+    val wake_consumer : S.t -> S.channel -> target:side -> bool
+    val spinning_dequeue : S.t -> S.channel -> S.msg
+
+    val blocking_dequeue :
+      S.t -> S.channel -> side:side -> ?on_empty:(unit -> unit) -> unit -> S.msg
+
+    val limited_spin : S.t -> S.channel -> side:side -> max_spin:int -> unit
+  end
+
+  module Bss : sig
+    val send : S.t -> client:int -> S.msg -> S.msg
+    val receive : S.t -> S.msg
+    val reply : S.t -> client:int -> S.msg -> unit
+  end
+
+  module Bsw : sig
+    val send : S.t -> client:int -> S.msg -> S.msg
+    val receive : S.t -> S.msg
+    val reply : S.t -> client:int -> S.msg -> unit
+  end
+
+  module Bswy : sig
+    val send : S.t -> client:int -> S.msg -> S.msg
+    val receive : S.t -> S.msg
+    val reply : S.t -> client:int -> S.msg -> unit
+  end
+
+  module Bsls : sig
+    val send : S.t -> client:int -> max_spin:int -> S.msg -> S.msg
+    val receive : S.t -> max_spin:int -> S.msg
+    val reply : S.t -> client:int -> S.msg -> unit
+  end
+
+  module Handoff : sig
+    val send : S.t -> client:int -> S.msg -> S.msg
+    val receive : S.t -> S.msg
+    val reply : S.t -> client:int -> S.msg -> unit
+  end
+
+  type iface = {
+    send : S.t -> client:int -> S.msg -> S.msg;
+    receive : S.t -> S.msg;
+    reply : S.t -> client:int -> S.msg -> unit;
+  }
+  (** A first-class protocol triple over this substrate (the generic
+      analogue of {!Iface.t}). *)
+
+  module Bsls_throttle : sig
+    type server_state
+
+    val server_state : max_pending:int -> server_state
+    (** @raise Invalid_argument if [max_pending <= 0]. *)
+
+    val pending_wakeups : server_state -> int
+    val iface : max_spin:int -> server_state -> iface
+  end
+end

@@ -16,6 +16,13 @@ type t = {
 let create ~kernel ~costs ~multiprocessor ~kind ~nclients ~capacity =
   if nclients <= 0 then invalid_arg "Session.create: nclients must be positive";
   if capacity <= 0 then invalid_arg "Session.create: capacity must be positive";
+  (match kind with
+  | Protocol_kind.BSLS max_spin when max_spin < 0 ->
+    invalid_arg "Session.create: max_spin must be non-negative"
+  | Protocol_kind.BSS | Protocol_kind.BSW | Protocol_kind.BSWY
+  | Protocol_kind.BSLS _ | Protocol_kind.SYSV | Protocol_kind.HANDOFF
+  | Protocol_kind.CSEM ->
+    ());
   let inject, project = Ulipc_engine.Univ.embed () in
   {
     kernel;

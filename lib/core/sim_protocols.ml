@@ -1,0 +1,6 @@
+(* The one simulator-side application of the protocol functor.  The
+   historical module paths (Bss, Bsw, Bswy, Bsls, Handoff_ipc, Prims,
+   Bsls_throttle) are thin re-exports of this instantiation, so dispatch,
+   iface, bench and the examples keep working unchanged. *)
+
+include Protocol_core.Make (Sim_substrate)

@@ -1,0 +1,69 @@
+(* The simulated-OS instantiation of Substrate.S: queues and flags live in
+   cost-charged shared memory, the semaphore and the scheduling hints are
+   syscall effects the simulated kernel interprets.  Every function here
+   is exactly the substrate-specific half of what lib/core's protocols did
+   before the functorization. *)
+
+open Ulipc_engine
+open Ulipc_os
+open Ulipc_shm
+
+type t = Session.t
+type channel = Channel.t
+type msg = Message.t
+
+let request (s : Session.t) = s.Session.request
+let reply_channel = Session.reply_channel
+let enqueue (_ : t) (ch : channel) m = Ms_queue.enqueue ch.Channel.queue m
+let dequeue (_ : t) (ch : channel) = Ms_queue.dequeue ch.Channel.queue
+let queue_is_empty (_ : t) (ch : channel) = Ms_queue.is_empty ch.Channel.queue
+let awake_test_and_set (_ : t) ch = Mem.Flag.test_and_set ch.Channel.awake
+let awake_clear (_ : t) ch = Mem.Flag.write ch.Channel.awake false
+let awake_set (_ : t) ch = Mem.Flag.write ch.Channel.awake true
+let awake_read (_ : t) ch = Mem.Flag.read ch.Channel.awake
+let sem_p (_ : t) ch = Usys.sem_p ch.Channel.sem
+let sem_v (_ : t) ch = Usys.sem_v ch.Channel.sem
+
+(* A single non-blocking semop: the count peek is an uncharged kernel-state
+   read so the whole operation costs exactly one system call — the same
+   charge the pre-functor code paid for its (never-blocking) plain P. *)
+let sem_try_p (s : t) ch =
+  if Kernel.sem_value s.Session.kernel ch.Channel.sem > 0 then begin
+    Usys.sem_p ch.Channel.sem;
+    true
+  end
+  else false
+
+let busy_wait (s : t) =
+  if s.Session.multiprocessor then Usys.work s.Session.costs.Costs.spin_delay
+  else Usys.yield ()
+
+(* On a multiprocessor, slice the 25 µs poll into 1 µs pieces and re-check
+   emptiness on every slice (§5: "the empty check is made on every
+   iteration"), so a reply arriving mid-poll is noticed promptly. *)
+let poll (s : t) (ch : channel) =
+  if s.Session.multiprocessor then begin
+    let slice = Sim_time.us 1 in
+    let slices = max 1 (s.Session.costs.Costs.poll_spin / slice) in
+    let rec go i =
+      if i < slices && Ms_queue.is_empty ch.Channel.queue then begin
+        Usys.work slice;
+        go (i + 1)
+      end
+    in
+    go 0
+  end
+  else Usys.yield ()
+
+let yield (_ : t) = Usys.yield ()
+
+let handoff_server (s : t) =
+  if s.Session.server_pid > 0 then
+    Usys.handoff (Syscall.To_pid s.Session.server_pid)
+  else
+    (* Server not registered yet (connection phase): plain yield. *)
+    Usys.yield ()
+
+let handoff_any (_ : t) = Usys.handoff Syscall.To_any
+let flow_sleep (_ : t) = Usys.sleep (Sim_time.sec 1)
+let counters (s : t) = s.Session.counters

@@ -1,0 +1,10 @@
+(** The simulated-OS substrate: {!Session}/{!Channel} state in cost-charged
+    shared memory, semaphores and scheduling hints as kernel effects.
+    Feed this to {!Protocol_core.Make} (done once, in {!Sim_protocols}) to
+    obtain the protocols the simulator runs. *)
+
+include
+  Substrate.S
+    with type t = Session.t
+     and type channel = Channel.t
+     and type msg = Message.t

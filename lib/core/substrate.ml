@@ -1,0 +1,102 @@
+(** The substrate a sleep/wake-up protocol runs on.
+
+    The paper's protocols (Figures 4/5/7/9) are one algorithm whose
+    behaviour is determined entirely by four primitives underneath it: a
+    bounded FIFO queue, the consumer's awake flag with an atomic
+    test-and-set, a counting semaphore, and the scheduling hints
+    ([busy_wait]/[poll]/[yield]/[handoff]).  This signature names exactly
+    those primitives, plus the session shape (one request channel, one
+    reply channel per client) and a shared {!Counters} sink, so that
+    {!Protocol_core.Make} can derive every protocol once and run it
+    unchanged over the simulator ({!Sim_substrate}) and over real OCaml 5
+    domains ([Ulipc_real.Real_substrate]) — or over any third backend that
+    provides these operations. *)
+
+module type S = sig
+  type t
+  (** The per-session environment: owns the channels and the counters. *)
+
+  type channel
+  (** One direction of traffic: a queue plus the sleep/wake-up state
+      (awake flag and semaphore) of its unique consumer. *)
+
+  type msg
+  (** What the queues carry. *)
+
+  (** {2 Session shape} *)
+
+  val request : t -> channel
+  (** The request channel shared by all clients, consumed by the server. *)
+
+  val reply_channel : t -> int -> channel
+  (** The per-client reply channel.
+      @raise Invalid_argument on an out-of-range client number. *)
+
+  (** {2 Queue} *)
+
+  val enqueue : t -> channel -> msg -> bool
+  (** [false] when the queue is full (the flow-control condition). *)
+
+  val dequeue : t -> channel -> msg option
+
+  val queue_is_empty : t -> channel -> bool
+  (** Cheap emptiness hint, as used by the polling loops. *)
+
+  (** {2 Awake flag} *)
+
+  val awake_test_and_set : t -> channel -> bool
+  (** Atomically set the consumer's awake flag, returning its previous
+      value — the producer-side safeguard of Interleavings 2 and 3. *)
+
+  val awake_clear : t -> channel -> unit
+  (** Step C.2 of Figure 4: plain store of [false]. *)
+
+  val awake_set : t -> channel -> unit
+  (** Step C.5: plain store of [true]. *)
+
+  val awake_read : t -> channel -> bool
+
+  (** {2 Counting semaphore} *)
+
+  val sem_p : t -> channel -> unit
+  (** Down: block while the count is zero, then decrement (step C.4). *)
+
+  val sem_try_p : t -> channel -> bool
+  (** Non-blocking down: [false] when the count is zero.  Used by the
+      Interleaving-3 drain of a raced wake-up. *)
+
+  val sem_v : t -> channel -> unit
+  (** Up: increment and wake one waiter (step P.3). *)
+
+  (** {2 Scheduling hints} *)
+
+  val busy_wait : t -> unit
+  (** §2.1: a [yield] on a uniprocessor, a delay loop on a
+      multiprocessor. *)
+
+  val poll : t -> channel -> unit
+  (** One BSLS poll (Figure 9): like {!busy_wait} but, on a
+      multiprocessor, re-checking the queue's emptiness on every slice so
+      an arrival is noticed promptly. *)
+
+  val yield : t -> unit
+  (** Give the scheduler a chance to run someone else (BSWY, Figure 7). *)
+
+  val handoff_server : t -> unit
+  (** §6 extended kernel interface: hand the CPU to the server. *)
+
+  val handoff_any : t -> unit
+  (** §6: "I have no useful work, run whoever is best". *)
+
+  val flow_sleep : t -> unit
+  (** What a producer does on a full queue before retrying — the paper
+      sleeps one second (a full queue means the consumer is saturated). *)
+
+  (** {2 Instrumentation} *)
+
+  val counters : t -> Counters.t
+  (** The shared sink for the §4.2 statistics.  Substrates whose
+      processes run in parallel (real domains) may lose increments from
+      concurrent writers of the same field; each field written by a
+      single process is exact. *)
+end

@@ -1,0 +1,73 @@
+(* The real-OCaml-5-domains instantiation of Ulipc.Substrate.S: the
+   two-lock queue, a bool Atomic.t for the awake flag, a Mutex/Condition
+   counting semaphore, and pause-hint delay loops for every scheduling
+   hint.  Messages are Univ.t so one (monomorphic) functor application in
+   Rpc serves every ('req, 'rep) session. *)
+
+open Ulipc_engine
+
+type channel = {
+  queue : Univ.t Tl_queue.t;
+  awake : bool Atomic.t;
+  sem : Rsem.t;
+}
+
+type t = {
+  request_ch : channel;
+  replies : channel array;
+  counters : Ulipc.Counters.t;
+}
+
+type msg = Univ.t
+
+let make_channel ~capacity =
+  {
+    queue = Tl_queue.create ~capacity ();
+    awake = Atomic.make true;
+    sem = Rsem.create 0;
+  }
+
+let create ~capacity ~nclients =
+  {
+    request_ch = make_channel ~capacity;
+    replies = Array.init nclients (fun _ -> make_channel ~capacity);
+    counters = Ulipc.Counters.create ();
+  }
+
+let request t = t.request_ch
+let nclients t = Array.length t.replies
+
+let reply_channel t n =
+  if n < 0 || n >= Array.length t.replies then
+    invalid_arg (Printf.sprintf "Rpc.reply_channel: no channel %d" n);
+  t.replies.(n)
+
+let enqueue _ ch m = Tl_queue.enqueue ch.queue m
+let dequeue _ ch = Tl_queue.dequeue ch.queue
+let queue_is_empty _ ch = Tl_queue.is_empty ch.queue
+let awake_test_and_set _ ch = Atomic.exchange ch.awake true
+let awake_clear _ ch = Atomic.set ch.awake false
+let awake_set _ ch = Atomic.set ch.awake true
+let awake_read _ ch = Atomic.get ch.awake
+let sem_p _ ch = Rsem.p ch.sem
+let sem_try_p _ ch = Rsem.try_p ch.sem
+let sem_v _ ch = Rsem.v ch.sem
+
+(* Domains are genuinely parallel OS threads, so every waiting/scheduling
+   hint is the paper's multiprocessor busy-wait: a pause-hint delay.
+   There is no useful analogue of yield/handoff between domains — the
+   hint degenerates, exactly as the paper's §6 anticipates for kernels
+   without the extended interface. *)
+let busy_wait _ = Domain.cpu_relax ()
+let poll _ _ = Domain.cpu_relax ()
+let yield _ = Domain.cpu_relax ()
+let handoff_server _ = Domain.cpu_relax ()
+let handoff_any _ = Domain.cpu_relax ()
+let flow_sleep _ = Domain.cpu_relax ()
+let counters t = t.counters
+
+let wake_residue t =
+  Array.fold_left
+    (fun acc ch -> acc + Rsem.value ch.sem)
+    (Rsem.value t.request_ch.sem)
+    t.replies

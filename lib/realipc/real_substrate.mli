@@ -1,0 +1,28 @@
+(** Real-OCaml-5-domains substrate for the protocol core.
+
+    {!Tl_queue} for the queues, [bool Atomic.t] for the awake flags,
+    {!Rsem} for the counting semaphores, [Domain.cpu_relax] delay hints
+    for every busy-wait.  Messages are {!Ulipc_engine.Univ.t}, so the
+    single [Ulipc.Protocol_core.Make (Real_substrate)] application in
+    {!Rpc} serves sessions of every request/reply type. *)
+
+type t
+type channel
+type msg = Ulipc_engine.Univ.t
+
+val create : capacity:int -> nclients:int -> t
+(** One request channel plus [nclients] reply channels, each bounded by
+    [capacity], and a fresh {!Ulipc.Counters} sink. *)
+
+val nclients : t -> int
+
+val wake_residue : t -> int
+(** Sum of all channel semaphore counts: surplus wake-ups left pending.
+    With the test-and-set discipline and the non-blocking drain this is 0
+    at quiescence. *)
+
+include
+  Ulipc.Substrate.S
+    with type t := t
+     and type channel := channel
+     and type msg := msg

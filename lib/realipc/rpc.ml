@@ -1,112 +1,125 @@
-type waiting = Spin | Block | Limited_spin of int
+(* Send/Receive/Reply on real OCaml 5 domains.
 
-(* One direction: a queue plus the sleep/wake-up state of its consumer. *)
-type 'a channel = { q : 'a Tl_queue.t; awake : bool Atomic.t; sem : Rsem.t }
+   This module contains NO protocol logic of its own: it instantiates the
+   substrate-parametric core (Ulipc.Protocol_core.Make) over the
+   real-domains substrate and routes each call to the protocol selected at
+   create time.  The producer steps P.1–P.3, the consumer sequence
+   C.1–C.5, the raced-wake-up drain and the poll loops are the very same
+   code the simulator runs. *)
+
+open Ulipc_engine
+module P = Ulipc.Protocol_core.Make (Real_substrate)
+
+type waiting =
+  | Spin
+  | Block
+  | Block_yield
+  | Limited_spin of int
+  | Handoff
 
 type ('req, 'rep) t = {
   waiting : waiting;
-  request : (int * 'req) channel;
-  replies : 'rep channel array;
+  sub : Real_substrate.t;
+  inject_req : int * 'req -> Univ.t;
+  project_req : Univ.t -> (int * 'req) option;
+  inject_rep : 'rep -> Univ.t;
+  project_rep : Univ.t -> 'rep option;
 }
-
-let channel ~capacity =
-  {
-    q = Tl_queue.create ~capacity ();
-    awake = Atomic.make true;
-    sem = Rsem.create 0;
-  }
 
 let create ?(capacity = 64) ~nclients waiting =
   if nclients <= 0 then invalid_arg "Rpc.create: nclients must be positive";
+  if capacity <= 0 then invalid_arg "Rpc.create: capacity must be positive";
+  (match waiting with
+  | Limited_spin max_spin when max_spin < 0 ->
+    invalid_arg "Rpc.create: max_spin must be non-negative"
+  | Spin | Block | Block_yield | Limited_spin _ | Handoff -> ());
+  let inject_req, project_req = Univ.embed () in
+  let inject_rep, project_rep = Univ.embed () in
   {
     waiting;
-    request = channel ~capacity;
-    replies = Array.init nclients (fun _ -> channel ~capacity);
+    sub = Real_substrate.create ~capacity ~nclients;
+    inject_req;
+    project_req;
+    inject_rep;
+    project_rep;
   }
 
-let nclients t = Array.length t.replies
+let nclients t = Real_substrate.nclients t.sub
+let counters t = Real_substrate.counters t.sub
+let wake_residue t = Real_substrate.wake_residue t.sub
 
-let reply_channel t client =
-  if client < 0 || client >= Array.length t.replies then
-    invalid_arg (Printf.sprintf "Rpc: no client %d" client);
-  t.replies.(client)
+(* Channels only ever carry the embedding of their direction, so a failed
+   projection is a bug in this module, not a user error. *)
+let project_rep t m =
+  match t.project_rep m with Some v -> v | None -> assert false
 
-(* Producer side, steps P.1–P.3 with the test-and-set repair: enqueue
-   (spinning through the rare full-queue condition), then wake the consumer
-   only if the flag was clear. *)
-let produce ch v ~wake =
-  while not (Tl_queue.enqueue ch.q v) do
-    Domain.cpu_relax ()
-  done;
-  if wake && not (Atomic.exchange ch.awake true) then Rsem.v ch.sem
+let project_req t m =
+  match t.project_req m with Some v -> v | None -> assert false
 
-let spin_dequeue ch =
-  let rec loop () =
-    match Tl_queue.dequeue ch.q with
-    | Some v -> v
-    | None ->
-      Domain.cpu_relax ();
-      loop ()
-  in
-  loop ()
-
-(* The consumer sequence C.1–C.5 of Figure 5, on real atomics. *)
-let blocking_dequeue ch =
-  let rec outer () =
-    match Tl_queue.dequeue ch.q with (* C.1 *)
-    | Some v -> v
-    | None -> (
-      Atomic.set ch.awake false;
-      (* C.2 *)
-      match Tl_queue.dequeue ch.q with (* C.3 *)
-      | None ->
-        Rsem.p ch.sem;
-        (* C.4 *)
-        Atomic.set ch.awake true;
-        (* C.5 *)
-        outer ()
-      | Some v ->
-        (* A producer that saw the cleared flag also posted a V; drain it
-           or wake-ups accumulate (Interleaving 3). *)
-        if Atomic.exchange ch.awake true then Rsem.p ch.sem;
-        v)
-  in
-  outer ()
-
-let limited_spin_dequeue ch ~max_spin =
-  let rec poll spincnt =
-    if spincnt < max_spin && Tl_queue.is_empty ch.q then begin
-      Domain.cpu_relax ();
-      poll (spincnt + 1)
-    end
-  in
-  poll 0;
-  blocking_dequeue ch
-
-let consume t ch =
-  match t.waiting with
-  | Spin -> spin_dequeue ch
-  | Block -> blocking_dequeue ch
-  | Limited_spin max_spin -> limited_spin_dequeue ch ~max_spin
-
-let wake_needed t = match t.waiting with Spin -> false | Block | Limited_spin _ -> true
-
-let post t ~client req =
-  let (_ : 'rep channel) = reply_channel t client in
-  produce t.request (client, req) ~wake:(wake_needed t)
-
-let collect t ~client = consume t (reply_channel t client)
+let check_client t client =
+  ignore (Real_substrate.reply_channel t.sub client : Real_substrate.channel)
 
 let send t ~client req =
-  post t ~client req;
-  collect t ~client
+  check_client t client;
+  let m = t.inject_req (client, req) in
+  let ans =
+    match t.waiting with
+    | Spin -> P.Bss.send t.sub ~client m
+    | Block -> P.Bsw.send t.sub ~client m
+    | Block_yield -> P.Bswy.send t.sub ~client m
+    | Limited_spin max_spin -> P.Bsls.send t.sub ~client ~max_spin m
+    | Handoff -> P.Handoff.send t.sub ~client m
+  in
+  project_rep t ans
 
-let receive t = consume t t.request
+let receive t =
+  let m =
+    match t.waiting with
+    | Spin -> P.Bss.receive t.sub
+    | Block -> P.Bsw.receive t.sub
+    | Block_yield -> P.Bswy.receive t.sub
+    | Limited_spin max_spin -> P.Bsls.receive t.sub ~max_spin
+    | Handoff -> P.Handoff.receive t.sub
+  in
+  project_req t m
 
 let reply t ~client rep =
-  produce (reply_channel t client) rep ~wake:(wake_needed t)
+  let m = t.inject_rep rep in
+  match t.waiting with
+  | Spin -> P.Bss.reply t.sub ~client m
+  | Block -> P.Bsw.reply t.sub ~client m
+  | Block_yield -> P.Bswy.reply t.sub ~client m
+  | Limited_spin _ -> P.Bsls.reply t.sub ~client m
+  | Handoff -> P.Handoff.reply t.sub ~client m
 
-let wake_residue t =
-  Array.fold_left
-    (fun acc ch -> acc + Rsem.value ch.sem)
-    (Rsem.value t.request.sem) t.replies
+(* The asynchronous halves, composed from the same shared primitives the
+   synchronous protocols use (cf. Ulipc.Async on the simulator side). *)
+
+let post t ~client req =
+  check_client t client;
+  let m = t.inject_req (client, req) in
+  let request = Real_substrate.request t.sub in
+  match t.waiting with
+  | Spin -> P.Prims.spin_enqueue t.sub request m
+  | Block | Block_yield | Limited_spin _ | Handoff ->
+    P.Prims.flow_enqueue t.sub request m;
+    ignore (P.Prims.wake_consumer t.sub request ~target:P.Prims.Server : bool)
+
+let collect t ~client =
+  let ch = Real_substrate.reply_channel t.sub client in
+  let m =
+    match t.waiting with
+    | Spin -> P.Prims.spinning_dequeue t.sub ch
+    | Block | Handoff ->
+      P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client ()
+    | Block_yield ->
+      P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client
+        ~on_empty:(fun () -> P.Prims.busy_wait t.sub)
+        ()
+    | Limited_spin max_spin ->
+      P.Prims.limited_spin t.sub ch ~side:P.Prims.Client ~max_spin;
+      P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client
+        ~on_empty:(fun () -> P.Prims.busy_wait t.sub)
+        ()
+  in
+  project_rep t m

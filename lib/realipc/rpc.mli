@@ -2,8 +2,10 @@
 
     Domains within one process stand in for processes sharing a memory
     segment: the queue structure, the awake-flag discipline and the race
-    repairs are identical to the simulated protocols; only the protection
-    boundary differs (the paper explicitly defers security).
+    repairs are {e literally} the simulated protocols — this module is
+    nothing but [Ulipc.Protocol_core.Make] applied to the real-domains
+    substrate ({!Real_substrate}), so the producer steps P.1–P.3 and the
+    consumer sequence C.1–C.5 exist in the codebase exactly once.
 
     A session has one request queue into the server and one reply channel
     per client, exactly like {!Ulipc.Session}.  Requests and replies are
@@ -12,14 +14,22 @@
 type waiting =
   | Spin  (** BSS: busy-wait with [Domain.cpu_relax], never block *)
   | Block  (** BSW: awake flag + counting semaphore, the Figure 5 sequence *)
+  | Block_yield
+      (** BSWY: BSW with a scheduling hint before blocking.  Between
+          domains the hint degenerates to [Domain.cpu_relax]. *)
   | Limited_spin of int
       (** BSLS: poll up to MAX_SPIN times, then run the Figure 5 sequence *)
+  | Handoff
+      (** §6 handoff variant: the waiting hint names the likely next
+          runner.  Between genuinely parallel domains this too degenerates
+          to [Domain.cpu_relax]. *)
 
 type ('req, 'rep) t
 
 val create : ?capacity:int -> nclients:int -> waiting -> ('req, 'rep) t
 (** [capacity] (default 64) bounds every queue.
-    @raise Invalid_argument if [nclients <= 0]. *)
+    @raise Invalid_argument if [nclients <= 0], if [capacity <= 0], or if
+    a [Limited_spin] bound is negative. *)
 
 val nclients : ('req, 'rep) t -> int
 
@@ -34,12 +44,20 @@ val receive : ('req, 'rep) t -> int * 'req
 val reply : ('req, 'rep) t -> client:int -> 'rep -> unit
 
 val post : ('req, 'rep) t -> client:int -> 'req -> unit
-(** Asynchronous send: enqueue and wake the server, do not wait. *)
+(** Asynchronous send: enqueue and wake the server, do not wait.
+    @raise Invalid_argument on a bad client number. *)
 
 val collect : ('req, 'rep) t -> client:int -> 'rep
 (** Wait for the next reply to this client (pairs with {!post}). *)
 
+val counters : ('req, 'rep) t -> Ulipc.Counters.t
+(** The protocol-event counters the shared core maintains — the same
+    fields the simulator reports (sends, receives, wake-ups, spin
+    fall-throughs, race fixes, ...).  Incremented without atomicity from
+    several domains: totals are exact only for fields written by a single
+    domain (e.g. server-side receive counts), otherwise lower bounds. *)
+
 val wake_residue : ('req, 'rep) t -> int
 (** Sum of all channel semaphore counts; surplus wake-ups left pending.
-    For tests — with the test-and-set discipline this stays bounded by
-    the number of channels. *)
+    For tests — the C.4 [Rsem.try_p] drain keeps this at 0 once all
+    traffic has quiesced. *)

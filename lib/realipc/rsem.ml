@@ -12,6 +12,13 @@ let p t =
   t.count <- t.count - 1;
   Mutex.unlock t.mutex
 
+let try_p t =
+  Mutex.lock t.mutex;
+  let taken = t.count > 0 in
+  if taken then t.count <- t.count - 1;
+  Mutex.unlock t.mutex;
+  taken
+
 let v t =
   Mutex.lock t.mutex;
   t.count <- t.count + 1;

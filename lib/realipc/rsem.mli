@@ -13,6 +13,13 @@ val create : int -> t
 val p : t -> unit
 (** Down: block while the count is zero, then decrement. *)
 
+val try_p : t -> bool
+(** Non-blocking down: decrement and return [true] if the count is
+    positive, return [false] (without waiting) if it is zero.  The
+    Figure 5 consumer drains a raced wake-up with this after its second
+    dequeue succeeds (Interleaving 3), where a blocking P could not be
+    used speculatively. *)
+
 val v : t -> unit
 (** Up: increment and wake one waiter. *)
 

@@ -15,6 +15,38 @@ type t = {
   utilization : float;
 }
 
+(* Real-domain runs have no simulated kernel behind them: usage, step and
+   yield accounting do not exist.  Record the honest zeros/nans so the
+   shared printers still apply. *)
+let zero_usage =
+  {
+    Ulipc_os.Syscall.voluntary_switches = 0;
+    involuntary_switches = 0;
+    cpu_time = Ulipc_engine.Sim_time.zero;
+    syscalls = 0;
+  }
+
+let of_real ~machine ~protocol ~nclients ~messages ~elapsed_s ~counters =
+  let elapsed = Ulipc_engine.Sim_time.us_f (elapsed_s *. 1.0e6) in
+  {
+    machine;
+    protocol;
+    nclients;
+    messages;
+    elapsed;
+    throughput_msg_per_ms =
+      (if elapsed_s <= 0.0 then nan
+       else float_of_int messages /. (elapsed_s *. 1000.0));
+    latency_us = None;
+    counters;
+    server_usage = zero_usage;
+    client_usage = [];
+    total_sim_time = elapsed;
+    sim_steps = 0;
+    total_yields = 0;
+    utilization = nan;
+  }
+
 let round_trip_us t =
   if t.messages = 0 then nan
   else

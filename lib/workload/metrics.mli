@@ -23,6 +23,20 @@ type t = {
           elapsed), in [0, 1]; the cost busy-waiting pays *)
 }
 
+val of_real :
+  machine:string ->
+  protocol:Ulipc.Protocol_kind.t ->
+  nclients:int ->
+  messages:int ->
+  elapsed_s:float ->
+  counters:Ulipc.Counters.t ->
+  t
+(** Package a wall-clock measurement from the real-domains backend into
+    the same record the simulator produces, so both report through one
+    set of printers.  [elapsed_s] is wall-clock seconds.  Fields that
+    only a simulated kernel can account (usage, sim steps, yields,
+    utilization) are zero / [nan]. *)
+
 val round_trip_us : t -> float
 (** Mean round-trip latency implied by throughput and client count:
     [nclients × elapsed / messages], in µs.  Matches the paper's

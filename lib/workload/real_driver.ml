@@ -1,0 +1,41 @@
+(* The §2.2 echo workload on real OCaml 5 domains: one server domain,
+   [nclients] client domains, each issuing [messages] synchronous calls
+   through Ulipc_real.Rpc.  The same protocol core the simulator runs,
+   measured in wall-clock time, reported through the same Metrics record. *)
+
+let kind_of_waiting = function
+  | Ulipc_real.Rpc.Spin -> Ulipc.Protocol_kind.BSS
+  | Ulipc_real.Rpc.Block -> Ulipc.Protocol_kind.BSW
+  | Ulipc_real.Rpc.Block_yield -> Ulipc.Protocol_kind.BSWY
+  | Ulipc_real.Rpc.Limited_spin max_spin -> Ulipc.Protocol_kind.BSLS max_spin
+  | Ulipc_real.Rpc.Handoff -> Ulipc.Protocol_kind.HANDOFF
+
+let run ?(machine = "domains") ~nclients ~messages waiting =
+  let t : (int, int) Ulipc_real.Rpc.t = Ulipc_real.Rpc.create ~nclients waiting in
+  let server =
+    Domain.spawn (fun () ->
+        let remaining = ref (nclients * messages) in
+        while !remaining > 0 do
+          let client, v = Ulipc_real.Rpc.receive t in
+          Ulipc_real.Rpc.reply t ~client (v + 1);
+          decr remaining
+        done)
+  in
+  let t0 = Unix.gettimeofday () in
+  let clients =
+    List.init nclients (fun c ->
+        Domain.spawn (fun () ->
+            for i = 1 to messages do
+              if Ulipc_real.Rpc.send t ~client:c i <> i + 1 then
+                failwith "Real_driver.run: echo mismatch"
+            done))
+  in
+  List.iter Domain.join clients;
+  Domain.join server;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  Metrics.of_real ~machine
+    ~protocol:(kind_of_waiting waiting)
+    ~nclients
+    ~messages:(nclients * messages)
+    ~elapsed_s
+    ~counters:(Ulipc_real.Rpc.counters t)

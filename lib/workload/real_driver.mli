@@ -1,0 +1,22 @@
+(** The echo benchmark workload on real OCaml 5 domains.
+
+    Counterpart of {!Driver} for the {!Ulipc_real.Rpc} backend: the same
+    client-server echo exchange, but against the machine's actual domains
+    and wall clock rather than the simulator.  Results come back as the
+    same {!Metrics.t} (counter fields included) so simulated and real runs
+    print through one code path. *)
+
+val kind_of_waiting : Ulipc_real.Rpc.waiting -> Ulipc.Protocol_kind.t
+(** Spin ↦ BSS, Block ↦ BSW, Block_yield ↦ BSWY, Limited_spin n ↦ BSLS n,
+    Handoff ↦ HANDOFF. *)
+
+val run :
+  ?machine:string ->
+  nclients:int ->
+  messages:int ->
+  Ulipc_real.Rpc.waiting ->
+  Metrics.t
+(** [run ~nclients ~messages waiting] spawns one server domain and
+    [nclients] client domains, each performing [messages] synchronous
+    echo calls; returns the wall-clock metrics.  [machine] labels the row
+    (default ["domains"]). *)

@@ -55,7 +55,14 @@ let test_session_validation () =
   Alcotest.(check int) "nclients" 2 (Ulipc.Session.nclients session);
   Alcotest.check_raises "bad channel"
     (Invalid_argument "Session.reply_channel: no channel 5") (fun () ->
-      ignore (Ulipc.Session.reply_channel session 5))
+      ignore (Ulipc.Session.reply_channel session 5));
+  Alcotest.check_raises "bad nclients"
+    (Invalid_argument "Session.create: nclients must be positive") (fun () ->
+      ignore (make_session ~nclients:0 ()));
+  Alcotest.check_raises "bad max_spin"
+    (Invalid_argument "Session.create: max_spin must be non-negative")
+    (fun () ->
+      ignore (make_session ~kind:(Ulipc.Protocol_kind.BSLS (-1)) ()))
 
 let test_session_mtype () =
   Alcotest.(check int) "mtype positive" 1 (Ulipc.Session.sysv_reply_mtype ~client:0);

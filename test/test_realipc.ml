@@ -127,8 +127,52 @@ let test_rsem_rejects_negative () =
   Alcotest.check_raises "negative" (Invalid_argument "Rsem.create: negative initial count")
     (fun () -> ignore (Rsem.create (-1)))
 
+let test_rsem_try_p () =
+  let s = Rsem.create 2 in
+  Alcotest.(check bool) "takes 1st" true (Rsem.try_p s);
+  Alcotest.(check bool) "takes 2nd" true (Rsem.try_p s);
+  Alcotest.(check bool) "refuses on zero" false (Rsem.try_p s);
+  Alcotest.(check int) "count untouched by refusal" 0 (Rsem.value s);
+  Rsem.v s;
+  Alcotest.(check bool) "takes after V" true (Rsem.try_p s)
+
+let test_rsem_try_p_never_blocks () =
+  (* try_p on an empty semaphore must return, not wait: run it on this
+     domain with no V anywhere in flight. *)
+  let s = Rsem.create 0 in
+  for _ = 1 to 1_000 do
+    if Rsem.try_p s then Alcotest.fail "took from an empty semaphore"
+  done;
+  Alcotest.(check int) "still zero" 0 (Rsem.value s)
+
 (* ------------------------------------------------------------------ *)
 (* Rpc protocols on real domains *)
+
+(* Run a complete 2×-double echo workload through an existing session:
+   one server domain, [Rpc.nclients t] client domains, [messages] calls
+   each; joins everything before returning. *)
+let echo_through (t : (int, int) Rpc.t) ~messages =
+  let nclients = Rpc.nclients t in
+  let server =
+    Domain.spawn (fun () ->
+        let remaining = ref (nclients * messages) in
+        while !remaining > 0 do
+          let client, v = Rpc.receive t in
+          Rpc.reply t ~client (v * 2);
+          decr remaining
+        done)
+  in
+  let clients =
+    List.init nclients (fun c ->
+        Domain.spawn (fun () ->
+            for i = 1 to messages do
+              let v = (c * 10_000_000) + i in
+              if Rpc.send t ~client:c v <> 2 * v then
+                failwith "echo mismatch"
+            done))
+  in
+  List.iter Domain.join clients;
+  Domain.join server
 
 let echo_exchange ?(messages = 500) waiting () =
   let nclients = 2 in
@@ -188,8 +232,45 @@ let test_rpc_async () =
 let test_rpc_validation () =
   let t : (int, int) Rpc.t = Rpc.create ~nclients:2 Rpc.Block in
   Alcotest.(check int) "nclients" 2 (Rpc.nclients t);
-  Alcotest.check_raises "bad client" (Invalid_argument "Rpc: no client 9")
-    (fun () -> ignore (Rpc.post t ~client:9 0))
+  Alcotest.check_raises "bad client"
+    (Invalid_argument "Rpc.reply_channel: no channel 9") (fun () ->
+      ignore (Rpc.post t ~client:9 0));
+  Alcotest.check_raises "bad nclients"
+    (Invalid_argument "Rpc.create: nclients must be positive") (fun () ->
+      ignore (Rpc.create ~nclients:0 Rpc.Block : (int, int) Rpc.t));
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Rpc.create: capacity must be positive") (fun () ->
+      ignore (Rpc.create ~capacity:0 ~nclients:1 Rpc.Block : (int, int) Rpc.t));
+  Alcotest.check_raises "bad max_spin"
+    (Invalid_argument "Rpc.create: max_spin must be non-negative") (fun () ->
+      ignore (Rpc.create ~nclients:1 (Rpc.Limited_spin (-1)) : (int, int) Rpc.t))
+
+let test_rpc_no_stale_wakeups () =
+  (* The C.4 drain (Rsem.try_p after a successful second dequeue) must
+     absorb every wake-up raced against a non-sleeping consumer: after a
+     blocking exchange fully quiesces, no semaphore may hold residue. *)
+  let t : (int, int) Rpc.t = Rpc.create ~nclients:2 Rpc.Block in
+  echo_through t ~messages:300;
+  Alcotest.(check int) "no stale V residue" 0 (Rpc.wake_residue t)
+
+let test_rpc_counters () =
+  let messages = 200 in
+  let nclients = 2 in
+  let t : (int, int) Rpc.t = Rpc.create ~nclients Rpc.Block in
+  echo_through t ~messages;
+  let c = Rpc.counters t in
+  let total = nclients * messages in
+  (* sends/receives/replies are bumped by single writers per field
+     (clients never race the server on the same field only for
+     server-side ones); client-side sends race across 2 domains, so
+     allow undercount but never overcount. *)
+  Alcotest.(check int) "receives (single writer)" total
+    c.Ulipc.Counters.receives;
+  Alcotest.(check int) "replies (single writer)" total c.Ulipc.Counters.replies;
+  Alcotest.(check bool) "sends bounded" true
+    (c.Ulipc.Counters.sends > 0 && c.Ulipc.Counters.sends <= total);
+  Alcotest.(check bool) "server wakeups bounded" true
+    (c.Ulipc.Counters.server_wakeups <= total)
 
 let suites =
   [
@@ -209,6 +290,9 @@ let suites =
           test_rsem_pending_v_prevents_block;
         Alcotest.test_case "blocks until V" `Quick test_rsem_blocks_until_v;
         Alcotest.test_case "rejects negative" `Quick test_rsem_rejects_negative;
+        Alcotest.test_case "try_p counting" `Quick test_rsem_try_p;
+        Alcotest.test_case "try_p never blocks" `Quick
+          test_rsem_try_p_never_blocks;
       ] );
     ( "realipc.rpc",
       [
@@ -217,9 +301,15 @@ let suites =
         Alcotest.test_case "echo, spin (BSS)" `Quick
           (echo_exchange ~messages:50 Rpc.Spin);
         Alcotest.test_case "echo, block (BSW)" `Quick (echo_exchange Rpc.Block);
+        Alcotest.test_case "echo, block+yield (BSWY)" `Quick
+          (echo_exchange Rpc.Block_yield);
         Alcotest.test_case "echo, limited spin (BSLS)" `Quick
           (echo_exchange (Rpc.Limited_spin 100));
+        Alcotest.test_case "echo, handoff" `Quick (echo_exchange Rpc.Handoff);
         Alcotest.test_case "async post/collect" `Quick test_rpc_async;
         Alcotest.test_case "validation" `Quick test_rpc_validation;
+        Alcotest.test_case "no stale wake-ups (try_p drain)" `Quick
+          test_rpc_no_stale_wakeups;
+        Alcotest.test_case "counters" `Quick test_rpc_counters;
       ] );
   ]
