@@ -6,7 +6,10 @@
      dune exec bench/main.exe -- figs         # all figures
      dune exec bench/main.exe -- fig2a fig11  # specific figures
      dune exec bench/main.exe -- table1 ablations micro
-     dune exec bench/main.exe -- quick        # reduced message counts *)
+     dune exec bench/main.exe -- quick        # reduced counts + short quotas
+     dune exec bench/main.exe -- micro --json BENCH_real.json
+                                              # also write the real-domains
+                                              # results as JSON *)
 
 open Ulipc_workload
 
@@ -196,6 +199,9 @@ let print_noise () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the real-domains primitives *)
 
+let transports = Ulipc_real.Real_substrate.[ Two_lock; Ring ]
+let transport_name = Ulipc_real.Real_substrate.transport_name
+
 let micro_tests () =
   let open Bechamel in
   let queue_pair =
@@ -205,6 +211,22 @@ let micro_tests () =
       (Staged.stage (fun q ->
            ignore (Ulipc_real.Tl_queue.enqueue q 1 : bool);
            ignore (Ulipc_real.Tl_queue.dequeue q : int option)))
+  in
+  let spsc_pair =
+    Test.make_with_resource ~name:"spsc_ring enqueue+dequeue" Test.uniq
+      ~allocate:(fun () -> Ulipc_real.Spsc_ring.create ~capacity:64 ())
+      ~free:ignore
+      (Staged.stage (fun q ->
+           ignore (Ulipc_real.Spsc_ring.enqueue q 1 : bool);
+           ignore (Ulipc_real.Spsc_ring.dequeue q : int option)))
+  in
+  let mpsc_pair =
+    Test.make_with_resource ~name:"mpsc_ring enqueue+dequeue" Test.uniq
+      ~allocate:(fun () -> Ulipc_real.Mpsc_ring.create ~capacity:64 ())
+      ~free:ignore
+      (Staged.stage (fun q ->
+           ignore (Ulipc_real.Mpsc_ring.enqueue q 1 : bool);
+           ignore (Ulipc_real.Mpsc_ring.dequeue q : int option)))
   in
   let sem_pair =
     Test.make_with_resource ~name:"rsem V+P" Test.uniq
@@ -220,12 +242,13 @@ let micro_tests () =
       ~free:ignore
       (Staged.stage (fun f -> ignore (Atomic.exchange f true : bool)))
   in
-  let round_trip name waiting =
+  let round_trip name transport waiting =
     (* Resource: a live echo server domain; -1 asks it to exit. *)
+    let name = Printf.sprintf "%s [%s]" name (transport_name transport) in
     Test.make_with_resource ~name Test.uniq
       ~allocate:(fun () ->
         let t : (int, int) Ulipc_real.Rpc.t =
-          Ulipc_real.Rpc.create ~nclients:1 waiting
+          Ulipc_real.Rpc.create ~transport ~nclients:1 waiting
         in
         let d =
           Domain.spawn (fun () ->
@@ -245,41 +268,30 @@ let micro_tests () =
       (Staged.stage (fun ((t, _) : (int, int) Ulipc_real.Rpc.t * unit Domain.t) ->
            ignore (Ulipc_real.Rpc.send t ~client:0 42 : int)))
   in
-  [
-    queue_pair;
-    sem_pair;
-    tas;
-    round_trip "round-trip, spin (BSS)" Ulipc_real.Rpc.Spin;
-    round_trip "round-trip, block (BSW)" Ulipc_real.Rpc.Block;
-    round_trip "round-trip, block+yield (BSWY)" Ulipc_real.Rpc.Block_yield;
-    round_trip "round-trip, limited spin (BSLS)"
-      (Ulipc_real.Rpc.Limited_spin 500);
-    round_trip "round-trip, handoff" Ulipc_real.Rpc.Handoff;
-  ]
+  [ queue_pair; spsc_pair; mpsc_pair; sem_pair; tas ]
+  @ List.concat_map
+      (fun transport ->
+        [
+          round_trip "round-trip, spin (BSS)" transport Ulipc_real.Rpc.Spin;
+          round_trip "round-trip, block (BSW)" transport Ulipc_real.Rpc.Block;
+          round_trip "round-trip, block+yield (BSWY)" transport
+            Ulipc_real.Rpc.Block_yield;
+          round_trip "round-trip, limited spin (BSLS)" transport
+            (Ulipc_real.Rpc.Limited_spin 500);
+          round_trip "round-trip, handoff" transport Ulipc_real.Rpc.Handoff;
+        ])
+      transports
 
-(* The same protocol-event counters the simulator reports, now measured on
-   the real backend: one shared core, two substrates, one report format. *)
-let print_real_counters () =
-  Format.printf
-    "--- real-domains echo runs (same counter fields as simulated runs) \
-     ---@.";
-  List.iter
-    (fun waiting ->
-      let m = Real_driver.run ~nclients:2 ~messages:2_000 waiting in
-      Format.printf "%a@.%a@.@." Metrics.pp_row m Ulipc.Counters.pp
-        m.Metrics.counters)
-    Ulipc_real.Rpc.
-      [ Block; Block_yield; Limited_spin 50; Handoff ]
-
-let print_micro () =
+(* [(bechamel name, ns/op)] rows, sorted by name.  In quick mode the
+   quota drops from 500 ms to 50 ms per test and GC stabilisation is
+   skipped: noisier numbers, but the whole sweep fits in CI time. *)
+let micro_rows ~quick () =
   let open Bechamel in
-  Format.printf
-    "=== Real-hardware micro-benchmarks (OCaml domains, Bechamel) ===@.";
-  Format.printf
-    "The modern analogue of Table 1: user-level queue ops vs blocking.@.";
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    if quick then
+      Benchmark.cfg ~limit:300 ~quota:(Time.second 0.05) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
   let tests = Test.make_grouped ~name:"real" (micro_tests ()) in
   let raw = Benchmark.all cfg [ instance ] tests in
@@ -295,16 +307,115 @@ let print_micro () =
         | Some [] | None -> acc)
       results []
   in
+  List.sort compare rows
+
+(* The same protocol-event counters the simulator reports, now measured on
+   the real backend — over both transports, so every run records the
+   two-lock-vs-ring comparison.  [(transport, metrics)] rows. *)
+let real_rows ~quick () =
+  let messages = if quick then 300 else 2_000 in
+  List.concat_map
+    (fun transport ->
+      List.map
+        (fun waiting ->
+          ( transport,
+            Real_driver.run
+              ~machine:(transport_name transport)
+              ~transport ~nclients:2 ~messages waiting ))
+        Ulipc_real.Rpc.[ Block; Block_yield; Limited_spin 50; Handoff ])
+    transports
+
+(* ------------------------------------------------------------------ *)
+(* JSON trajectory: the per-PR perf baseline (BENCH_real.json) *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
+
+let write_json path ~quick ~micro ~real =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  let sep i n = if i = n - 1 then "" else "," in
+  p "{\n";
+  p "  \"schema\": \"ulipc-bench-real/1\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"micro_ns_per_op\": [\n";
+  let n = List.length micro in
+  List.iteri
+    (fun i (name, ns) ->
+      p "    { \"name\": \"%s\", \"ns_per_op\": %s }%s\n" (json_escape name)
+        (json_float ns) (sep i n))
+    micro;
+  p "  ],\n";
+  p "  \"real_driver\": [\n";
+  let n = List.length real in
+  List.iteri
+    (fun i (transport, m) ->
+      p
+        "    { \"transport\": \"%s\", \"protocol\": \"%s\", \"nclients\": %d, \
+         \"messages\": %d, \"throughput_msg_per_ms\": %s, \"round_trip_us\": \
+         %s }%s\n"
+        (transport_name transport)
+        (json_escape (Ulipc.Protocol_kind.name m.Metrics.protocol))
+        m.Metrics.nclients m.Metrics.messages
+        (json_float m.Metrics.throughput_msg_per_ms)
+        (json_float (Metrics.round_trip_us m))
+        (sep i n))
+    real;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
+
+let print_micro ~quick ~json () =
+  Format.printf
+    "=== Real-hardware micro-benchmarks (OCaml domains, Bechamel) ===@.";
+  Format.printf
+    "The modern analogue of Table 1: user-level queue ops vs blocking.@.";
+  let micro = micro_rows ~quick () in
   List.iter
-    (fun (name, ns) -> Format.printf "%-40s %10.1f ns/op@." name ns)
-    (List.sort compare rows);
+    (fun (name, ns) -> Format.printf "%-50s %10.1f ns/op@." name ns)
+    micro;
   Format.printf "@.";
-  print_real_counters ()
+  Format.printf
+    "--- real-domains echo runs (same counter fields as simulated runs) \
+     ---@.";
+  let real = real_rows ~quick () in
+  List.iter
+    (fun (_, m) ->
+      Format.printf "%a@.%a@.@." Metrics.pp_row m Ulipc.Counters.pp
+        m.Metrics.counters)
+    real;
+  match json with
+  | None -> ()
+  | Some path ->
+    write_json path ~quick ~micro ~real;
+    Format.printf "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | [ "--json" ] ->
+      prerr_endline "bench: --json requires a path";
+      exit 2
+    | a :: rest -> split_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json, args = split_json [] args in
   let quick = List.mem "quick" args in
   let messages = if quick then 2_000 else Experiments.messages_default in
   let builders = figure_builders messages in
@@ -313,6 +424,12 @@ let () =
     if args = [] then
       [ "table1"; "figs"; "ablations"; "arch"; "load"; "noise"; "micro" ]
     else args
+  in
+  (* --json data comes from the micro section; make sure it runs. *)
+  let sections =
+    if json <> None && not (List.mem "micro" sections) then
+      sections @ [ "micro" ]
+    else sections
   in
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -324,12 +441,12 @@ let () =
       | "arch" -> print_arch ()
       | "load" -> print_load ()
       | "noise" -> print_noise ()
-      | "micro" -> print_micro ()
+      | "micro" -> print_micro ~quick ~json ()
       | id when List.mem_assoc id builders ->
         print_figure (List.assoc id builders)
       | other ->
         Format.printf
-          "unknown section %S (table1, figs, ablations, arch, load, noise, micro, quick, %s)@."
+          "unknown section %S (table1, figs, ablations, arch, load, noise, micro, quick, --json <path>, %s)@."
           other
           (String.concat ", " (List.map fst builders)))
     sections;

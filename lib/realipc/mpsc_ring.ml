@@ -1,0 +1,99 @@
+(* Bounded multi-producer/single-consumer ring: Vyukov's bounded queue
+   specialised to one consumer.  Producers claim a slot by CAS-ing the
+   tail ticket; each slot carries a sequence number that says which lap
+   of the ring it is ready for, so a claimed-but-unfilled slot is
+   distinguishable from a filled one without any lock:
+
+     seq = index            the slot is free for the producer holding
+                            ticket [index];
+     seq = index + 1        the slot holds the message for ticket
+                            [index], ready for the consumer;
+     seq = index + ring     the consumer has emptied it; free for the
+                            producer holding ticket [index + ring].
+
+   The consumer owns [head] outright (single consumer), so dequeue does
+   no CAS at all: check the head slot's sequence, take the value, bump
+   the sequence a full lap, bump head.
+
+   Flow control is exact against the logical [cap] (which may be smaller
+   than the power-of-two slot count): a producer first checks
+   [tail - head >= cap] and reports full without claiming a ticket.
+   Under concurrency [enqueue] may transiently report full while a
+   consumer is mid-dequeue — callers retry (flow_enqueue/spin_enqueue),
+   exactly as they already do for a genuinely full queue.
+
+   A producer that is descheduled between winning the CAS and publishing
+   its sequence leaves a "hole": the consumer cannot pass it, so later
+   messages wait behind it.  The sleep/wake-up protocols tolerate this —
+   every producer issues its wake-up only after its own enqueue completes,
+   so the hole's owner is the one that wakes the consumer it stalled. *)
+
+type 'a slot = { mutable value : 'a option; seq : int Atomic.t }
+
+type 'a t = {
+  slots : 'a slot array;
+  mask : int;
+  ring : int;
+  cap : int;
+  tail : int Atomic.t; (* producers' ticket counter (CAS) *)
+  head : int Atomic.t; (* next read index; written by the consumer only *)
+}
+
+let rec ceil_pow2 n acc = if acc >= n then acc else ceil_pow2 n (acc * 2)
+
+let create ~capacity () =
+  if capacity <= 0 then
+    invalid_arg "Mpsc_ring.create: capacity must be positive";
+  let ring = ceil_pow2 capacity 1 in
+  {
+    slots = Array.init ring (fun i -> { value = None; seq = Atomic.make i });
+    mask = ring - 1;
+    ring;
+    cap = capacity;
+    tail = Padding.copy_padded (Atomic.make 0);
+    head = Padding.copy_padded (Atomic.make 0);
+  }
+
+let capacity q = q.cap
+
+let rec enqueue q v =
+  let tail = Atomic.get q.tail in
+  if tail - Atomic.get q.head >= q.cap then false
+  else begin
+    let slot = q.slots.(tail land q.mask) in
+    let seq = Atomic.get slot.seq in
+    if seq = tail then
+      if Atomic.compare_and_set q.tail tail (tail + 1) then begin
+        (* Ticket won: the slot is ours alone.  The plain value store is
+           published by the sequence bump. *)
+        slot.value <- Some v;
+        Atomic.set slot.seq (tail + 1);
+        true
+      end
+      else enqueue q v (* lost the ticket race; retry *)
+    else if seq - tail < 0 then
+      (* Still occupied from the previous lap: full at ring granularity
+         (unreachable after the exact check above, kept as the Vyukov
+         fallback). *)
+      false
+    else enqueue q v (* another producer advanced tail; reload *)
+  end
+
+(* Single consumer: no competition for [head].  The sequence is bumped a
+   full lap *before* head so that a producer passing the exact capacity
+   check always finds the slot recycled (see the ordering argument in
+   enqueue's full check). *)
+let dequeue q =
+  let head = Atomic.get q.head in
+  let slot = q.slots.(head land q.mask) in
+  if Atomic.get slot.seq = head + 1 then begin
+    let v = slot.value in
+    slot.value <- None;
+    Atomic.set slot.seq (head + q.ring);
+    Atomic.set q.head (head + 1);
+    v
+  end
+  else None
+
+let is_empty q = Atomic.get q.tail - Atomic.get q.head <= 0
+let length q = max 0 (Atomic.get q.tail - Atomic.get q.head)

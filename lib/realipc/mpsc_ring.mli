@@ -1,0 +1,44 @@
+(** Bounded lock-free multi-producer/single-consumer ring.
+
+    Vyukov's bounded queue specialised to one consumer: producers claim
+    slots by CAS on a tail ticket, per-slot sequence numbers mark each
+    slot free / filled / consumed for the current lap, and the single
+    consumer advances head with plain atomic stores — no lock, no
+    per-message node.  Tail and head tickets live on separate
+    cache-line-padded atomics ({!Padding}).
+
+    This is the transport for the session's shared request queue: every
+    client (and {!Rpc.post}) produces, only the server consumes.
+    Behaviour is undefined if two domains consume concurrently.
+
+    Same observable semantics as {!Tl_queue} when quiescent: FIFO per
+    producer, [enqueue] returns [false] exactly when [capacity] messages
+    are in flight, [dequeue] returns [None] when empty.  Under
+    concurrency, [enqueue] may transiently report full (while the
+    consumer is mid-dequeue) and [dequeue] may transiently report empty
+    (while a producer is mid-enqueue); callers retry, as all the
+    protocol loops already do. *)
+
+type 'a t
+
+val create : capacity:int -> unit -> 'a t
+(** The slot array is the capacity rounded up to a power of two, but the
+    flow-control boundary is checked against [capacity] exactly.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val enqueue : 'a t -> 'a -> bool
+(** [false] when the queue is full.  Any number of concurrent producers;
+    lock-free (a failed ticket race retries, but some producer always
+    progresses). *)
+
+val dequeue : 'a t -> 'a option
+(** Consumer side only. *)
+
+val is_empty : 'a t -> bool
+(** Lock-free hint, as used by polling loops: two atomic loads.  Counts
+    claimed-but-unfilled slots as present. *)
+
+val length : 'a t -> int
+(** Racy snapshot of the element count (including claimed slots). *)

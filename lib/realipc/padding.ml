@@ -1,0 +1,23 @@
+(* OCaml 5.1 has no [Atomic.make_contended], so hot atomics are isolated
+   the way multicore libraries of that era do it: copy the one-word box
+   into an oversized block whose trailing fields are immediate-zero
+   padding.  Atomic and [ref] primitives address field 0 only, so the
+   copy behaves identically; the padding merely guarantees that no other
+   frequently-written word can share its cache line(s), because the block
+   spans at least one full line by itself. *)
+
+(* 15 extra words + the value word + the header = 17 words = 136 bytes on
+   64-bit: at least one whole 64-byte line regardless of alignment. *)
+let words = 15
+
+let copy_padded (v : 'a) : 'a =
+  let src = Obj.repr v in
+  let n = Obj.size src in
+  let dst = Obj.new_block (Obj.tag src) (n + words) in
+  for i = 0 to n - 1 do
+    Obj.set_field dst i (Obj.field src i)
+  done;
+  for i = n to n + words - 1 do
+    Obj.set_field dst i (Obj.repr 0)
+  done;
+  Obj.obj dst

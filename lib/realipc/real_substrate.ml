@@ -1,13 +1,32 @@
-(* The real-OCaml-5-domains instantiation of Ulipc.Substrate.S: the
-   two-lock queue, a bool Atomic.t for the awake flag, a Mutex/Condition
-   counting semaphore, and pause-hint delay loops for every scheduling
-   hint.  Messages are Univ.t so one (monomorphic) functor application in
-   Rpc serves every ('req, 'rep) session. *)
+(* The real-OCaml-5-domains instantiation of Ulipc.Substrate.S: a
+   selectable queue transport, a bool Atomic.t for the awake flag, a
+   Mutex/Condition counting semaphore, and pause-hint delay loops for
+   every scheduling hint.  Messages are Univ.t so one (monomorphic)
+   functor application in Rpc serves every ('req, 'rep) session.
+
+   Two transports implement the queue primitives.  [Two_lock] is the
+   paper's Michael & Scott two-lock queue (Tl_queue): safe for any mix of
+   producers and consumers, but each operation pays a mutex pair, a
+   shared count and a heap node.  [Ring] exploits the session shape the
+   substrate signature already fixes: the shared request queue has many
+   producers and exactly one consumer (Mpsc_ring), and each reply channel
+   has exactly one producer — the server — and one consumer — the owning
+   client (Spsc_ring).  Both rings are lock-free, allocation-free per
+   message and keep their indices on padded cache lines. *)
 
 open Ulipc_engine
 
+type transport = Two_lock | Ring
+
+let transport_name = function Two_lock -> "two-lock" | Ring -> "ring"
+
+type queue =
+  | Q_two_lock of Univ.t Tl_queue.t
+  | Q_spsc of Univ.t Spsc_ring.t
+  | Q_mpsc of Univ.t Mpsc_ring.t
+
 type channel = {
-  queue : Univ.t Tl_queue.t;
+  queue : queue;
   awake : bool Atomic.t;
   sem : Rsem.t;
 }
@@ -15,25 +34,33 @@ type channel = {
 type t = {
   request_ch : channel;
   replies : channel array;
+  transport : transport;
   counters : Ulipc.Counters.t;
 }
 
 type msg = Univ.t
 
-let make_channel ~capacity =
-  {
-    queue = Tl_queue.create ~capacity ();
-    awake = Atomic.make true;
-    sem = Rsem.create 0;
-  }
+let make_channel queue = { queue; awake = Atomic.make true; sem = Rsem.create 0 }
 
-let create ~capacity ~nclients =
+let create ?(transport = Ring) ~capacity ~nclients () =
+  let request_queue =
+    match transport with
+    | Two_lock -> Q_two_lock (Tl_queue.create ~capacity ())
+    | Ring -> Q_mpsc (Mpsc_ring.create ~capacity ())
+  in
+  let reply_queue () =
+    match transport with
+    | Two_lock -> Q_two_lock (Tl_queue.create ~capacity ())
+    | Ring -> Q_spsc (Spsc_ring.create ~capacity ())
+  in
   {
-    request_ch = make_channel ~capacity;
-    replies = Array.init nclients (fun _ -> make_channel ~capacity);
+    request_ch = make_channel request_queue;
+    replies = Array.init nclients (fun _ -> make_channel (reply_queue ()));
+    transport;
     counters = Ulipc.Counters.create ();
   }
 
+let transport t = t.transport
 let request t = t.request_ch
 let nclients t = Array.length t.replies
 
@@ -42,9 +69,24 @@ let reply_channel t n =
     invalid_arg (Printf.sprintf "Rpc.reply_channel: no channel %d" n);
   t.replies.(n)
 
-let enqueue _ ch m = Tl_queue.enqueue ch.queue m
-let dequeue _ ch = Tl_queue.dequeue ch.queue
-let queue_is_empty _ ch = Tl_queue.is_empty ch.queue
+let enqueue _ ch m =
+  match ch.queue with
+  | Q_two_lock q -> Tl_queue.enqueue q m
+  | Q_spsc q -> Spsc_ring.enqueue q m
+  | Q_mpsc q -> Mpsc_ring.enqueue q m
+
+let dequeue _ ch =
+  match ch.queue with
+  | Q_two_lock q -> Tl_queue.dequeue q
+  | Q_spsc q -> Spsc_ring.dequeue q
+  | Q_mpsc q -> Mpsc_ring.dequeue q
+
+let queue_is_empty _ ch =
+  match ch.queue with
+  | Q_two_lock q -> Tl_queue.is_empty q
+  | Q_spsc q -> Spsc_ring.is_empty q
+  | Q_mpsc q -> Mpsc_ring.is_empty q
+
 let awake_test_and_set _ ch = Atomic.exchange ch.awake true
 let awake_clear _ ch = Atomic.set ch.awake false
 let awake_set _ ch = Atomic.set ch.awake true

@@ -1,18 +1,39 @@
 (** Real-OCaml-5-domains substrate for the protocol core.
 
-    {!Tl_queue} for the queues, [bool Atomic.t] for the awake flags,
-    {!Rsem} for the counting semaphores, [Domain.cpu_relax] delay hints
-    for every busy-wait.  Messages are {!Ulipc_engine.Univ.t}, so the
-    single [Ulipc.Protocol_core.Make (Real_substrate)] application in
-    {!Rpc} serves sessions of every request/reply type. *)
+    A selectable queue transport for the data path, [bool Atomic.t] for
+    the awake flags, {!Rsem} for the counting semaphores,
+    [Domain.cpu_relax] delay hints for every busy-wait.  Messages are
+    {!Ulipc_engine.Univ.t}, so the single
+    [Ulipc.Protocol_core.Make (Real_substrate)] application in {!Rpc}
+    serves sessions of every request/reply type. *)
+
+type transport =
+  | Two_lock
+      (** {!Tl_queue} everywhere: the paper's Michael & Scott two-lock
+          queue.  Safe for any producer/consumer mix; each operation pays
+          a mutex pair and a heap node. *)
+  | Ring
+      (** Lock-free rings shaped to the session: {!Mpsc_ring} for the
+          shared request queue (many clients, one server) and
+          {!Spsc_ring} for each reply channel (the server is its only
+          producer, the owning client its only consumer).  The default:
+          no locks, no per-message allocation, padded index cache
+          lines. *)
+
+val transport_name : transport -> string
+(** ["two-lock"] / ["ring"], for report rows and JSON. *)
 
 type t
 type channel
 type msg = Ulipc_engine.Univ.t
 
-val create : capacity:int -> nclients:int -> t
+val create : ?transport:transport -> capacity:int -> nclients:int -> unit -> t
 (** One request channel plus [nclients] reply channels, each bounded by
-    [capacity], and a fresh {!Ulipc.Counters} sink. *)
+    [capacity], and a fresh {!Ulipc.Counters} sink.  [transport]
+    (default {!Ring}) selects the queue implementation under every
+    channel. *)
+
+val transport : t -> transport
 
 val nclients : t -> int
 

@@ -26,12 +26,22 @@ type waiting =
 
 type ('req, 'rep) t
 
-val create : ?capacity:int -> nclients:int -> waiting -> ('req, 'rep) t
-(** [capacity] (default 64) bounds every queue.
+val create :
+  ?capacity:int ->
+  ?transport:Real_substrate.transport ->
+  nclients:int ->
+  waiting ->
+  ('req, 'rep) t
+(** [capacity] (default 64) bounds every queue.  [transport] (default
+    {!Real_substrate.Ring}) selects the queue implementation on the data
+    path: lock-free SPSC/MPSC rings, or the paper's two-lock queue —
+    see {!Real_substrate.transport}.
     @raise Invalid_argument if [nclients <= 0], if [capacity <= 0], or if
     a [Limited_spin] bound is negative. *)
 
 val nclients : ('req, 'rep) t -> int
+
+val transport : ('req, 'rep) t -> Real_substrate.transport
 
 val send : ('req, 'rep) t -> client:int -> 'req -> 'rep
 (** Synchronous call from client [client] (0-based).  Clients must not

@@ -1,0 +1,87 @@
+(* Bounded single-producer/single-consumer ring on a preallocated slot
+   array: the Lamport ring with the two modern refinements Torquati's
+   SPSC study shows matter on shared-cache multicores —
+
+   - head and tail live in separate cache-line-padded atomics, so the
+     producer bumping [head] never invalidates the line the consumer's
+     [tail] lives on;
+   - each side keeps a private snapshot of the peer's index
+     ([cached_tail]/[cached_head]) and re-reads the shared atomic only
+     when the snapshot says the ring looks full/empty, so the common case
+     of a half-full ring touches no shared line but the slot itself.
+
+   Indices increase monotonically and are reduced modulo the (power of
+   two) slot count; at 2^63 operations wraparound is unreachable.  The
+   logical capacity is the one requested, checked exactly, so a ring of
+   capacity 3 rejects the 4th enqueue even though its array has 4 slots —
+   the same flow-control boundary as Tl_queue. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  cap : int;
+  head : int Atomic.t; (* next write index; written by the producer only *)
+  tail : int Atomic.t; (* next read index; written by the consumer only *)
+  cached_tail : int ref; (* producer-private snapshot of [tail] *)
+  cached_head : int ref; (* consumer-private snapshot of [head] *)
+}
+
+let rec ceil_pow2 n acc = if acc >= n then acc else ceil_pow2 n (acc * 2)
+
+let create ~capacity () =
+  if capacity <= 0 then
+    invalid_arg "Spsc_ring.create: capacity must be positive";
+  let ring = ceil_pow2 capacity 1 in
+  {
+    slots = Array.make ring None;
+    mask = ring - 1;
+    cap = capacity;
+    head = Padding.copy_padded (Atomic.make 0);
+    tail = Padding.copy_padded (Atomic.make 0);
+    cached_tail = Padding.copy_padded (ref 0);
+    cached_head = Padding.copy_padded (ref 0);
+  }
+
+let capacity q = q.cap
+
+(* Producer side.  The [Some v] store is a plain mutation published by the
+   [Atomic.set] on [head]: a consumer that observes the new head also
+   observes the slot contents (release/acquire publication, the same
+   argument Tl_queue makes for its node links). *)
+let enqueue q v =
+  let head = Atomic.get q.head in
+  let free =
+    head - !(q.cached_tail) < q.cap
+    ||
+    (q.cached_tail := Atomic.get q.tail;
+     head - !(q.cached_tail) < q.cap)
+  in
+  if free then begin
+    q.slots.(head land q.mask) <- Some v;
+    Atomic.set q.head (head + 1);
+    true
+  end
+  else false
+
+(* Consumer side.  Clearing the slot before releasing [tail] keeps the
+   ring from retaining consumed values, and the producer only rewrites a
+   slot after observing the advanced tail. *)
+let dequeue q =
+  let tail = Atomic.get q.tail in
+  let avail =
+    !(q.cached_head) - tail > 0
+    ||
+    (q.cached_head := Atomic.get q.head;
+     !(q.cached_head) - tail > 0)
+  in
+  if avail then begin
+    let i = tail land q.mask in
+    let v = q.slots.(i) in
+    q.slots.(i) <- None;
+    Atomic.set q.tail (tail + 1);
+    v
+  end
+  else None
+
+let is_empty q = Atomic.get q.head - Atomic.get q.tail <= 0
+let length q = max 0 (Atomic.get q.head - Atomic.get q.tail)

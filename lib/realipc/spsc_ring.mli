@@ -1,0 +1,40 @@
+(** Bounded lock-free single-producer/single-consumer ring.
+
+    A preallocated array of slots with monotonically increasing head/tail
+    indices on separate cache-line-padded atomics ({!Padding}), plus the
+    cached-peer-index refinement: each side re-reads the other's index
+    only when its private snapshot says the ring looks full (producer) or
+    empty (consumer), so steady-state traffic never ping-pongs the index
+    lines.  No mutex, no per-message node — the per-operation cost is one
+    slot write and one atomic index store.
+
+    The session's reply channels are SPSC {e by construction} (the server
+    is the only producer, the owning client the only consumer), which is
+    what makes this the right transport for them.  Behaviour is undefined
+    if two domains produce, or two consume, concurrently — use
+    {!Mpsc_ring} or {!Tl_queue} there.
+
+    Same observable semantics as {!Tl_queue}: FIFO, [enqueue] returns
+    [false] exactly when [capacity] messages are in flight, [dequeue]
+    returns [None] when empty. *)
+
+type 'a t
+
+val create : capacity:int -> unit -> 'a t
+(** The slot array is the capacity rounded up to a power of two, but the
+    flow-control boundary is checked against [capacity] exactly.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val enqueue : 'a t -> 'a -> bool
+(** [false] when the queue is full.  Producer side only. *)
+
+val dequeue : 'a t -> 'a option
+(** Consumer side only. *)
+
+val is_empty : 'a t -> bool
+(** Lock-free hint, as used by polling loops: two atomic loads. *)
+
+val length : 'a t -> int
+(** Racy snapshot of the element count. *)

@@ -10,8 +10,10 @@ let kind_of_waiting = function
   | Ulipc_real.Rpc.Limited_spin max_spin -> Ulipc.Protocol_kind.BSLS max_spin
   | Ulipc_real.Rpc.Handoff -> Ulipc.Protocol_kind.HANDOFF
 
-let run ?(machine = "domains") ~nclients ~messages waiting =
-  let t : (int, int) Ulipc_real.Rpc.t = Ulipc_real.Rpc.create ~nclients waiting in
+let run ?(machine = "domains") ?transport ~nclients ~messages waiting =
+  let t : (int, int) Ulipc_real.Rpc.t =
+    Ulipc_real.Rpc.create ?transport ~nclients waiting
+  in
   let server =
     Domain.spawn (fun () ->
         let remaining = ref (nclients * messages) in

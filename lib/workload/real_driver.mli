@@ -12,6 +12,7 @@ val kind_of_waiting : Ulipc_real.Rpc.waiting -> Ulipc.Protocol_kind.t
 
 val run :
   ?machine:string ->
+  ?transport:Ulipc_real.Real_substrate.transport ->
   nclients:int ->
   messages:int ->
   Ulipc_real.Rpc.waiting ->
@@ -19,4 +20,5 @@ val run :
 (** [run ~nclients ~messages waiting] spawns one server domain and
     [nclients] client domains, each performing [messages] synchronous
     echo calls; returns the wall-clock metrics.  [machine] labels the row
-    (default ["domains"]). *)
+    (default ["domains"]); [transport] selects the queue transport
+    (default ring — see {!Ulipc_real.Real_substrate.transport}). *)

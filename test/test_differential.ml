@@ -1,8 +1,10 @@
-(* Differential tests: the tentpole's payoff.  The protocol core is one
-   body of code instantiated over two substrates — the simulator and real
-   OCaml 5 domains — so for any protocol and any trace of requests the two
-   backends must compute identical per-client reply sequences, and neither
-   may deadlock or leak wake-ups.
+(* Differential tests: the protocol core is one body of code instantiated
+   over two substrates — the simulator and real OCaml 5 domains — and the
+   real substrate further offers two queue transports (the two-lock queue
+   and the lock-free rings).  For any protocol and any trace of requests,
+   all backends must compute identical per-client reply sequences, and
+   none may deadlock or leak wake-ups: each property runs the simulator
+   once and replays the same trace on real domains over BOTH transports.
 
    Server transform: reply = 2 * v + client — client-dependent, so a reply
    delivered to the wrong channel or out of order is caught, not masked. *)
@@ -71,10 +73,10 @@ let run_sim waiting (traces : int list array) =
 (* ------------------------------------------------------------------ *)
 (* The same trace on real domains *)
 
-let run_real waiting (traces : int list array) =
+let run_real ~transport waiting (traces : int list array) =
   let nclients = Array.length traces in
   let t : (int, int) Ulipc_real.Rpc.t =
-    Ulipc_real.Rpc.create ~capacity:8 ~nclients waiting
+    Ulipc_real.Rpc.create ~capacity:8 ~transport ~nclients waiting
   in
   let total = Array.fold_left (fun acc l -> acc + List.length l) 0 traces in
   let server =
@@ -118,13 +120,20 @@ let prop_backends_agree name waiting =
     traces_arb
     (fun traces ->
       let sim = run_sim waiting traces in
-      let real, residue = run_real waiting traces in
-      if sim <> real then
-        QCheck.Test.fail_reportf "reply sequences differ for %s" name;
-      (* Spin leaves no wake-ups by construction; the blocking protocols
-         must have drained every raced V. *)
-      if residue <> 0 then
-        QCheck.Test.fail_reportf "wake residue %d after quiescence" residue;
+      List.iter
+        (fun transport ->
+          let real, residue = run_real ~transport waiting traces in
+          if sim <> real then
+            QCheck.Test.fail_reportf "reply sequences differ for %s over %s"
+              name
+              (Ulipc_real.Real_substrate.transport_name transport);
+          (* Spin leaves no wake-ups by construction; the blocking
+             protocols must have drained every raced V. *)
+          if residue <> 0 then
+            QCheck.Test.fail_reportf "wake residue %d after quiescence (%s)"
+              residue
+              (Ulipc_real.Real_substrate.transport_name transport))
+        Ulipc_real.Real_substrate.[ Two_lock; Ring ];
       (* The same checks hold against the oracle directly: every client's
          reply list is its trace, transformed, in order. *)
       Array.iteri
@@ -144,11 +153,12 @@ let prop_backends_agree name waiting =
    that invocation, so iterations >= fallthroughs * max_spin; and neither
    side can fall through more often than it waited. *)
 
-let test_limited_spin_counters () =
+let test_limited_spin_counters transport () =
   let max_spin = 7 in
   let messages = 3_000 in
   let t : (int, int) Ulipc_real.Rpc.t =
-    Ulipc_real.Rpc.create ~nclients:1 (Ulipc_real.Rpc.Limited_spin max_spin)
+    Ulipc_real.Rpc.create ~transport ~nclients:1
+      (Ulipc_real.Rpc.Limited_spin max_spin)
   in
   let server =
     Domain.spawn (fun () ->
@@ -201,7 +211,11 @@ let suites =
           (prop_backends_agree "BSLS(0)" (Ulipc_real.Rpc.Limited_spin 0));
         QCheck_alcotest.to_alcotest
           (prop_backends_agree "handoff" Ulipc_real.Rpc.Handoff);
-        Alcotest.test_case "BSLS counters under stress (real domains)" `Slow
-          test_limited_spin_counters;
+        Alcotest.test_case "BSLS counters under stress (real domains, ring)"
+          `Slow
+          (test_limited_spin_counters Ulipc_real.Real_substrate.Ring);
+        Alcotest.test_case
+          "BSLS counters under stress (real domains, two-lock)" `Slow
+          (test_limited_spin_counters Ulipc_real.Real_substrate.Two_lock);
       ] );
   ]

@@ -1,5 +1,6 @@
 (* Tests for the real OCaml-5-domains implementation: the two-lock queue,
-   the Mutex/Condition semaphore, and the Send/Receive/Reply protocols. *)
+   the lock-free SPSC/MPSC ring transports, the Mutex/Condition semaphore,
+   and the Send/Receive/Reply protocols over both transports. *)
 
 open Ulipc_real
 
@@ -88,6 +89,186 @@ let prop_tlq_model =
         program)
 
 (* ------------------------------------------------------------------ *)
+(* Spsc_ring: must be observationally identical to Tl_queue under one
+   producer and one consumer — FIFO, exact capacity boundary, None when
+   empty — including at non-power-of-two capacities, where the slot array
+   is bigger than the logical bound. *)
+
+let test_spsc_fifo () =
+  let q = Spsc_ring.create ~capacity:8 () in
+  List.iter (fun v -> ignore (Spsc_ring.enqueue q v : bool)) [ 1; 2; 3 ];
+  let a = Spsc_ring.dequeue q in
+  let b = Spsc_ring.dequeue q in
+  let c = Spsc_ring.dequeue q in
+  let d = Spsc_ring.dequeue q in
+  Alcotest.(check (list (option int)))
+    "fifo then empty"
+    [ Some 1; Some 2; Some 3; None ]
+    [ a; b; c; d ]
+
+let test_spsc_capacity () =
+  let q = Spsc_ring.create ~capacity:2 () in
+  Alcotest.(check bool) "1st" true (Spsc_ring.enqueue q 1);
+  Alcotest.(check bool) "2nd" true (Spsc_ring.enqueue q 2);
+  Alcotest.(check bool) "3rd rejected" false (Spsc_ring.enqueue q 3);
+  ignore (Spsc_ring.dequeue q : int option);
+  Alcotest.(check bool) "room again" true (Spsc_ring.enqueue q 4);
+  Alcotest.(check int) "length" 2 (Spsc_ring.length q)
+
+let test_spsc_wraparound () =
+  (* Capacity 3 rides a 4-slot array: every lap crosses the wrap point
+     and the flow-control boundary must still fire at 3, not 4. *)
+  let q = Spsc_ring.create ~capacity:3 () in
+  Alcotest.(check int) "capacity" 3 (Spsc_ring.capacity q);
+  for lap = 0 to 99 do
+    for i = 1 to 3 do
+      Alcotest.(check bool) "accepted" true (Spsc_ring.enqueue q ((3 * lap) + i))
+    done;
+    Alcotest.(check bool) "4th rejected" false (Spsc_ring.enqueue q 0);
+    for i = 1 to 3 do
+      Alcotest.(check (option int))
+        "fifo across wrap"
+        (Some ((3 * lap) + i))
+        (Spsc_ring.dequeue q)
+    done;
+    Alcotest.(check (option int)) "empty again" None (Spsc_ring.dequeue q);
+    Alcotest.(check bool) "is_empty" true (Spsc_ring.is_empty q)
+  done
+
+let prop_spsc_model =
+  QCheck.Test.make ~name:"Spsc_ring matches a FIFO model" ~count:200
+    QCheck.(list (option (int_bound 100)))
+    (fun program ->
+      let q = Spsc_ring.create ~capacity:8 () in
+      let model = Queue.create () in
+      List.for_all
+        (function
+          | Some v ->
+            let accepted = Spsc_ring.enqueue q v in
+            let model_accepts = Queue.length model < 8 in
+            if model_accepts then Queue.add v model;
+            accepted = model_accepts
+          | None -> Spsc_ring.dequeue q = Queue.take_opt model)
+        program)
+
+let test_spsc_concurrent_transfer () =
+  (* One producer domain, one consumer domain, a ring much smaller than
+     the traffic: the consumer must see exactly 1..n in order. *)
+  let q = Spsc_ring.create ~capacity:16 () in
+  let n = 20_000 in
+  let producer () =
+    for i = 1 to n do
+      while not (Spsc_ring.enqueue q i) do
+        Domain.cpu_relax ()
+      done
+    done
+  in
+  let consumer () =
+    let next = ref 1 in
+    let ok = ref true in
+    while !next <= n do
+      match Spsc_ring.dequeue q with
+      | Some v ->
+        if v <> !next then ok := false;
+        incr next
+      | None -> Domain.cpu_relax ()
+    done;
+    !ok
+  in
+  let dp = Domain.spawn producer in
+  let dc = Domain.spawn consumer in
+  Domain.join dp;
+  Alcotest.(check bool) "exact fifo sequence" true (Domain.join dc);
+  Alcotest.(check bool) "drained" true (Spsc_ring.is_empty q)
+
+let test_spsc_rejects_nonpositive () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Spsc_ring.create: capacity must be positive") (fun () ->
+      ignore (Spsc_ring.create ~capacity:0 () : int Spsc_ring.t))
+
+(* ------------------------------------------------------------------ *)
+(* Mpsc_ring: Tl_queue semantics sequentially, and no loss, duplication
+   or per-producer reordering under concurrent producers. *)
+
+let prop_mpsc_model =
+  QCheck.Test.make ~name:"Mpsc_ring matches a FIFO model" ~count:200
+    QCheck.(list (option (int_bound 100)))
+    (fun program ->
+      let q = Mpsc_ring.create ~capacity:8 () in
+      let model = Queue.create () in
+      List.for_all
+        (function
+          | Some v ->
+            let accepted = Mpsc_ring.enqueue q v in
+            let model_accepts = Queue.length model < 8 in
+            if model_accepts then Queue.add v model;
+            accepted = model_accepts
+          | None -> Mpsc_ring.dequeue q = Queue.take_opt model)
+        program)
+
+let test_mpsc_capacity () =
+  (* Capacity 3 on a 4-slot array: boundary at the logical bound, across
+     wraps. *)
+  let q = Mpsc_ring.create ~capacity:3 () in
+  for lap = 0 to 99 do
+    for i = 1 to 3 do
+      Alcotest.(check bool) "accepted" true (Mpsc_ring.enqueue q ((3 * lap) + i))
+    done;
+    Alcotest.(check bool) "4th rejected" false (Mpsc_ring.enqueue q 0);
+    for i = 1 to 3 do
+      Alcotest.(check (option int))
+        "fifo across wrap"
+        (Some ((3 * lap) + i))
+        (Mpsc_ring.dequeue q)
+    done;
+    Alcotest.(check (option int)) "empty again" None (Mpsc_ring.dequeue q)
+  done
+
+let test_mpsc_concurrent_producers () =
+  let q = Mpsc_ring.create ~capacity:32 () in
+  let nproducers = 4 in
+  let per_producer = 2_000 in
+  let producer p () =
+    for i = 1 to per_producer do
+      while not (Mpsc_ring.enqueue q ((p * 1_000_000) + i)) do
+        Domain.cpu_relax ()
+      done
+    done
+  in
+  let received = ref [] in
+  let consumer () =
+    let remaining = ref (nproducers * per_producer) in
+    while !remaining > 0 do
+      match Mpsc_ring.dequeue q with
+      | Some v ->
+        received := v :: !received;
+        decr remaining
+      | None -> Domain.cpu_relax ()
+    done
+  in
+  let producers = List.init nproducers (fun p -> Domain.spawn (producer (p + 1))) in
+  let dc = Domain.spawn consumer in
+  List.iter Domain.join producers;
+  Domain.join dc;
+  let received = List.rev !received in
+  Alcotest.(check int) "no loss, no duplication"
+    (nproducers * per_producer)
+    (List.length (List.sort_uniq compare received));
+  let ordered p =
+    let mine = List.filter (fun v -> v / 1_000_000 = p) received in
+    mine = List.sort compare mine
+  in
+  for p = 1 to nproducers do
+    Alcotest.(check bool) (Printf.sprintf "producer %d fifo" p) true (ordered p)
+  done;
+  Alcotest.(check bool) "drained" true (Mpsc_ring.is_empty q)
+
+let test_mpsc_rejects_nonpositive () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Mpsc_ring.create: capacity must be positive") (fun () ->
+      ignore (Mpsc_ring.create ~capacity:0 () : int Mpsc_ring.t))
+
+(* ------------------------------------------------------------------ *)
 (* Rsem *)
 
 let test_rsem_counting () =
@@ -174,9 +355,9 @@ let echo_through (t : (int, int) Rpc.t) ~messages =
   List.iter Domain.join clients;
   Domain.join server
 
-let echo_exchange ?(messages = 500) waiting () =
+let echo_exchange ?(messages = 500) ?transport waiting () =
   let nclients = 2 in
-  let t : (int, int) Rpc.t = Rpc.create ~nclients waiting in
+  let t : (int, int) Rpc.t = Rpc.create ?transport ~nclients waiting in
   let server =
     Domain.spawn (fun () ->
         let remaining = ref (nclients * messages) in
@@ -245,11 +426,12 @@ let test_rpc_validation () =
     (Invalid_argument "Rpc.create: max_spin must be non-negative") (fun () ->
       ignore (Rpc.create ~nclients:1 (Rpc.Limited_spin (-1)) : (int, int) Rpc.t))
 
-let test_rpc_no_stale_wakeups () =
+let test_rpc_no_stale_wakeups transport () =
   (* The C.4 drain (Rsem.try_p after a successful second dequeue) must
      absorb every wake-up raced against a non-sleeping consumer: after a
-     blocking exchange fully quiesces, no semaphore may hold residue. *)
-  let t : (int, int) Rpc.t = Rpc.create ~nclients:2 Rpc.Block in
+     blocking exchange fully quiesces, no semaphore may hold residue —
+     on either transport. *)
+  let t : (int, int) Rpc.t = Rpc.create ~transport ~nclients:2 Rpc.Block in
   echo_through t ~messages:300;
   Alcotest.(check int) "no stale V residue" 0 (Rpc.wake_residue t)
 
@@ -283,6 +465,28 @@ let suites =
           test_tlq_concurrent_transfer;
         QCheck_alcotest.to_alcotest prop_tlq_model;
       ] );
+    ( "realipc.spsc_ring",
+      [
+        Alcotest.test_case "fifo" `Quick test_spsc_fifo;
+        Alcotest.test_case "capacity boundary" `Quick test_spsc_capacity;
+        Alcotest.test_case "wraparound at capacity 3" `Quick
+          test_spsc_wraparound;
+        Alcotest.test_case "concurrent 1p/1c transfer" `Quick
+          test_spsc_concurrent_transfer;
+        Alcotest.test_case "rejects non-positive capacity" `Quick
+          test_spsc_rejects_nonpositive;
+        QCheck_alcotest.to_alcotest prop_spsc_model;
+      ] );
+    ( "realipc.mpsc_ring",
+      [
+        Alcotest.test_case "capacity boundary + wraparound" `Quick
+          test_mpsc_capacity;
+        Alcotest.test_case "concurrent 4p/1c, no loss/dup" `Quick
+          test_mpsc_concurrent_producers;
+        Alcotest.test_case "rejects non-positive capacity" `Quick
+          test_mpsc_rejects_nonpositive;
+        QCheck_alcotest.to_alcotest prop_mpsc_model;
+      ] );
     ( "realipc.rsem",
       [
         Alcotest.test_case "counting" `Quick test_rsem_counting;
@@ -297,10 +501,16 @@ let suites =
     ( "realipc.rpc",
       [
         (* Spinning on an oversubscribed host costs an OS quantum per
-           round-trip; keep the spin run short. *)
+           round-trip; keep the spin runs short.  The default transport is
+           the ring; the two-lock variants pin the classic backend. *)
         Alcotest.test_case "echo, spin (BSS)" `Quick
           (echo_exchange ~messages:50 Rpc.Spin);
+        Alcotest.test_case "echo, spin (BSS, two-lock)" `Quick
+          (echo_exchange ~messages:50 ~transport:Real_substrate.Two_lock
+             Rpc.Spin);
         Alcotest.test_case "echo, block (BSW)" `Quick (echo_exchange Rpc.Block);
+        Alcotest.test_case "echo, block (BSW, two-lock)" `Quick
+          (echo_exchange ~transport:Real_substrate.Two_lock Rpc.Block);
         Alcotest.test_case "echo, block+yield (BSWY)" `Quick
           (echo_exchange Rpc.Block_yield);
         Alcotest.test_case "echo, limited spin (BSLS)" `Quick
@@ -308,8 +518,10 @@ let suites =
         Alcotest.test_case "echo, handoff" `Quick (echo_exchange Rpc.Handoff);
         Alcotest.test_case "async post/collect" `Quick test_rpc_async;
         Alcotest.test_case "validation" `Quick test_rpc_validation;
-        Alcotest.test_case "no stale wake-ups (try_p drain)" `Quick
-          test_rpc_no_stale_wakeups;
+        Alcotest.test_case "no stale wake-ups (try_p drain, ring)" `Quick
+          (test_rpc_no_stale_wakeups Real_substrate.Ring);
+        Alcotest.test_case "no stale wake-ups (try_p drain, two-lock)" `Quick
+          (test_rpc_no_stale_wakeups Real_substrate.Two_lock);
         Alcotest.test_case "counters" `Quick test_rpc_counters;
       ] );
   ]
