@@ -325,59 +325,6 @@ let real_rows ~quick () =
         Ulipc_real.Rpc.[ Block; Block_yield; Limited_spin 50; Handoff ])
     transports
 
-(* ------------------------------------------------------------------ *)
-(* JSON trajectory: the per-PR perf baseline (BENCH_real.json) *)
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c when Char.code c < 32 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_float f =
-  if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
-
-let write_json path ~quick ~micro ~real =
-  let oc = open_out path in
-  let p fmt = Printf.fprintf oc fmt in
-  let sep i n = if i = n - 1 then "" else "," in
-  p "{\n";
-  p "  \"schema\": \"ulipc-bench-real/1\",\n";
-  p "  \"quick\": %b,\n" quick;
-  p "  \"micro_ns_per_op\": [\n";
-  let n = List.length micro in
-  List.iteri
-    (fun i (name, ns) ->
-      p "    { \"name\": \"%s\", \"ns_per_op\": %s }%s\n" (json_escape name)
-        (json_float ns) (sep i n))
-    micro;
-  p "  ],\n";
-  p "  \"real_driver\": [\n";
-  let n = List.length real in
-  List.iteri
-    (fun i (transport, m) ->
-      p
-        "    { \"transport\": \"%s\", \"protocol\": \"%s\", \"nclients\": %d, \
-         \"messages\": %d, \"throughput_msg_per_ms\": %s, \"round_trip_us\": \
-         %s }%s\n"
-        (transport_name transport)
-        (json_escape (Ulipc.Protocol_kind.name m.Metrics.protocol))
-        m.Metrics.nclients m.Metrics.messages
-        (json_float m.Metrics.throughput_msg_per_ms)
-        (json_float (Metrics.round_trip_us m))
-        (sep i n))
-    real;
-  p "  ]\n";
-  p "}\n";
-  close_out oc
-
 let print_micro ~quick ~json () =
   Format.printf
     "=== Real-hardware micro-benchmarks (OCaml domains, Bechamel) ===@.";
@@ -400,7 +347,8 @@ let print_micro ~quick ~json () =
   match json with
   | None -> ()
   | Some path ->
-    write_json path ~quick ~micro ~real;
+    Bench_json.write ~path ~quick ~micro
+      ~real:(List.map (fun (tr, m) -> (transport_name tr, m)) real);
     Format.printf "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)

@@ -95,5 +95,15 @@ let dequeue q =
   end
   else None
 
-let is_empty q = Atomic.get q.tail - Atomic.get q.head <= 0
-let length q = max 0 (Atomic.get q.tail - Atomic.get q.head)
+(* Same snapshot ordering invariant as Spsc_ring, with the roles
+   swapped: here the occupancy is [tail - head] and the single consumer
+   advances [head], so read [head] BEFORE [tail].  A stale head can only
+   under-count consumption and a later tail can only have grown, keeping
+   the difference a conservative, never-negative occupancy. *)
+let is_empty q =
+  let head = Atomic.get q.head in
+  Atomic.get q.tail - head <= 0
+
+let length q =
+  let head = Atomic.get q.head in
+  Atomic.get q.tail - head

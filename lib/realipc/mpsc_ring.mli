@@ -37,8 +37,11 @@ val dequeue : 'a t -> 'a option
 (** Consumer side only. *)
 
 val is_empty : 'a t -> bool
-(** Lock-free hint, as used by polling loops: two atomic loads.  Counts
-    claimed-but-unfilled slots as present. *)
+(** Lock-free hint, as used by polling loops: two atomic loads, [head]
+    before [tail] so a concurrent dequeue can never make an occupied ring
+    look empty.  Counts claimed-but-unfilled slots as present. *)
 
 val length : 'a t -> int
-(** Racy snapshot of the element count (including claimed slots). *)
+(** Racy but conservative snapshot of the element count (including
+    claimed slots): may over-report occupancy against a racing consumer,
+    never negative. *)

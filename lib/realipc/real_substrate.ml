@@ -12,7 +12,13 @@
    producers and exactly one consumer (Mpsc_ring), and each reply channel
    has exactly one producer — the server — and one consumer — the owning
    client (Spsc_ring).  Both rings are lock-free, allocation-free per
-   message and keep their indices on padded cache lines. *)
+   message and keep their indices on padded cache lines.
+
+   Instrumentation lives here, on the substrate side of the signature's
+   counters seam, so the protocol core stays untouched: an optional
+   Trace_ring sink records enqueue/dequeue/block/wake/handoff events with
+   timestamps into per-domain bounded rings.  With no sink attached the
+   hot path pays one option match per operation. *)
 
 open Ulipc_engine
 
@@ -29,6 +35,7 @@ type channel = {
   queue : queue;
   awake : bool Atomic.t;
   sem : Rsem.t;
+  chan_id : int; (* -1 = shared request channel, n = reply channel n *)
 }
 
 type t = {
@@ -36,13 +43,15 @@ type t = {
   replies : channel array;
   transport : transport;
   counters : Ulipc.Counters.t;
+  trace : Trace_ring.t option;
 }
 
 type msg = Univ.t
 
-let make_channel queue = { queue; awake = Atomic.make true; sem = Rsem.create 0 }
+let make_channel ~chan_id queue =
+  { queue; awake = Atomic.make true; sem = Rsem.create 0; chan_id }
 
-let create ?(transport = Ring) ~capacity ~nclients () =
+let create ?(transport = Ring) ?trace ~capacity ~nclients () =
   let request_queue =
     match transport with
     | Two_lock -> Q_two_lock (Tl_queue.create ~capacity ())
@@ -54,13 +63,16 @@ let create ?(transport = Ring) ~capacity ~nclients () =
     | Ring -> Q_spsc (Spsc_ring.create ~capacity ())
   in
   {
-    request_ch = make_channel request_queue;
-    replies = Array.init nclients (fun _ -> make_channel (reply_queue ()));
+    request_ch = make_channel ~chan_id:(-1) request_queue;
+    replies =
+      Array.init nclients (fun i -> make_channel ~chan_id:i (reply_queue ()));
     transport;
     counters = Ulipc.Counters.create ();
+    trace;
   }
 
 let transport t = t.transport
+let trace t = t.trace
 let request t = t.request_ch
 let nclients t = Array.length t.replies
 
@@ -69,17 +81,30 @@ let reply_channel t n =
     invalid_arg (Printf.sprintf "Rpc.reply_channel: no channel %d" n);
   t.replies.(n)
 
-let enqueue _ ch m =
-  match ch.queue with
-  | Q_two_lock q -> Tl_queue.enqueue q m
-  | Q_spsc q -> Spsc_ring.enqueue q m
-  | Q_mpsc q -> Mpsc_ring.enqueue q m
+let emit t ch kind =
+  match t.trace with
+  | None -> ()
+  | Some sink -> Trace_ring.record sink kind ~chan:ch.chan_id
 
-let dequeue _ ch =
-  match ch.queue with
-  | Q_two_lock q -> Tl_queue.dequeue q
-  | Q_spsc q -> Spsc_ring.dequeue q
-  | Q_mpsc q -> Mpsc_ring.dequeue q
+let enqueue t ch m =
+  let ok =
+    match ch.queue with
+    | Q_two_lock q -> Tl_queue.enqueue q m
+    | Q_spsc q -> Spsc_ring.enqueue q m
+    | Q_mpsc q -> Mpsc_ring.enqueue q m
+  in
+  if ok then emit t ch Trace_ring.Enqueue;
+  ok
+
+let dequeue t ch =
+  let m =
+    match ch.queue with
+    | Q_two_lock q -> Tl_queue.dequeue q
+    | Q_spsc q -> Spsc_ring.dequeue q
+    | Q_mpsc q -> Mpsc_ring.dequeue q
+  in
+  (match m with Some _ -> emit t ch Trace_ring.Dequeue | None -> ());
+  m
 
 let queue_is_empty _ ch =
   match ch.queue with
@@ -91,9 +116,16 @@ let awake_test_and_set _ ch = Atomic.exchange ch.awake true
 let awake_clear _ ch = Atomic.set ch.awake false
 let awake_set _ ch = Atomic.set ch.awake true
 let awake_read _ ch = Atomic.get ch.awake
-let sem_p _ ch = Rsem.p ch.sem
+
+let sem_p t ch =
+  emit t ch Trace_ring.Block;
+  Rsem.p ch.sem
+
 let sem_try_p _ ch = Rsem.try_p ch.sem
-let sem_v _ ch = Rsem.v ch.sem
+
+let sem_v t ch =
+  emit t ch Trace_ring.Wake;
+  Rsem.v ch.sem
 
 (* Domains are genuinely parallel OS threads, so every waiting/scheduling
    hint is the paper's multiprocessor busy-wait: a pause-hint delay.
@@ -103,8 +135,15 @@ let sem_v _ ch = Rsem.v ch.sem
 let busy_wait _ = Domain.cpu_relax ()
 let poll _ _ = Domain.cpu_relax ()
 let yield _ = Domain.cpu_relax ()
-let handoff_server _ = Domain.cpu_relax ()
-let handoff_any _ = Domain.cpu_relax ()
+
+let handoff_server t =
+  emit t t.request_ch Trace_ring.Handoff;
+  Domain.cpu_relax ()
+
+let handoff_any t =
+  emit t t.request_ch Trace_ring.Handoff;
+  Domain.cpu_relax ()
+
 let flow_sleep _ = Domain.cpu_relax ()
 let counters t = t.counters
 

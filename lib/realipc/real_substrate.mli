@@ -27,13 +27,26 @@ type t
 type channel
 type msg = Ulipc_engine.Univ.t
 
-val create : ?transport:transport -> capacity:int -> nclients:int -> unit -> t
+val create :
+  ?transport:transport ->
+  ?trace:Trace_ring.t ->
+  capacity:int ->
+  nclients:int ->
+  unit ->
+  t
 (** One request channel plus [nclients] reply channels, each bounded by
     [capacity], and a fresh {!Ulipc.Counters} sink.  [transport]
     (default {!Ring}) selects the queue implementation under every
-    channel. *)
+    channel.  [trace] attaches an event-trace sink: every successful
+    enqueue/dequeue, every semaphore block/wake and every handoff hint is
+    recorded with a timestamp into the calling domain's bounded ring —
+    instrumentation on the substrate side of the [Substrate.S] seam, like
+    the counters, so the protocol core is untouched. *)
 
 val transport : t -> transport
+
+val trace : t -> Trace_ring.t option
+(** The sink given at {!create} time, for post-run draining. *)
 
 val nclients : t -> int
 

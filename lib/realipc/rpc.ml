@@ -26,7 +26,7 @@ type ('req, 'rep) t = {
   project_rep : Univ.t -> 'rep option;
 }
 
-let create ?(capacity = 64) ?transport ~nclients waiting =
+let create ?(capacity = 64) ?transport ?trace ~nclients waiting =
   if nclients <= 0 then invalid_arg "Rpc.create: nclients must be positive";
   if capacity <= 0 then invalid_arg "Rpc.create: capacity must be positive";
   (match waiting with
@@ -37,7 +37,7 @@ let create ?(capacity = 64) ?transport ~nclients waiting =
   let inject_rep, project_rep = Univ.embed () in
   {
     waiting;
-    sub = Real_substrate.create ?transport ~capacity ~nclients ();
+    sub = Real_substrate.create ?transport ?trace ~capacity ~nclients ();
     inject_req;
     project_req;
     inject_rep;
@@ -46,6 +46,7 @@ let create ?(capacity = 64) ?transport ~nclients waiting =
 
 let nclients t = Real_substrate.nclients t.sub
 let transport t = Real_substrate.transport t.sub
+let trace t = Real_substrate.trace t.sub
 let counters t = Real_substrate.counters t.sub
 let wake_residue t = Real_substrate.wake_residue t.sub
 

@@ -29,19 +29,26 @@ type ('req, 'rep) t
 val create :
   ?capacity:int ->
   ?transport:Real_substrate.transport ->
+  ?trace:Trace_ring.t ->
   nclients:int ->
   waiting ->
   ('req, 'rep) t
 (** [capacity] (default 64) bounds every queue.  [transport] (default
     {!Real_substrate.Ring}) selects the queue implementation on the data
     path: lock-free SPSC/MPSC rings, or the paper's two-lock queue —
-    see {!Real_substrate.transport}.
+    see {!Real_substrate.transport}.  [trace] attaches a {!Trace_ring}
+    sink recording timestamped enqueue/dequeue/block/wake/handoff events
+    into per-domain bounded rings, drained after the run with
+    {!Trace_ring.events}.
     @raise Invalid_argument if [nclients <= 0], if [capacity <= 0], or if
     a [Limited_spin] bound is negative. *)
 
 val nclients : ('req, 'rep) t -> int
 
 val transport : ('req, 'rep) t -> Real_substrate.transport
+
+val trace : ('req, 'rep) t -> Trace_ring.t option
+(** The event-trace sink given at {!create} time, if any. *)
 
 val send : ('req, 'rep) t -> client:int -> 'req -> 'rep
 (** Synchronous call from client [client] (0-based).  Clients must not

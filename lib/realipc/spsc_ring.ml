@@ -83,5 +83,17 @@ let dequeue q =
   end
   else None
 
-let is_empty q = Atomic.get q.head - Atomic.get q.tail <= 0
-let length q = max 0 (Atomic.get q.head - Atomic.get q.tail)
+(* Snapshot ordering invariant: read [tail] BEFORE [head].  Only the
+   consumer advances [tail], so a tail read first can only be stale-low,
+   and [head] read second can only have grown — the difference is a
+   conservative occupancy (an over-estimate) and can never go negative.
+   Reading [head] first races a consumer that drains messages enqueued
+   after the head load: the stale head minus the fresh tail transiently
+   reports a negative length / a spuriously empty ring. *)
+let is_empty q =
+  let tail = Atomic.get q.tail in
+  Atomic.get q.head - tail <= 0
+
+let length q =
+  let tail = Atomic.get q.tail in
+  Atomic.get q.head - tail

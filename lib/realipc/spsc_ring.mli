@@ -34,7 +34,10 @@ val dequeue : 'a t -> 'a option
 (** Consumer side only. *)
 
 val is_empty : 'a t -> bool
-(** Lock-free hint, as used by polling loops: two atomic loads. *)
+(** Lock-free hint, as used by polling loops: two atomic loads, [tail]
+    before [head] so a concurrent dequeue can never make an occupied ring
+    look empty. *)
 
 val length : 'a t -> int
-(** Racy snapshot of the element count. *)
+(** Racy but conservative snapshot of the element count: may over-report
+    occupancy against a racing consumer, never negative. *)

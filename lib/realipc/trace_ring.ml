@@ -1,0 +1,88 @@
+(* Per-domain bounded event rings behind one sink.
+
+   Each domain's ring lives in domain-local storage keyed by the sink, so
+   [record] is entirely unsynchronised: an array store at [count mod
+   capacity] plus a counter bump.  The only lock in the module guards the
+   registry of rings, taken once per domain (on first record) and once
+   per drain.  Draining while writers are still running is memory-safe
+   but can see torn orderings; callers drain after Domain.join, exactly
+   like Histogram merges. *)
+
+type kind = Enqueue | Dequeue | Block | Wake | Handoff
+
+let kind_name = function
+  | Enqueue -> "enqueue"
+  | Dequeue -> "dequeue"
+  | Block -> "block"
+  | Wake -> "wake"
+  | Handoff -> "handoff"
+
+type event = { t_us : float; domain : int; chan : int; kind : kind }
+type ring = { slots : event array; mutable count : int }
+
+type t = {
+  ring_capacity : int;
+  mutex : Mutex.t;
+  rings : ring list ref; (* every domain's ring, shared with the DLS init *)
+  key : ring Domain.DLS.key;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then
+    invalid_arg "Trace_ring.create: capacity must be positive";
+  let mutex = Mutex.create () in
+  let rings = ref [] in
+  let dummy = { t_us = 0.0; domain = -1; chan = 0; kind = Enqueue } in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let r = { slots = Array.make capacity dummy; count = 0 } in
+        Mutex.lock mutex;
+        rings := r :: !rings;
+        Mutex.unlock mutex;
+        r)
+  in
+  { ring_capacity = capacity; mutex; rings; key }
+
+let capacity t = t.ring_capacity
+
+let record t kind ~chan =
+  let r = Domain.DLS.get t.key in
+  let ev =
+    {
+      t_us = Unix.gettimeofday () *. 1.0e6;
+      domain = (Domain.self () :> int);
+      chan;
+      kind;
+    }
+  in
+  r.slots.(r.count mod t.ring_capacity) <- ev;
+  r.count <- r.count + 1
+
+let snapshot t =
+  Mutex.lock t.mutex;
+  let rings = !(t.rings) in
+  Mutex.unlock t.mutex;
+  rings
+
+(* Oldest-to-newest retained events of one ring: the full prefix while it
+   has not wrapped, the last [capacity] otherwise. *)
+let ring_events t r =
+  let n = Stdlib.min r.count t.ring_capacity in
+  let start = r.count - n in
+  List.init n (fun i -> r.slots.((start + i) mod t.ring_capacity))
+
+let events t =
+  List.concat_map (ring_events t) (snapshot t)
+  |> List.sort (fun a b -> Float.compare a.t_us b.t_us)
+
+let recorded t =
+  List.fold_left (fun acc r -> acc + r.count) 0 (snapshot t)
+
+let dropped t =
+  List.fold_left
+    (fun acc r -> acc + Stdlib.max 0 (r.count - t.ring_capacity))
+    0 (snapshot t)
+
+let pp_event ppf ev =
+  Format.fprintf ppf "%.1f us  domain %d  chan %d  %s" ev.t_us ev.domain
+    ev.chan (kind_name ev.kind)

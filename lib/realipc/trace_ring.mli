@@ -1,0 +1,52 @@
+(** Bounded per-domain protocol event traces for the real backend.
+
+    A sink hands every recording domain its own fixed-size ring (via
+    domain-local storage, registered on first use), so the hot path is a
+    plain array store with no synchronisation — when the ring is full the
+    oldest events are overwritten, keeping the last [capacity] events per
+    domain and counting the rest as dropped.  Drain with {!events} after
+    the traffic has quiesced (all recording domains joined).
+
+    This is instrumentation on the substrate side of the
+    [Ulipc.Substrate.S] seam, exactly like the counters sink: the
+    protocol core never sees it. *)
+
+type kind =
+  | Enqueue  (** a message was accepted by a channel's queue *)
+  | Dequeue  (** a message was taken from a channel's queue *)
+  | Block  (** a consumer entered the semaphore P of step C.4 *)
+  | Wake  (** a producer issued the semaphore V of step P.3 *)
+  | Handoff  (** a §6 handoff/yield scheduling hint was issued *)
+
+val kind_name : kind -> string
+
+type event = {
+  t_us : float;  (** wall-clock timestamp, µs since the epoch *)
+  domain : int;  (** [Domain.self] of the recording domain *)
+  chan : int;  (** -1 = shared request channel, n = reply channel n *)
+  kind : kind;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh sink; each recording domain gets its own ring of [capacity]
+    events (default 4096).
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val record : t -> kind -> chan:int -> unit
+(** Append one event to the calling domain's ring (lazily created). *)
+
+val events : t -> event list
+(** All retained events, merged across domains and sorted by timestamp.
+    Only meaningful once every recording domain has been joined. *)
+
+val recorded : t -> int
+(** Total events ever recorded, including overwritten ones. *)
+
+val dropped : t -> int
+(** Events lost to ring overwrite, summed over domains. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,67 @@
+(* JSON emission for the per-PR perf baseline (BENCH_real.json).
+
+   Hand-rolled on purpose: the schema is flat, the repo takes no JSON
+   dependency, and keeping the writer here (not in bench/main.ml) lets
+   the test suite regenerate a file and parse it back.  The one subtlety
+   is non-finite floats — Metrics.of_real legitimately reports nan for
+   utilization (no simulated kernel) and for throughput of a zero-length
+   interval, and Printf "%f" would emit a bare [nan], which is not JSON.
+   Every float funnels through [json_float], which maps nan/±inf to
+   null. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
+
+let json_float_opt = function None -> "null" | Some f -> json_float f
+
+let write ~path ~quick ~micro ~real =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  let sep i n = if i = n - 1 then "" else "," in
+  p "{\n";
+  p "  \"schema\": \"ulipc-bench-real/2\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"micro_ns_per_op\": [\n";
+  let n = List.length micro in
+  List.iteri
+    (fun i (name, ns) ->
+      p "    { \"name\": \"%s\", \"ns_per_op\": %s }%s\n" (json_escape name)
+        (json_float ns) (sep i n))
+    micro;
+  p "  ],\n";
+  p "  \"real_driver\": [\n";
+  let n = List.length real in
+  List.iteri
+    (fun i (transport, m) ->
+      p
+        "    { \"transport\": \"%s\", \"protocol\": \"%s\", \"nclients\": %d, \
+         \"messages\": %d, \"throughput_msg_per_ms\": %s, \"round_trip_us\": \
+         %s, \"latency_p50_us\": %s, \"latency_p99_us\": %s, \
+         \"latency_max_us\": %s, \"utilization\": %s }%s\n"
+        (json_escape transport)
+        (json_escape (Ulipc.Protocol_kind.name m.Metrics.protocol))
+        m.Metrics.nclients m.Metrics.messages
+        (json_float m.Metrics.throughput_msg_per_ms)
+        (json_float (Metrics.round_trip_us m))
+        (json_float_opt (Metrics.latency_percentile m 50.0))
+        (json_float_opt (Metrics.latency_percentile m 99.0))
+        (json_float_opt (Metrics.latency_max m))
+        (json_float m.Metrics.utilization)
+        (sep i n))
+    real;
+  p "  ]\n";
+  p "}\n";
+  close_out oc

@@ -1,0 +1,23 @@
+(** Writer for the [BENCH_real.json] perf-trajectory file.
+
+    Lives in the library (rather than the bench binary) so the test suite
+    can emit a file and parse it back: every number goes through
+    {!json_float}, which serialises non-finite values as [null] — a raw
+    [nan]/[inf] token is not valid JSON and breaks downstream parsers. *)
+
+val json_float : float -> string
+(** Decimal rendering of a finite float; ["null"] for nan/±inf. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion between JSON double quotes. *)
+
+val write :
+  path:string ->
+  quick:bool ->
+  micro:(string * float) list ->
+  real:(string * Metrics.t) list ->
+  unit
+(** Write schema [ulipc-bench-real/2]: the Bechamel ns/op rows and the
+    real-driver echo rows ([(transport name, metrics)]), the latter with
+    [latency_p50_us]/[latency_p99_us]/[latency_max_us] fields from the
+    round-trip histogram ([null] when latency was not collected). *)

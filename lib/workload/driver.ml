@@ -117,11 +117,11 @@ let client_body cfg session ~client ~latency () =
     let ans =
       match latency with
       | None -> send msg
-      | Some stat ->
+      | Some hist ->
         let before = Usys.time () in
         let ans = send msg in
         let after = Usys.time () in
-        Stat.add stat (Sim_time.to_us (Sim_time.sub after before));
+        Ulipc.Histogram.record hist (Sim_time.to_us (Sim_time.sub after before));
         ans
     in
     (* Integrity: the reply must carry our argument and sequence number. *)
@@ -164,7 +164,7 @@ let run_outcome cfg =
   let echoed = ref 0 in
   let latency =
     if cfg.collect_latency then
-      Some (Stat.create ~keep_samples:true "round-trip (us)")
+      Some (Ulipc.Histogram.create "round-trip (us)")
     else None
   in
   let stop_noise = ref false in

@@ -5,7 +5,7 @@ type t = {
   messages : int;
   elapsed : Ulipc_engine.Sim_time.t;
   throughput_msg_per_ms : float;
-  latency_us : Ulipc_engine.Stat.t option;
+  latency_us : Ulipc.Histogram.t option;
   counters : Ulipc.Counters.t;
   server_usage : Ulipc_os.Syscall.usage;
   client_usage : Ulipc_os.Syscall.usage list;
@@ -26,7 +26,8 @@ let zero_usage =
     syscalls = 0;
   }
 
-let of_real ~machine ~protocol ~nclients ~messages ~elapsed_s ~counters =
+let of_real ?latency ~machine ~protocol ~nclients ~messages ~elapsed_s
+    ~counters () =
   let elapsed = Ulipc_engine.Sim_time.us_f (elapsed_s *. 1.0e6) in
   {
     machine;
@@ -37,7 +38,7 @@ let of_real ~machine ~protocol ~nclients ~messages ~elapsed_s ~counters =
     throughput_msg_per_ms =
       (if elapsed_s <= 0.0 then nan
        else float_of_int messages /. (elapsed_s *. 1000.0));
-    latency_us = None;
+    latency_us = latency;
     counters;
     server_usage = zero_usage;
     client_usage = [];
@@ -53,6 +54,18 @@ let round_trip_us t =
     float_of_int t.nclients
     *. Ulipc_engine.Sim_time.to_us t.elapsed
     /. float_of_int t.messages
+
+let latency_percentile t p =
+  match t.latency_us with
+  | Some h when Ulipc.Histogram.count h > 0 ->
+    Some (Ulipc.Histogram.percentile h p)
+  | Some _ | None -> None
+
+let latency_max t =
+  match t.latency_us with
+  | Some h when Ulipc.Histogram.count h > 0 ->
+    Some (Ulipc.Histogram.max_value h)
+  | Some _ | None -> None
 
 let yields_per_message t =
   if t.messages = 0 then nan
@@ -74,7 +87,13 @@ let pp ppf t =
     (100.0 *. t.utilization) Ulipc.Counters.pp t.counters
 
 let pp_row ppf t =
-  Format.fprintf ppf "%-10s %-9s %2d  %8.2f msg/ms  rt %8.1f us"
-    t.machine
+  Format.fprintf ppf "%-10s %-9s %2d  %8.2f msg/ms  rt %8.1f us" t.machine
     (Ulipc.Protocol_kind.name t.protocol)
-    t.nclients t.throughput_msg_per_ms (round_trip_us t)
+    t.nclients t.throughput_msg_per_ms (round_trip_us t);
+  match t.latency_us with
+  | Some h when Ulipc.Histogram.count h > 0 ->
+    Format.fprintf ppf "  p50 %8.1f  p99 %8.1f  max %8.1f us"
+      (Ulipc.Histogram.percentile h 50.0)
+      (Ulipc.Histogram.percentile h 99.0)
+      (Ulipc.Histogram.max_value h)
+  | Some _ | None -> ()

@@ -9,8 +9,10 @@ type t = {
       (** §2.2's measurement window: from the barrier release (first
           request) until the last client's disconnect is processed *)
   throughput_msg_per_ms : float;
-  latency_us : Ulipc_engine.Stat.t option;
-      (** per-send round-trip latency in µs, when collection was enabled *)
+  latency_us : Ulipc.Histogram.t option;
+      (** per-send round-trip latency in µs, when collection was enabled:
+          a log-bucketed {!Ulipc.Histogram}, the one report format both
+          the simulator and the real-domains driver fill *)
   counters : Ulipc.Counters.t;
   server_usage : Ulipc_os.Syscall.usage;
   client_usage : Ulipc_os.Syscall.usage list;
@@ -24,23 +26,33 @@ type t = {
 }
 
 val of_real :
+  ?latency:Ulipc.Histogram.t ->
   machine:string ->
   protocol:Ulipc.Protocol_kind.t ->
   nclients:int ->
   messages:int ->
   elapsed_s:float ->
   counters:Ulipc.Counters.t ->
+  unit ->
   t
 (** Package a wall-clock measurement from the real-domains backend into
     the same record the simulator produces, so both report through one
-    set of printers.  [elapsed_s] is wall-clock seconds.  Fields that
-    only a simulated kernel can account (usage, sim steps, yields,
-    utilization) are zero / [nan]. *)
+    set of printers.  [elapsed_s] is wall-clock seconds; [latency] is the
+    merged per-call round-trip histogram (µs), when it was collected.
+    Fields that only a simulated kernel can account (usage, sim steps,
+    yields, utilization) are zero / [nan]. *)
 
 val round_trip_us : t -> float
 (** Mean round-trip latency implied by throughput and client count:
     [nclients × elapsed / messages], in µs.  Matches the paper's
     "119 µs round-trip at one client" style of reporting. *)
+
+val latency_percentile : t -> float -> float option
+(** [latency_percentile t p] from the collected histogram; [None] when
+    latency was not collected (or holds no samples). *)
+
+val latency_max : t -> float option
+(** Exact maximum of the collected round-trip latencies, when present. *)
 
 val yields_per_message : t -> float
 (** Yield-class system calls (yield/handoff) per echo message, summed over
@@ -50,5 +62,8 @@ val yields_per_message : t -> float
 val server_vcsw_per_message : t -> float
 
 val pp : Format.formatter -> t -> unit
+
 val pp_row : Format.formatter -> t -> unit
-(** One aligned table row: protocol, clients, throughput, latency. *)
+(** One aligned table row: protocol, clients, throughput, latency — plus
+    p50/p99/max round-trip columns when the latency histogram holds
+    samples. *)

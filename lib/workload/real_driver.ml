@@ -1,7 +1,23 @@
 (* The §2.2 echo workload on real OCaml 5 domains: one server domain,
    [nclients] client domains, each issuing [messages] synchronous calls
    through Ulipc_real.Rpc.  The same protocol core the simulator runs,
-   measured in wall-clock time, reported through the same Metrics record. *)
+   measured in wall-clock time, reported through the same Metrics record.
+
+   Timing discipline: a start barrier keeps Domain.spawn cost out of the
+   measured interval — every client parks on an atomic flag after
+   spawning, [t0] is taken once all are parked, and the flag releases
+   them together (the wall-clock analogue of the simulator driver's
+   Connect barrier).  [t1] is taken after joining the clients but before
+   joining the server, so the interval covers exactly the messaging
+   phase: last reply received, not last domain torn down.
+
+   Each client also times every individual send with gettimeofday and
+   records it into its own Ulipc.Histogram (per-domain, unsynchronised);
+   the rings are merged after the joins, so real runs report the same
+   p50/p99/max percentiles the simulator does.  gettimeofday granularity
+   is ~1 µs on most hosts: sub-µs round-trips quantise to 0/1 µs ticks,
+   so the percentiles are honest at µs resolution and the throughput
+   numbers remain the precise measurement. *)
 
 let kind_of_waiting = function
   | Ulipc_real.Rpc.Spin -> Ulipc.Protocol_kind.BSS
@@ -10,9 +26,9 @@ let kind_of_waiting = function
   | Ulipc_real.Rpc.Limited_spin max_spin -> Ulipc.Protocol_kind.BSLS max_spin
   | Ulipc_real.Rpc.Handoff -> Ulipc.Protocol_kind.HANDOFF
 
-let run ?(machine = "domains") ?transport ~nclients ~messages waiting =
+let run ?(machine = "domains") ?transport ?trace ~nclients ~messages waiting =
   let t : (int, int) Ulipc_real.Rpc.t =
-    Ulipc_real.Rpc.create ?transport ~nclients waiting
+    Ulipc_real.Rpc.create ?transport ?trace ~nclients waiting
   in
   let server =
     Domain.spawn (fun () ->
@@ -23,21 +39,39 @@ let run ?(machine = "domains") ?transport ~nclients ~messages waiting =
           decr remaining
         done)
   in
-  let t0 = Unix.gettimeofday () in
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
   let clients =
     List.init nclients (fun c ->
         Domain.spawn (fun () ->
+            let hist = Ulipc.Histogram.create "round-trip (us)" in
+            Atomic.incr ready;
+            while not (Atomic.get go) do
+              Domain.cpu_relax ()
+            done;
             for i = 1 to messages do
-              if Ulipc_real.Rpc.send t ~client:c i <> i + 1 then
-                failwith "Real_driver.run: echo mismatch"
-            done))
+              let before = Unix.gettimeofday () in
+              let ans = Ulipc_real.Rpc.send t ~client:c i in
+              let after = Unix.gettimeofday () in
+              if ans <> i + 1 then failwith "Real_driver.run: echo mismatch";
+              Ulipc.Histogram.record hist ((after -. before) *. 1.0e6)
+            done;
+            hist))
   in
-  List.iter Domain.join clients;
+  while Atomic.get ready < nclients do
+    Domain.cpu_relax ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  Atomic.set go true;
+  let hists = List.map Domain.join clients in
+  let t1 = Unix.gettimeofday () in
   Domain.join server;
-  let elapsed_s = Unix.gettimeofday () -. t0 in
-  Metrics.of_real ~machine
+  let latency = Ulipc.Histogram.create "round-trip (us)" in
+  List.iter (fun h -> Ulipc.Histogram.merge_into ~dst:latency h) hists;
+  Metrics.of_real ~latency ~machine
     ~protocol:(kind_of_waiting waiting)
     ~nclients
     ~messages:(nclients * messages)
-    ~elapsed_s
+    ~elapsed_s:(t1 -. t0)
     ~counters:(Ulipc_real.Rpc.counters t)
+    ()

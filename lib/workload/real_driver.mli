@@ -13,6 +13,7 @@ val kind_of_waiting : Ulipc_real.Rpc.waiting -> Ulipc.Protocol_kind.t
 val run :
   ?machine:string ->
   ?transport:Ulipc_real.Real_substrate.transport ->
+  ?trace:Ulipc_real.Trace_ring.t ->
   nclients:int ->
   messages:int ->
   Ulipc_real.Rpc.waiting ->
@@ -21,4 +22,14 @@ val run :
     [nclients] client domains, each performing [messages] synchronous
     echo calls; returns the wall-clock metrics.  [machine] labels the row
     (default ["domains"]); [transport] selects the queue transport
-    (default ring — see {!Ulipc_real.Real_substrate.transport}). *)
+    (default ring — see {!Ulipc_real.Real_substrate.transport});
+    [trace] attaches a per-domain event-trace sink to the session
+    (drained by the caller after the run).
+
+    The measured interval excludes domain start-up and tear-down: clients
+    park on a start barrier after spawning, the clock starts when the
+    barrier releases, and it stops once every client has been joined
+    (before the server join).  Every send is individually timed, and
+    [latency_us] in the result carries the merged round-trip histogram,
+    so {!Metrics.latency_percentile} works for real rows exactly as for
+    simulated ones. *)

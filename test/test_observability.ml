@@ -1,0 +1,466 @@
+(* Tests for the real-backend observability layer: the log-bucketed
+   Ulipc.Histogram (vs the exact Stat accumulator), the per-domain
+   Trace_ring event sink, per-call latency in Real_driver, and the
+   Bench_json writer parsed back as actual JSON. *)
+
+open Ulipc_engine
+open Ulipc_workload
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_histogram_basics () =
+  let h = Ulipc.Histogram.create "t" in
+  Alcotest.(check int) "empty" 0 (Ulipc.Histogram.count h);
+  List.iter (Ulipc.Histogram.record h) [ 1.0; 2.0; 4.0; 8.0 ];
+  Alcotest.(check int) "count" 4 (Ulipc.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "total" 15.0 (Ulipc.Histogram.total h);
+  Alcotest.(check (float 1e-9)) "mean" 3.75 (Ulipc.Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Ulipc.Histogram.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 8.0 (Ulipc.Histogram.max_value h);
+  (* p0/p100 are exact: clamped to the recorded extremes. *)
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Ulipc.Histogram.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 8.0 (Ulipc.Histogram.percentile h 100.0)
+
+let test_histogram_guards () =
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Histogram.percentile: no samples") (fun () ->
+      ignore (Ulipc.Histogram.percentile (Ulipc.Histogram.create "t") 50.0));
+  let h = Ulipc.Histogram.create "t" in
+  Ulipc.Histogram.record h 1.0;
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Histogram.percentile: p out of range") (fun () ->
+      ignore (Ulipc.Histogram.percentile h 101.0));
+  Alcotest.check_raises "bad lo"
+    (Invalid_argument "Histogram.create: lo must be positive") (fun () ->
+      ignore (Ulipc.Histogram.create ~lo:0.0 "t"));
+  Alcotest.check_raises "geometry mismatch"
+    (Invalid_argument "Histogram.merge_into: bucket geometries differ")
+    (fun () ->
+      Ulipc.Histogram.merge_into
+        ~dst:(Ulipc.Histogram.create "dst")
+        (Ulipc.Histogram.create ~buckets_per_decade:8 "src"))
+
+let test_histogram_out_of_range () =
+  (* Values outside the regular bucket range (and non-finite ones) land
+     in the under/overflow buckets but stay inside min/max. *)
+  let h = Ulipc.Histogram.create ~lo:1.0 ~decades:2 "t" in
+  List.iter (Ulipc.Histogram.record h) [ 1e-9; 5.0; 1e6 ];
+  Alcotest.(check int) "count" 3 (Ulipc.Histogram.count h);
+  Alcotest.(check (float 1e-12)) "p0 is the underflow value" 1e-9
+    (Ulipc.Histogram.percentile h 0.0);
+  Alcotest.(check (float 1e-3)) "p100 is the overflow value" 1e6
+    (Ulipc.Histogram.percentile h 100.0);
+  let mid = Ulipc.Histogram.percentile h 50.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 %.3f within one bucket of 5.0" mid)
+    true
+    (Float.abs (mid -. 5.0) /. 5.0 < Ulipc.Histogram.bucket_ratio h -. 1.0)
+
+(* The tentpole accuracy contract: histogram percentiles agree with the
+   exact sample percentiles of Stat ~keep_samples:true within one
+   bucket's relative error.  Both use the same interpolated rank, so the
+   bound holds pointwise at every p. *)
+let prop_histogram_matches_stat =
+  QCheck.Test.make ~name:"Histogram percentiles ~ Stat percentiles" ~count:200
+    QCheck.(
+      pair (float_range 0.01 100_000.0)
+        (list_of_size Gen.(1 -- 300) (float_range 0.01 100_000.0)))
+    (fun (x, xs) ->
+      let samples = x :: xs in
+      let h = Ulipc.Histogram.create "h" in
+      let s = Stat.create ~keep_samples:true "s" in
+      List.iter
+        (fun v ->
+          Ulipc.Histogram.record h v;
+          Stat.add s v)
+        samples;
+      let tol = Ulipc.Histogram.bucket_ratio h -. 1.0 in
+      List.for_all
+        (fun p ->
+          let exact = Stat.percentile s p in
+          let approx = Ulipc.Histogram.percentile h p in
+          Float.abs (approx -. exact) <= (tol *. Float.abs exact) +. 1e-9)
+        [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ])
+
+let test_histogram_merge_across_domains () =
+  (* Per-domain recording, merge after join: 4 domains record disjoint
+     ranges concurrently into their own histograms; the merge must lose
+     nothing and match a sequentially-built Stat. *)
+  let per_domain = 10_000 in
+  let value d i = float_of_int (((d + 1) * 1000) + (i mod 997)) +. 0.5 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let h = Ulipc.Histogram.create "h" in
+            for i = 1 to per_domain do
+              Ulipc.Histogram.record h (value d i)
+            done;
+            h))
+  in
+  let hists = List.map Domain.join domains in
+  let merged = Ulipc.Histogram.create "h" in
+  List.iter (fun h -> Ulipc.Histogram.merge_into ~dst:merged h) hists;
+  Alcotest.(check int) "no lost samples" (4 * per_domain)
+    (Ulipc.Histogram.count merged);
+  let s = Stat.create ~keep_samples:true "s" in
+  List.init 4 (fun d -> d)
+  |> List.iter (fun d ->
+         for i = 1 to per_domain do
+           Stat.add s (value d i)
+         done);
+  Alcotest.(check (float 1e-6))
+    "totals add up" (Stat.total s)
+    (Ulipc.Histogram.total merged);
+  Alcotest.(check (float 1e-9)) "min" (Stat.min_value s)
+    (Ulipc.Histogram.min_value merged);
+  Alcotest.(check (float 1e-9)) "max" (Stat.max_value s)
+    (Ulipc.Histogram.max_value merged);
+  let tol = Ulipc.Histogram.bucket_ratio merged -. 1.0 in
+  List.iter
+    (fun p ->
+      let exact = Stat.percentile s p in
+      let approx = Ulipc.Histogram.percentile merged p in
+      Alcotest.(check bool)
+        (Printf.sprintf "merged p%.0f %.1f ~ exact %.1f" p approx exact)
+        true
+        (Float.abs (approx -. exact) <= tol *. exact))
+    [ 50.0; 99.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring *)
+
+let test_trace_ring_bounds () =
+  let sink = Ulipc_real.Trace_ring.create ~capacity:8 () in
+  for i = 1 to 20 do
+    Ulipc_real.Trace_ring.record sink Ulipc_real.Trace_ring.Enqueue ~chan:i
+  done;
+  Alcotest.(check int) "recorded" 20 (Ulipc_real.Trace_ring.recorded sink);
+  Alcotest.(check int) "dropped" 12 (Ulipc_real.Trace_ring.dropped sink);
+  let events = Ulipc_real.Trace_ring.events sink in
+  Alcotest.(check int) "retains the last capacity events" 8
+    (List.length events);
+  Alcotest.(check (list int))
+    "oldest-to-newest"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+    (List.map (fun e -> e.Ulipc_real.Trace_ring.chan) events);
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Trace_ring.create: capacity must be positive")
+    (fun () -> ignore (Ulipc_real.Trace_ring.create ~capacity:0 ()))
+
+let test_trace_through_real_run () =
+  let open Ulipc_real in
+  let nclients = 2 and messages = 100 in
+  let sink = Trace_ring.create () in
+  let m = Real_driver.run ~trace:sink ~nclients ~messages Rpc.Block in
+  Alcotest.(check int) "all messages echoed" (nclients * messages)
+    m.Metrics.messages;
+  let events = Trace_ring.events sink in
+  Alcotest.(check int) "nothing dropped" 0 (Trace_ring.dropped sink);
+  Alcotest.(check int) "drained = recorded" (Trace_ring.recorded sink)
+    (List.length events);
+  let count k =
+    List.length
+      (List.filter (fun e -> e.Trace_ring.kind = k) events)
+  in
+  (* Every request and every reply is one enqueue and one dequeue. *)
+  let total = 2 * nclients * messages in
+  Alcotest.(check int) "enqueue events" total (count Trace_ring.Enqueue);
+  Alcotest.(check int) "dequeue events" total (count Trace_ring.Dequeue);
+  (* Every completed block consumed a wake; raced wakes are drained
+     without blocking, so wakes dominate blocks. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "wakes (%d) >= blocks (%d)" (count Trace_ring.Wake)
+       (count Trace_ring.Block))
+    true
+    (count Trace_ring.Wake >= count Trace_ring.Block);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "channel id in range" true
+        (e.Trace_ring.chan >= -1 && e.Trace_ring.chan < nclients))
+    events;
+  let ts = List.map (fun e -> e.Trace_ring.t_us) events in
+  Alcotest.(check bool) "timestamps sorted" true
+    (List.sort Float.compare ts = ts)
+
+(* ------------------------------------------------------------------ *)
+(* Real_driver latency *)
+
+let test_real_driver_latency transport () =
+  let nclients = 2 and messages = 50 in
+  let m =
+    Real_driver.run ~transport ~nclients ~messages Ulipc_real.Rpc.Block
+  in
+  Alcotest.(check int) "messages" (nclients * messages) m.Metrics.messages;
+  match m.Metrics.latency_us with
+  | None -> Alcotest.fail "real run did not collect latency"
+  | Some hist ->
+    Alcotest.(check int)
+      "one sample per message" (nclients * messages)
+      (Ulipc.Histogram.count hist);
+    let p50 = Ulipc.Histogram.percentile hist 50.0 in
+    let p99 = Ulipc.Histogram.percentile hist 99.0 in
+    let maxv = Ulipc.Histogram.max_value hist in
+    Alcotest.(check bool)
+      (Printf.sprintf "percentiles ordered (p50 %.1f <= p99 %.1f <= max %.1f)"
+         p50 p99 maxv)
+      true
+      (p50 <= p99 && p99 <= maxv *. 1.0000001);
+    Alcotest.(check bool) "latencies are non-negative" true
+      (Ulipc.Histogram.min_value hist >= 0.0);
+    (match Metrics.latency_percentile m 50.0 with
+    | Some _ -> ()
+    | None -> Alcotest.fail "latency_percentile empty for a real row")
+
+(* ------------------------------------------------------------------ *)
+(* Bench_json: emitted file parses as JSON, percentiles are non-null *)
+
+(* A deliberately small JSON reader — objects, arrays, strings, numbers,
+   true/false/null — so the test validates real syntax (a raw [nan]
+   token fails the parse) without a JSON dependency. *)
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "json: %s at %d" msg !pos) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    let len = String.length lit in
+    if n - !pos >= len && String.sub s !pos len = lit then begin
+      pos := !pos + len;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+        incr pos;
+        Buffer.contents b
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "bad escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          if !pos + 4 >= n then fail "bad unicode escape";
+          pos := !pos + 4;
+          Buffer.add_char b '?'
+        | _ -> fail "bad escape");
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        J_obj []
+      end
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((k, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            J_obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or } in object"
+        in
+        members []
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        J_arr []
+      end
+      else
+        let rec items acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            items (v :: acc)
+          | Some ']' ->
+            incr pos;
+            J_arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ] in array"
+        in
+        items []
+    | Some '"' -> J_str (string_lit ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | J_obj kvs -> (
+    match List.assoc_opt k kvs with
+    | Some v -> v
+    | None -> Alcotest.failf "missing field %S" k)
+  | _ -> Alcotest.failf "not an object looking up %S" k
+
+let test_json_float_non_finite () =
+  Alcotest.(check string) "nan" "null" (Bench_json.json_float nan);
+  Alcotest.(check string) "+inf" "null" (Bench_json.json_float infinity);
+  Alcotest.(check string) "-inf" "null" (Bench_json.json_float neg_infinity);
+  Alcotest.(check string) "finite" "1.500" (Bench_json.json_float 1.5)
+
+let test_bench_json_roundtrip () =
+  let transports = Ulipc_real.Real_substrate.[ Two_lock; Ring ] in
+  let real =
+    List.map
+      (fun transport ->
+        ( Ulipc_real.Real_substrate.transport_name transport,
+          Real_driver.run ~transport ~nclients:2 ~messages:50
+            Ulipc_real.Rpc.Block ))
+      transports
+  in
+  (* Non-finite micro rows exercise the null path end to end. *)
+  let micro =
+    [ ("spsc pair", 25.1); ("nan row", nan); ("inf row", infinity) ]
+  in
+  let path = Filename.temp_file "bench_real" ".json" in
+  Bench_json.write ~path ~quick:true ~micro ~real;
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  let j = parse_json contents in
+  (match member "schema" j with
+  | J_str "ulipc-bench-real/2" -> ()
+  | _ -> Alcotest.fail "wrong schema");
+  (match member "micro_ns_per_op" j with
+  | J_arr rows ->
+    let ns name =
+      member "ns_per_op"
+        (List.find (fun r -> member "name" r = J_str name) rows)
+    in
+    (match ns "spsc pair" with
+    | J_num v -> Alcotest.(check (float 1e-6)) "finite ns survives" 25.1 v
+    | _ -> Alcotest.fail "finite ns row not a number");
+    Alcotest.(check bool) "nan serialises as null" true (ns "nan row" = J_null);
+    Alcotest.(check bool) "inf serialises as null" true (ns "inf row" = J_null)
+  | _ -> Alcotest.fail "micro_ns_per_op not an array");
+  match member "real_driver" j with
+  | J_arr rows ->
+    Alcotest.(check int) "one row per transport" (List.length transports)
+      (List.length rows);
+    List.iter
+      (fun row ->
+        (* The acceptance criterion: non-null latency percentiles. *)
+        let num k =
+          match member k row with
+          | J_num v -> v
+          | _ -> Alcotest.failf "%s is not a number" k
+        in
+        let p50 = num "latency_p50_us" in
+        let p99 = num "latency_p99_us" in
+        let maxv = num "latency_max_us" in
+        Alcotest.(check bool)
+          (Printf.sprintf "percentiles ordered (%.1f/%.1f/%.1f)" p50 p99 maxv)
+          true
+          (p50 <= p99 && p99 <= maxv *. 1.0000001);
+        Alcotest.(check bool) "utilization nan -> null" true
+          (member "utilization" row = J_null))
+      rows
+  | _ -> Alcotest.fail "real_driver not an array"
+
+let suites =
+  [
+    ( "core.histogram",
+      [
+        Alcotest.test_case "basics" `Quick test_histogram_basics;
+        Alcotest.test_case "guards" `Quick test_histogram_guards;
+        Alcotest.test_case "under/overflow" `Quick test_histogram_out_of_range;
+        QCheck_alcotest.to_alcotest prop_histogram_matches_stat;
+        Alcotest.test_case "concurrent record, merge at join" `Quick
+          test_histogram_merge_across_domains;
+      ] );
+    ( "realipc.trace_ring",
+      [
+        Alcotest.test_case "bounded, keeps the newest" `Quick
+          test_trace_ring_bounds;
+        Alcotest.test_case "events through a real run" `Quick
+          test_trace_through_real_run;
+      ] );
+    ( "workload.real_driver",
+      [
+        Alcotest.test_case "latency histogram (ring)" `Quick
+          (test_real_driver_latency Ulipc_real.Real_substrate.Ring);
+        Alcotest.test_case "latency histogram (two-lock)" `Quick
+          (test_real_driver_latency Ulipc_real.Real_substrate.Two_lock);
+      ] );
+    ( "workload.bench_json",
+      [
+        Alcotest.test_case "json_float non-finite -> null" `Quick
+          test_json_float_non_finite;
+        Alcotest.test_case "emit, parse back, percentiles non-null" `Quick
+          test_bench_json_roundtrip;
+      ] );
+  ]

@@ -59,9 +59,11 @@ let test_latency_collection () =
   in
   match m.Metrics.latency_us with
   | None -> Alcotest.fail "latency not collected"
-  | Some stat ->
-    Alcotest.(check int) "one sample per message" 300 (Stat.count stat);
-    let mean = Stat.mean stat in
+  | Some hist ->
+    Alcotest.(check int)
+      "one sample per message" 300
+      (Ulipc.Histogram.count hist);
+    let mean = Ulipc.Histogram.mean hist in
     let rt = Metrics.round_trip_us m in
     Alcotest.(check bool)
       (Printf.sprintf "latency mean %.1f ~ round-trip %.1f" mean rt)
@@ -70,7 +72,8 @@ let test_latency_collection () =
     (* Percentiles are available and ordered. *)
     Alcotest.(check bool)
       "p99 >= p50" true
-      (Stat.percentile stat 99.0 >= Stat.percentile stat 50.0)
+      (Ulipc.Histogram.percentile hist 99.0
+      >= Ulipc.Histogram.percentile hist 50.0)
 
 let test_server_work_slows_throughput () =
   let run work =
