@@ -1,0 +1,137 @@
+(* Perf-regression gate over BENCH_real.json files.
+
+     dune exec bench/compare.exe -- BASELINE.json CURRENT.json [--factor F]
+
+   Reads the micro_ns_per_op rows of both files (schema ulipc-bench-real/3,
+   the exact line-per-row layout Bench_json.write emits — this is a
+   purpose-built scanner, not a JSON parser) and fails with exit code 1 if
+   any row present in both is more than F times slower in CURRENT than in
+   BASELINE (default F = 3: wide enough to absorb quick-mode noise and
+   shared-CI jitter, tight enough to catch a lost fast path).  Rows whose
+   baseline already sits at 1 µs or more are scheduler-bound (round-trips
+   through sleep/wake on a time-shared core, where a single descheduled
+   trial shows up as an 8-10x outlier), so they get 3F instead — still
+   far under the 75x of the original BSS pathology.  Rows missing on
+   either side, or null on either side, are reported but never fatal —
+   adding or renaming a benchmark must not break the gate. *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+(* Extract the string after [key] up to the closing quote, if present. *)
+let string_field line key =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  match
+    let n = String.length line and k = String.length pat in
+    let rec scan i =
+      if i + k > n then None
+      else if String.sub line i k = pat then Some (i + k)
+      else scan (i + 1)
+    in
+    scan 0
+  with
+  | None -> None
+  | Some start -> (
+    match String.index_from_opt line start '"' with
+    | None -> None
+    | Some stop -> Some (String.sub line start (stop - start)))
+
+(* Extract the number (or null) after [key]. *)
+let float_field line key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let n = String.length line and k = String.length pat in
+  let rec scan i =
+    if i + k > n then None
+    else if String.sub line i k = pat then Some (i + k)
+    else scan (i + 1)
+  in
+  match scan 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < n
+      && match line.[!stop] with
+         | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+         | _ -> false
+    do
+      incr stop
+    done;
+    if !stop = start then None (* "null" or malformed *)
+    else float_of_string_opt (String.sub line start (!stop - start))
+
+(* [(name, ns_per_op)] rows of the micro section. *)
+let micro_rows path =
+  let in_micro = ref false in
+  List.filter_map
+    (fun line ->
+      if !in_micro && String.trim line = "]," then in_micro := false;
+      if String.length (String.trim line) >= 18
+         && String.trim line = "\"micro_ns_per_op\": ["
+      then in_micro := true;
+      (* row lines carry both a name and ns_per_op *)
+      if not !in_micro then None
+      else
+        match (string_field line "name", float_field line "ns_per_op") with
+        | Some name, Some ns -> Some (name, ns)
+        | _ -> None)
+    (read_lines path)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_factor acc = function
+    | "--factor" :: f :: rest -> (float_of_string f, List.rev_append acc rest)
+    | a :: rest -> split_factor (a :: acc) rest
+    | [] -> (3.0, List.rev acc)
+  in
+  let factor, paths = split_factor [] args in
+  match paths with
+  | [ baseline_path; current_path ] ->
+    let baseline = micro_rows baseline_path in
+    let current = micro_rows current_path in
+    if baseline = [] then (
+      Printf.eprintf "compare: no micro rows in %s\n" baseline_path;
+      exit 2);
+    if current = [] then (
+      Printf.eprintf "compare: no micro rows in %s\n" current_path;
+      exit 2);
+    let regressions = ref 0 in
+    List.iter
+      (fun (name, base_ns) ->
+        match List.assoc_opt name current with
+        | None -> Printf.printf "  MISSING %-52s (baseline %.1f ns)\n" name base_ns
+        | Some cur_ns ->
+          let ratio = if base_ns > 0.0 then cur_ns /. base_ns else nan in
+          let limit = if base_ns >= 1000.0 then factor *. 3.0 else factor in
+          let flag =
+            if Float.is_finite ratio && ratio > limit then (
+              incr regressions;
+              "REGRESSED")
+            else "ok"
+          in
+          Printf.printf "  %-9s %-52s %10.1f -> %10.1f ns  (x%.2f)\n" flag
+            name base_ns cur_ns ratio)
+      baseline;
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name baseline) then
+          Printf.printf "  NEW       %s\n" name)
+      current;
+    if !regressions > 0 then (
+      Printf.printf "compare: %d row(s) regressed beyond %.1fx\n" !regressions
+        factor;
+      exit 1)
+    else Printf.printf "compare: no regression beyond %.1fx\n" factor
+  | _ ->
+    prerr_endline
+      "usage: compare BASELINE.json CURRENT.json [--factor F]   (default F = \
+       3.0)";
+    exit 2

@@ -228,6 +228,37 @@ let micro_tests () =
            ignore (Ulipc_real.Mpsc_ring.enqueue q 1 : bool);
            ignore (Ulipc_real.Mpsc_ring.dequeue q : int option)))
   in
+  (* Batch rows push 8 messages per span claim; ns/op is divided by 8
+     after analysis (micro_rows) so the row reads per message, directly
+     comparable with the single-op row above it. *)
+  let eight = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let queue_batch =
+    Test.make_with_resource ~name:"tl_queue batch-8 enqueue+dequeue"
+      Test.uniq
+      ~allocate:(fun () -> Ulipc_real.Tl_queue.create ~capacity:64 ())
+      ~free:ignore
+      (Staged.stage (fun q ->
+           ignore (Ulipc_real.Tl_queue.enqueue_batch q eight : int);
+           ignore (Ulipc_real.Tl_queue.dequeue_batch q ~max:8 : int list)))
+  in
+  let spsc_batch =
+    Test.make_with_resource ~name:"spsc_ring batch-8 enqueue+dequeue"
+      Test.uniq
+      ~allocate:(fun () -> Ulipc_real.Spsc_ring.create ~capacity:64 ())
+      ~free:ignore
+      (Staged.stage (fun q ->
+           ignore (Ulipc_real.Spsc_ring.enqueue_batch q eight : int);
+           ignore (Ulipc_real.Spsc_ring.dequeue_batch q ~max:8 : int list)))
+  in
+  let mpsc_batch =
+    Test.make_with_resource ~name:"mpsc_ring batch-8 enqueue+dequeue"
+      Test.uniq
+      ~allocate:(fun () -> Ulipc_real.Mpsc_ring.create ~capacity:64 ())
+      ~free:ignore
+      (Staged.stage (fun q ->
+           ignore (Ulipc_real.Mpsc_ring.enqueue_batch q eight : int);
+           ignore (Ulipc_real.Mpsc_ring.dequeue_batch q ~max:8 : int list)))
+  in
   let sem_pair =
     Test.make_with_resource ~name:"rsem V+P" Test.uniq
       ~allocate:(fun () -> Ulipc_real.Rsem.create 0)
@@ -235,6 +266,16 @@ let micro_tests () =
       (Staged.stage (fun s ->
            Ulipc_real.Rsem.v s;
            Ulipc_real.Rsem.p s))
+  in
+  let sem_vn =
+    Test.make_with_resource ~name:"rsem batch-8 v_n+P" Test.uniq
+      ~allocate:(fun () -> Ulipc_real.Rsem.create 0)
+      ~free:ignore
+      (Staged.stage (fun s ->
+           Ulipc_real.Rsem.v_n s 8;
+           for _ = 1 to 8 do
+             Ulipc_real.Rsem.p s
+           done))
   in
   let tas =
     Test.make_with_resource ~name:"atomic exchange (tas)" Test.uniq
@@ -268,7 +309,10 @@ let micro_tests () =
       (Staged.stage (fun ((t, _) : (int, int) Ulipc_real.Rpc.t * unit Domain.t) ->
            ignore (Ulipc_real.Rpc.send t ~client:0 42 : int)))
   in
-  [ queue_pair; spsc_pair; mpsc_pair; sem_pair; tas ]
+  [
+    queue_pair; queue_batch; spsc_pair; spsc_batch; mpsc_pair; mpsc_batch;
+    sem_pair; sem_vn; tas;
+  ]
   @ List.concat_map
       (fun transport ->
         [
@@ -278,6 +322,8 @@ let micro_tests () =
             Ulipc_real.Rpc.Block_yield;
           round_trip "round-trip, limited spin (BSLS)" transport
             (Ulipc_real.Rpc.Limited_spin 500);
+          round_trip "round-trip, adaptive (ADAPT)" transport
+            (Ulipc_real.Rpc.Adaptive 4096);
           round_trip "round-trip, handoff" transport Ulipc_real.Rpc.Handoff;
         ])
       transports
@@ -307,7 +353,17 @@ let micro_rows ~quick () =
         | Some [] | None -> acc)
       results []
   in
-  List.sort compare rows
+  (* Batch tests move 8 messages per run: report them per message. *)
+  let per_message (name, ns) =
+    let is_batch =
+      let sub = "batch-8" in
+      let n = String.length name and k = String.length sub in
+      let rec scan i = i + k <= n && (String.sub name i k = sub || scan (i + 1)) in
+      scan 0
+    in
+    if is_batch then (name, ns /. 8.0) else (name, ns)
+  in
+  List.sort compare (List.map per_message rows)
 
 (* The same protocol-event counters the simulator reports, now measured on
    the real backend — over both transports, so every run records the
@@ -316,13 +372,19 @@ let real_rows ~quick () =
   let messages = if quick then 300 else 2_000 in
   List.concat_map
     (fun transport ->
-      List.map
-        (fun waiting ->
-          ( transport,
-            Real_driver.run
-              ~machine:(transport_name transport)
-              ~transport ~nclients:2 ~messages waiting ))
-        Ulipc_real.Rpc.[ Block; Block_yield; Limited_spin 50; Handoff ])
+      let row ?depth waiting =
+        ( transport,
+          Real_driver.run
+            ~machine:(transport_name transport)
+            ~transport ?depth ~nclients:2 ~messages waiting )
+      in
+      List.map row
+        Ulipc_real.Rpc.[ Block; Block_yield; Limited_spin 50; Handoff;
+                         Adaptive 4096 ]
+      (* The pipelined fast path: same protocols, depth-8 windows over
+         the batched enqueue/dequeue/wake operations. *)
+      @ List.map (row ~depth:8)
+          Ulipc_real.Rpc.[ Block; Adaptive 4096 ])
     transports
 
 let print_micro ~quick ~json () =

@@ -24,7 +24,9 @@ let cap_messages ~nclients ~messages waiting =
   | Ulipc_real.Rpc.Spin when oversubscribed -> min messages 200
   | Ulipc_real.Rpc.Limited_spin _ when oversubscribed -> min messages 2_000
   | Ulipc_real.Rpc.Spin | Ulipc_real.Rpc.Block | Ulipc_real.Rpc.Block_yield
-  | Ulipc_real.Rpc.Limited_spin _ | Ulipc_real.Rpc.Handoff -> messages
+  | Ulipc_real.Rpc.Limited_spin _ | Ulipc_real.Rpc.Handoff
+  | Ulipc_real.Rpc.Adaptive _ ->
+    messages
 
 let run_benchmark ~nclients ~messages waiting label =
   let messages = cap_messages ~nclients ~messages waiting in

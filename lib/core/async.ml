@@ -17,7 +17,7 @@ let post (s : Session.t) ~client msg =
     Usys.msgsnd s.Session.sysv_request ~mtype:Sysv_ipc.request_mtype
       (s.Session.inject msg)
   | Protocol_kind.BSW | Protocol_kind.BSWY | Protocol_kind.BSLS _
-  | Protocol_kind.HANDOFF ->
+  | Protocol_kind.ADAPT _ | Protocol_kind.HANDOFF ->
     Prims.flow_enqueue s s.Session.request msg;
     let (_ : bool) = Prims.wake_consumer s s.Session.request ~target:Server in
     ()
@@ -43,7 +43,7 @@ let collect (s : Session.t) ~client =
     | Some m -> m
     | None -> invalid_arg "Async.collect: foreign payload in session queue")
   | Protocol_kind.BSW | Protocol_kind.BSWY | Protocol_kind.BSLS _
-  | Protocol_kind.HANDOFF ->
+  | Protocol_kind.ADAPT _ | Protocol_kind.HANDOFF ->
     Prims.blocking_dequeue s ch ~side:Client ()
 
 let try_collect (s : Session.t) ~client =

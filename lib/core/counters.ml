@@ -12,6 +12,7 @@ type t = {
   mutable spin_fallthroughs : int;
   mutable server_spin_iterations : int;
   mutable server_spin_fallthroughs : int;
+  mutable backoff_sleeps : int;
 }
 
 let create () =
@@ -29,6 +30,7 @@ let create () =
     spin_fallthroughs = 0;
     server_spin_iterations = 0;
     server_spin_fallthroughs = 0;
+    backoff_sleeps = 0;
   }
 
 let reset t =
@@ -44,7 +46,8 @@ let reset t =
   t.spin_iterations <- 0;
   t.spin_fallthroughs <- 0;
   t.server_spin_iterations <- 0;
-  t.server_spin_fallthroughs <- 0
+  t.server_spin_fallthroughs <- 0;
+  t.backoff_sleeps <- 0
 
 let add dst src =
   dst.sends <- dst.sends + src.sends;
@@ -61,15 +64,16 @@ let add dst src =
   dst.server_spin_iterations <-
     dst.server_spin_iterations + src.server_spin_iterations;
   dst.server_spin_fallthroughs <-
-    dst.server_spin_fallthroughs + src.server_spin_fallthroughs
+    dst.server_spin_fallthroughs + src.server_spin_fallthroughs;
+  dst.backoff_sleeps <- dst.backoff_sleeps + src.backoff_sleeps
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>sends=%d receives=%d replies=%d@,\
      blocks: client=%d server=%d  wakeups: client=%d server=%d@,\
-     race-fix P=%d queue-full sleeps=%d@,\
+     race-fix P=%d queue-full sleeps=%d backoff sleeps=%d@,\
      client spin: iters=%d falls=%d  server spin: iters=%d falls=%d@]"
     t.sends t.receives t.replies t.client_blocks t.server_blocks
     t.client_wakeups t.server_wakeups t.race_fix_p t.queue_full_sleeps
-    t.spin_iterations t.spin_fallthroughs t.server_spin_iterations
-    t.server_spin_fallthroughs
+    t.backoff_sleeps t.spin_iterations t.spin_fallthroughs
+    t.server_spin_iterations t.server_spin_fallthroughs

@@ -24,6 +24,10 @@ type t = {
       (** BSLS sends whose poll loop exhausted MAX_SPIN *)
   mutable server_spin_iterations : int;
   mutable server_spin_fallthroughs : int;
+  mutable backoff_sleeps : int;
+      (** busy-wait steps that escalated past the bounded spin budget to
+          a real (bounded exponential) sleep — the real backend's yield;
+          always 0 on the simulator *)
 }
 
 val create : unit -> t

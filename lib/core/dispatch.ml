@@ -3,7 +3,8 @@ let send (s : Session.t) ~client msg =
   | Protocol_kind.BSS -> Bss.send s ~client msg
   | Protocol_kind.BSW -> Bsw.send s ~client msg
   | Protocol_kind.BSWY -> Bswy.send s ~client msg
-  | Protocol_kind.BSLS max_spin -> Bsls.send s ~client ~max_spin msg
+  | Protocol_kind.BSLS max_spin | Protocol_kind.ADAPT max_spin ->
+    Bsls.send s ~client ~max_spin msg
   | Protocol_kind.SYSV -> Sysv_ipc.send s ~client msg
   | Protocol_kind.HANDOFF -> Handoff_ipc.send s ~client msg
   | Protocol_kind.CSEM -> Csem.send s ~client msg
@@ -13,7 +14,8 @@ let receive (s : Session.t) =
   | Protocol_kind.BSS -> Bss.receive s
   | Protocol_kind.BSW -> Bsw.receive s
   | Protocol_kind.BSWY -> Bswy.receive s
-  | Protocol_kind.BSLS max_spin -> Bsls.receive s ~max_spin
+  | Protocol_kind.BSLS max_spin | Protocol_kind.ADAPT max_spin ->
+    Bsls.receive s ~max_spin
   | Protocol_kind.SYSV -> Sysv_ipc.receive s
   | Protocol_kind.HANDOFF -> Handoff_ipc.receive s
   | Protocol_kind.CSEM -> Csem.receive s
@@ -23,7 +25,7 @@ let reply (s : Session.t) ~client msg =
   | Protocol_kind.BSS -> Bss.reply s ~client msg
   | Protocol_kind.BSW -> Bsw.reply s ~client msg
   | Protocol_kind.BSWY -> Bswy.reply s ~client msg
-  | Protocol_kind.BSLS _ -> Bsls.reply s ~client msg
+  | Protocol_kind.BSLS _ | Protocol_kind.ADAPT _ -> Bsls.reply s ~client msg
   | Protocol_kind.SYSV -> Sysv_ipc.reply s ~client msg
   | Protocol_kind.HANDOFF -> Handoff_ipc.reply s ~client msg
   | Protocol_kind.CSEM -> Csem.reply s ~client msg

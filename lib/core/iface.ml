@@ -12,7 +12,7 @@ let of_kind kind =
     { send = Bsw.send; receive = Bsw.receive; reply = Bsw.reply }
   | Protocol_kind.BSWY ->
     { send = Bswy.send; receive = Bswy.receive; reply = Bswy.reply }
-  | Protocol_kind.BSLS max_spin ->
+  | Protocol_kind.BSLS max_spin | Protocol_kind.ADAPT max_spin ->
     {
       send = (fun s ~client msg -> Bsls.send s ~client ~max_spin msg);
       receive = (fun s -> Bsls.receive s ~max_spin);

@@ -1,10 +1,19 @@
-type t = BSS | BSW | BSWY | BSLS of int | SYSV | HANDOFF | CSEM
+type t =
+  | BSS
+  | BSW
+  | BSWY
+  | BSLS of int
+  | ADAPT of int
+  | SYSV
+  | HANDOFF
+  | CSEM
 
 let name = function
   | BSS -> "BSS"
   | BSW -> "BSW"
   | BSWY -> "BSWY"
   | BSLS n -> Printf.sprintf "BSLS(%d)" n
+  | ADAPT n -> Printf.sprintf "ADAPT(%d)" n
   | SYSV -> "SYSV"
   | HANDOFF -> "HANDOFF"
   | CSEM -> "CSEM"
@@ -18,4 +27,5 @@ let equal a b =
   | CSEM, CSEM ->
     true
   | BSLS x, BSLS y -> x = y
-  | (BSS | BSW | BSWY | BSLS _ | SYSV | HANDOFF | CSEM), _ -> false
+  | ADAPT x, ADAPT y -> x = y
+  | (BSS | BSW | BSWY | BSLS _ | ADAPT _ | SYSV | HANDOFF | CSEM), _ -> false

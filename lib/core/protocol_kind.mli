@@ -7,6 +7,13 @@ type t =
   | BSLS of int
       (** Both Sides Limited Spin (Figure 9): BSWY + bounded polling; the
           argument is MAX_SPIN *)
+  | ADAPT of int
+      (** Adaptive BSLS: MAX_SPIN adjusted per channel from the observed
+          spin-success rate, capped by the argument.  The adaptive
+          controller lives in the real-domains backend
+          ([Ulipc_real.Rpc.Adaptive]); the simulator treats [ADAPT n] as
+          [BSLS n] (the cap is the budget an always-rewarded spinner
+          converges to) *)
   | SYSV  (** the kernel-mediated baseline: System V message queues *)
   | HANDOFF
       (** BSWY with the proposed [handoff] system call (§6) in place of

@@ -19,9 +19,11 @@ let create ~kernel ~costs ~multiprocessor ~kind ~nclients ~capacity =
   (match kind with
   | Protocol_kind.BSLS max_spin when max_spin < 0 ->
     invalid_arg "Session.create: max_spin must be non-negative"
+  | Protocol_kind.ADAPT cap when cap < 0 ->
+    invalid_arg "Session.create: adaptive spin cap must be non-negative"
   | Protocol_kind.BSS | Protocol_kind.BSW | Protocol_kind.BSWY
-  | Protocol_kind.BSLS _ | Protocol_kind.SYSV | Protocol_kind.HANDOFF
-  | Protocol_kind.CSEM ->
+  | Protocol_kind.BSLS _ | Protocol_kind.ADAPT _ | Protocol_kind.SYSV
+  | Protocol_kind.HANDOFF | Protocol_kind.CSEM ->
     ());
   let inject, project = Ulipc_engine.Univ.embed () in
   {

@@ -1,0 +1,27 @@
+/* Per-thread timer-slack reduction for the backoff sleeps.
+
+   Linux pads every nanosleep of a non-realtime task by the task's
+   timer slack (50 us by default), which puts a ~70 us floor under the
+   1-10 us backoff parks and hence under every spin-protocol round-trip
+   on an oversubscribed host.  PR_SET_TIMERSLACK is per-thread, costs
+   nothing to set, and only trades batched timer interrupts for wakeup
+   precision on this one thread — exactly the trade an IPC waiter
+   wants.  On other systems this is a no-op. */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+CAMLprim value ulipc_set_timerslack_ns(value ns)
+{
+  CAMLparam1(ns);
+#ifdef __linux__
+  prctl(PR_SET_TIMERSLACK, (unsigned long)Long_val(ns));
+#else
+  (void)ns;
+#endif
+  CAMLreturn(Val_unit);
+}

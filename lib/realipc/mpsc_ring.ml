@@ -95,6 +95,68 @@ let dequeue q =
   end
   else None
 
+(* Batch enqueue: claim a span of [k] tickets with ONE tail CAS, then
+   fill and publish the slots in ascending index order so the consumer
+   can drain the batch progressively.  The claim is safe for the same
+   reason the single-op claim is: [k <= cap - (tail - head)] and
+   [cap <= ring] together guarantee every claimed slot's previous lap
+   was already consumed (its sequence recycled before [head] passed it),
+   so no per-slot sequence check is needed before the CAS.  A producer
+   descheduled mid-fill leaves a [k]-slot hole, tolerated exactly as the
+   single-op hole is: the batch's wake-up is only issued after the whole
+   fill completes. *)
+let rec enqueue_batch q vs =
+  match vs with
+  | [] -> 0
+  | vs ->
+    let tail = Atomic.get q.tail in
+    let head = Atomic.get q.head in
+    let free = q.cap - (tail - head) in
+    let k = min (List.length vs) free in
+    if k <= 0 then 0
+    else if Atomic.compare_and_set q.tail tail (tail + k) then begin
+      let rec fill i = function
+        | v :: rest when i < k ->
+          let idx = tail + i in
+          let slot = q.slots.(idx land q.mask) in
+          slot.value <- Some v;
+          Atomic.set slot.seq (idx + 1);
+          fill (i + 1) rest
+        | _ -> ()
+      in
+      fill 0 vs;
+      k
+    end
+    else enqueue_batch q vs (* lost the ticket race; reload *)
+
+(* Batch dequeue (single consumer): take every ready slot from [head]
+   up to [max], recycle each sequence a full lap as it is emptied, and
+   publish [head] ONCE at the end — after all the recycles, preserving
+   the seq-before-head ordering the producers' capacity check relies
+   on. *)
+let dequeue_batch q ~max =
+  if max < 0 then invalid_arg "Mpsc_ring.dequeue_batch: negative max";
+  let head = Atomic.get q.head in
+  let rec take i acc =
+    if i >= max then (i, acc)
+    else begin
+      let idx = head + i in
+      let slot = q.slots.(idx land q.mask) in
+      if Atomic.get slot.seq = idx + 1 then begin
+        let v = slot.value in
+        slot.value <- None;
+        Atomic.set slot.seq (idx + q.ring);
+        match v with
+        | Some v -> take (i + 1) (v :: acc)
+        | None -> assert false (* published slots always hold a value *)
+      end
+      else (i, acc)
+    end
+  in
+  let k, acc = take 0 [] in
+  if k > 0 then Atomic.set q.head (head + k);
+  List.rev acc
+
 (* Same snapshot ordering invariant as Spsc_ring, with the roles
    swapped: here the occupancy is [tail - head] and the single consumer
    advances [head], so read [head] BEFORE [tail].  A stale head can only

@@ -36,6 +36,19 @@ val enqueue : 'a t -> 'a -> bool
 val dequeue : 'a t -> 'a option
 (** Consumer side only. *)
 
+val enqueue_batch : 'a t -> 'a list -> int
+(** Enqueue a prefix of the list, claiming the whole span of tickets
+    with a single tail CAS, and return how many values were accepted —
+    observationally n single {!enqueue}s (FIFO, exact capacity
+    boundary), at one contended CAS per batch instead of one per
+    message.  Never blocks; [0] when full.  Safe under any number of
+    concurrent producers. *)
+
+val dequeue_batch : 'a t -> max:int -> 'a list
+(** Dequeue every ready value up to [max] (FIFO, possibly empty),
+    publishing the consumer index once per batch.  Consumer side only.
+    @raise Invalid_argument if [max < 0]. *)
+
 val is_empty : 'a t -> bool
 (** Lock-free hint, as used by polling loops: two atomic loads, [head]
     before [tail] so a concurrent dequeue can never make an occupied ring

@@ -86,6 +86,13 @@ let emit t ch kind =
   | None -> ()
   | Some sink -> Trace_ring.record sink kind ~chan:ch.chan_id
 
+(* Every queue operation reports to the calling domain's backoff state:
+   success ends the waiting episode, failure tags the wait's role (the
+   request channel's consumer spins long, everyone else escalates to
+   sleeping quickly — see Backoff).  The tag is what lets the stateless
+   [busy_wait] hint pick the right spin budget without widening the
+   Substrate.S seam. *)
+
 let enqueue t ch m =
   let ok =
     match ch.queue with
@@ -93,7 +100,11 @@ let enqueue t ch m =
     | Q_spsc q -> Spsc_ring.enqueue q m
     | Q_mpsc q -> Mpsc_ring.enqueue q m
   in
-  if ok then emit t ch Trace_ring.Enqueue;
+  if ok then begin
+    Backoff.progress (Backoff.get ());
+    emit t ch Trace_ring.Enqueue
+  end
+  else Backoff.note_role (Backoff.get ()) ~server_side:false;
   ok
 
 let dequeue t ch =
@@ -103,8 +114,48 @@ let dequeue t ch =
     | Q_spsc q -> Spsc_ring.dequeue q
     | Q_mpsc q -> Mpsc_ring.dequeue q
   in
-  (match m with Some _ -> emit t ch Trace_ring.Dequeue | None -> ());
+  (match m with
+  | Some _ ->
+    Backoff.progress (Backoff.get ());
+    emit t ch Trace_ring.Dequeue
+  | None ->
+    Backoff.note_role (Backoff.get ()) ~server_side:(ch.chan_id = -1));
   m
+
+(* Batch variants: one span claim on the queue, one trace event per
+   message, one backoff progress per batch. *)
+
+let enqueue_many t ch ms =
+  let k =
+    match ch.queue with
+    | Q_two_lock q -> Tl_queue.enqueue_batch q ms
+    | Q_spsc q -> Spsc_ring.enqueue_batch q ms
+    | Q_mpsc q -> Mpsc_ring.enqueue_batch q ms
+  in
+  if k > 0 then begin
+    Backoff.progress (Backoff.get ());
+    for _ = 1 to k do
+      emit t ch Trace_ring.Enqueue
+    done
+  end
+  else if ms <> [] then Backoff.note_role (Backoff.get ()) ~server_side:false;
+  k
+
+let dequeue_many t ch ~max =
+  let ms =
+    match ch.queue with
+    | Q_two_lock q -> Tl_queue.dequeue_batch q ~max
+    | Q_spsc q -> Spsc_ring.dequeue_batch q ~max
+    | Q_mpsc q -> Mpsc_ring.dequeue_batch q ~max
+  in
+  (match ms with
+  | _ :: _ ->
+    Backoff.progress (Backoff.get ());
+    List.iter (fun _ -> emit t ch Trace_ring.Dequeue) ms
+  | [] ->
+    if max > 0 then
+      Backoff.note_role (Backoff.get ()) ~server_side:(ch.chan_id = -1));
+  ms
 
 let queue_is_empty _ ch =
   match ch.queue with
@@ -127,12 +178,26 @@ let sem_v t ch =
   emit t ch Trace_ring.Wake;
   Rsem.v ch.sem
 
-(* Domains are genuinely parallel OS threads, so every waiting/scheduling
-   hint is the paper's multiprocessor busy-wait: a pause-hint delay.
-   There is no useful analogue of yield/handoff between domains — the
-   hint degenerates, exactly as the paper's §6 anticipates for kernels
-   without the extended interface. *)
-let busy_wait _ = Domain.cpu_relax ()
+let sem_v_n t ch n =
+  (* One trace event for the whole batch, mirroring the at-most-one
+     signal the coalesced wake-up issues. *)
+  if n > 0 then emit t ch Trace_ring.Wake;
+  Rsem.v_n ch.sem n
+
+(* Domains are genuinely parallel OS threads, so the waiting/scheduling
+   hints are the paper's multiprocessor busy-wait — but a pure pause-hint
+   spin is pathological whenever domains outnumber CPUs (the BSS consumer
+   burns its whole timeslice while the producer holds the only core).
+   [busy_wait] and [flow_sleep] therefore delegate to the per-domain
+   {!Backoff} state: a role-sized pause-hint budget first, then bounded
+   exponential [Unix.sleepf] so the peer actually gets the core.  Each
+   completed sleep is recorded in the substrate counters.  [poll] stays a
+   single pause hint — BSLS accounts its own bounded spin. *)
+let slept t =
+  let c = t.counters in
+  c.Ulipc.Counters.backoff_sleeps <- c.Ulipc.Counters.backoff_sleeps + 1
+
+let busy_wait t = if Backoff.wait (Backoff.get ()) then slept t
 let poll _ _ = Domain.cpu_relax ()
 let yield _ = Domain.cpu_relax ()
 
@@ -144,7 +209,7 @@ let handoff_any t =
   emit t t.request_ch Trace_ring.Handoff;
   Domain.cpu_relax ()
 
-let flow_sleep _ = Domain.cpu_relax ()
+let flow_sleep t = if Backoff.wait (Backoff.get ()) then slept t
 let counters t = t.counters
 
 let wake_residue t =

@@ -55,6 +55,26 @@ val wake_residue : t -> int
     With the test-and-set discipline and the non-blocking drain this is 0
     at quiescence. *)
 
+(** {1 Batch data path}
+
+    Outside the [Substrate.S] seam (the protocol core stays untouched):
+    the pipelined fast path in {!Rpc} uses these to move [k] messages
+    per atomic span claim and coalesce [k] wake-ups into one. *)
+
+val enqueue_many : t -> channel -> msg list -> int
+(** Enqueue a prefix of the list with one span claim on the transport
+    ({!Spsc_ring.enqueue_batch} / {!Mpsc_ring.enqueue_batch} /
+    {!Tl_queue.enqueue_batch}); returns how many were accepted.  One
+    trace event per message. *)
+
+val dequeue_many : t -> channel -> max:int -> msg list
+(** Dequeue up to [max] messages with one span claim (FIFO, possibly
+    empty). *)
+
+val sem_v_n : t -> channel -> int -> unit
+(** Publish [n] semaphore credits with at most one wake-up
+    ({!Rsem.v_n}): the wake-coalescing half of a batched send. *)
+
 include
   Ulipc.Substrate.S
     with type t := t

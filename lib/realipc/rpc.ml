@@ -16,10 +16,16 @@ type waiting =
   | Block_yield
   | Limited_spin of int
   | Handoff
+  | Adaptive of int
 
 type ('req, 'rep) t = {
   waiting : waiting;
   sub : Real_substrate.t;
+  adapt : int Atomic.t array;
+      (* per-channel adaptive MAX_SPIN: slot 0 is the request channel
+         (read/written by the server only), slot [i+1] reply channel [i]
+         (its owning client only) — Atomic for cross-domain publication,
+         never contended. *)
   inject_req : int * 'req -> Univ.t;
   project_req : Univ.t -> (int * 'req) option;
   inject_rep : 'rep -> Univ.t;
@@ -32,12 +38,26 @@ let create ?(capacity = 64) ?transport ?trace ~nclients waiting =
   (match waiting with
   | Limited_spin max_spin when max_spin < 0 ->
     invalid_arg "Rpc.create: max_spin must be non-negative"
-  | Spin | Block | Block_yield | Limited_spin _ | Handoff -> ());
+  | Adaptive cap when cap < 0 ->
+    invalid_arg "Rpc.create: adaptive spin cap must be non-negative"
+  | Spin | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ -> ());
+  (* On a single-core host a spinning consumer occupies the only CPU its
+     producer could use, so no spin budget can ever pay off — the paper's
+     own uniprocessor rule (§2.1: yield, never spin).  Clamp the adaptive
+     cap to 0 there: the controller then runs BSW's exact consumer path
+     (one extra queue-occupancy load) instead of re-learning futility per
+     channel. *)
+  let waiting =
+    match waiting with
+    | Adaptive _ when Domain.recommended_domain_count () <= 1 -> Adaptive 0
+    | w -> w
+  in
   let inject_req, project_req = Univ.embed () in
   let inject_rep, project_rep = Univ.embed () in
   {
     waiting;
     sub = Real_substrate.create ?transport ?trace ~capacity ~nclients ();
+    adapt = Array.init (nclients + 1) (fun _ -> Atomic.make 0);
     inject_req;
     project_req;
     inject_rep;
@@ -61,6 +81,66 @@ let project_req t m =
 let check_client t client =
   ignore (Real_substrate.reply_channel t.sub client : Real_substrate.channel)
 
+(* Adaptive BSLS: the BSLS code path with a per-channel MAX_SPIN that
+   tracks the observed spin-success rate.  A spin episode that ends with
+   a visible message (hit) grows the budget multiplicatively,
+   [cur <- min cap (2*cur + 8)]; an exhausted spin (miss) halves it.  The
+   +8 additive kick lets a budget of 0 restart: at [cur = 0] a
+   queue-occupancy load stands in for the spin, so an arriving message
+   still reads as a hit.  At [cap = 0] no budget can ever grow — the
+   controller is skipped entirely and the path is exactly BSW's
+   consumer sequence, which is what [create]'s single-core clamp
+   relies on (never-spin must cost nothing next to BSW).
+
+   A hit only counts if the spin stayed on the CPU: a spin whose wall
+   time far exceeds its iteration budget was descheduled mid-spin, and
+   a message visible on resume was delivered by the preemption, not the
+   polling.  Crediting those turns oversubscription into the paper's
+   Figure 11 positive feedback — preemption causes hits, hits grow the
+   budget, longer spins cause more preemption — driving the budget to
+   its cap exactly when spinning is most harmful.  The wall-clock guard
+   (two [gettimeofday] reads, only on the [cur > 0] path) makes every
+   descheduled spin a miss, so on a saturated host the budget decays to
+   0 and ADAPT converges to BSW. *)
+let adaptive_dequeue t ch ~slot ~cap ~side =
+  if cap = 0 then P.Prims.blocking_dequeue t.sub ch ~side ()
+  else begin
+    let cur = Atomic.get slot in
+    let productive =
+      if cur = 0 then not (Real_substrate.queue_is_empty t.sub ch)
+      else begin
+        let t0 = Unix.gettimeofday () in
+        P.Prims.limited_spin t.sub ch ~side ~max_spin:cur;
+        let spin_s = Unix.gettimeofday () -. t0 in
+        (* ~10 ns per cpu_relax iteration plus 1 µs of clock-granularity
+           slack: a genuine early exit sits under this, while even one
+           context-switch round (the cheapest way off the CPU and back)
+           costs several µs and lands over it. *)
+        (not (Real_substrate.queue_is_empty t.sub ch))
+        && spin_s < 1e-6 +. (float_of_int cur *. 1e-8)
+      end
+    in
+    if productive then Atomic.set slot (min cap ((2 * cur) + 8))
+    else Atomic.set slot (cur / 2);
+    P.Prims.blocking_dequeue t.sub ch ~side
+      ~on_empty:(fun () -> P.Prims.busy_wait t.sub)
+      ()
+  end
+
+let ctrs t = Real_substrate.counters t.sub
+
+let bump_sends t k =
+  let c = ctrs t in
+  c.Ulipc.Counters.sends <- c.Ulipc.Counters.sends + k
+
+let bump_receives t k =
+  let c = ctrs t in
+  c.Ulipc.Counters.receives <- c.Ulipc.Counters.receives + k
+
+let bump_replies t k =
+  let c = ctrs t in
+  c.Ulipc.Counters.replies <- c.Ulipc.Counters.replies + k
+
 let send t ~client req =
   check_client t client;
   let m = t.inject_req (client, req) in
@@ -71,19 +151,39 @@ let send t ~client req =
     | Block_yield -> P.Bswy.send t.sub ~client m
     | Limited_spin max_spin -> P.Bsls.send t.sub ~client ~max_spin m
     | Handoff -> P.Handoff.send t.sub ~client m
+    | Adaptive cap ->
+      let request = Real_substrate.request t.sub in
+      let reply_ch = Real_substrate.reply_channel t.sub client in
+      P.Prims.flow_enqueue t.sub request m;
+      let (_ : bool) =
+        P.Prims.wake_consumer t.sub request ~target:P.Prims.Server
+      in
+      let ans =
+        adaptive_dequeue t reply_ch ~slot:t.adapt.(client + 1) ~cap
+          ~side:P.Prims.Client
+      in
+      bump_sends t 1;
+      ans
   in
   project_rep t ans
 
-let receive t =
-  let m =
-    match t.waiting with
-    | Spin -> P.Bss.receive t.sub
-    | Block -> P.Bsw.receive t.sub
-    | Block_yield -> P.Bswy.receive t.sub
-    | Limited_spin max_spin -> P.Bsls.receive t.sub ~max_spin
-    | Handoff -> P.Handoff.receive t.sub
-  in
-  project_req t m
+let receive_msg t =
+  match t.waiting with
+  | Spin -> P.Bss.receive t.sub
+  | Block -> P.Bsw.receive t.sub
+  | Block_yield -> P.Bswy.receive t.sub
+  | Limited_spin max_spin -> P.Bsls.receive t.sub ~max_spin
+  | Handoff -> P.Handoff.receive t.sub
+  | Adaptive cap ->
+    let m =
+      adaptive_dequeue t
+        (Real_substrate.request t.sub)
+        ~slot:t.adapt.(0) ~cap ~side:P.Prims.Server
+    in
+    bump_receives t 1;
+    m
+
+let receive t = project_req t (receive_msg t)
 
 let reply t ~client rep =
   let m = t.inject_rep rep in
@@ -91,7 +191,8 @@ let reply t ~client rep =
   | Spin -> P.Bss.reply t.sub ~client m
   | Block -> P.Bsw.reply t.sub ~client m
   | Block_yield -> P.Bswy.reply t.sub ~client m
-  | Limited_spin _ -> P.Bsls.reply t.sub ~client m
+  (* BSLS, Handoff and Adaptive replies are the plain BSW producer steps. *)
+  | Limited_spin _ | Adaptive _ -> P.Bsls.reply t.sub ~client m
   | Handoff -> P.Handoff.reply t.sub ~client m
 
 (* The asynchronous halves, composed from the same shared primitives the
@@ -103,25 +204,167 @@ let post t ~client req =
   let request = Real_substrate.request t.sub in
   match t.waiting with
   | Spin -> P.Prims.spin_enqueue t.sub request m
-  | Block | Block_yield | Limited_spin _ | Handoff ->
+  | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
     P.Prims.flow_enqueue t.sub request m;
     ignore (P.Prims.wake_consumer t.sub request ~target:P.Prims.Server : bool)
 
-let collect t ~client =
+let collect_msg t ~client =
   let ch = Real_substrate.reply_channel t.sub client in
-  let m =
-    match t.waiting with
-    | Spin -> P.Prims.spinning_dequeue t.sub ch
-    | Block | Handoff ->
-      P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client ()
-    | Block_yield ->
-      P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client
-        ~on_empty:(fun () -> P.Prims.busy_wait t.sub)
-        ()
-    | Limited_spin max_spin ->
-      P.Prims.limited_spin t.sub ch ~side:P.Prims.Client ~max_spin;
-      P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client
-        ~on_empty:(fun () -> P.Prims.busy_wait t.sub)
-        ()
+  match t.waiting with
+  | Spin -> P.Prims.spinning_dequeue t.sub ch
+  | Block | Handoff -> P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client ()
+  | Block_yield ->
+    P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client
+      ~on_empty:(fun () -> P.Prims.busy_wait t.sub)
+      ()
+  | Limited_spin max_spin ->
+    P.Prims.limited_spin t.sub ch ~side:P.Prims.Client ~max_spin;
+    P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client
+      ~on_empty:(fun () -> P.Prims.busy_wait t.sub)
+      ()
+  | Adaptive cap ->
+    adaptive_dequeue t ch ~slot:t.adapt.(client + 1) ~cap ~side:P.Prims.Client
+
+let collect t ~client = project_rep t (collect_msg t ~client)
+
+(* ------------------------------------------------------------------ *)
+(* Batched & pipelined fast path.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec drop k = function
+  | rest when k <= 0 -> rest
+  | [] -> []
+  | _ :: rest -> drop (k - 1) rest
+
+let take_drop k vs =
+  let rec go k acc = function
+    | rest when k <= 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | v :: rest -> go (k - 1) (v :: acc) rest
   in
-  project_rep t m
+  go k [] vs
+
+(* Wake the channel's consumer once for a whole batch: the tas guard is
+   the same as wake_consumer's, but the credit is published through the
+   coalescing [sem_v_n] — at most one signal per batch no matter how
+   many messages just landed. *)
+let wake_batch t ch ~target =
+  if not (Real_substrate.awake_test_and_set t.sub ch) then begin
+    let c = ctrs t in
+    (match target with
+    | P.Prims.Client ->
+      c.Ulipc.Counters.client_wakeups <- c.Ulipc.Counters.client_wakeups + 1
+    | P.Prims.Server ->
+      c.Ulipc.Counters.server_wakeups <- c.Ulipc.Counters.server_wakeups + 1);
+    Real_substrate.sem_v_n t.sub ch 1
+  end
+
+(* Enqueue the whole list with span claims, waking the consumer after
+   every non-empty claim (not only at the end: if the queue fills while
+   the consumer sleeps, only a wake-up can make room — deferring the
+   wake to the end of the batch would deadlock). *)
+let push_batch t ch ~target ms =
+  let rec go ms =
+    match ms with
+    | [] -> ()
+    | ms ->
+      let k = Real_substrate.enqueue_many t.sub ch ms in
+      if k > 0 then begin
+        (match t.waiting with
+        | Spin -> ()
+        | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
+          wake_batch t ch ~target);
+        go (drop k ms)
+      end
+      else begin
+        (match t.waiting with
+        | Spin -> P.Prims.busy_wait t.sub
+        | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
+          let c = ctrs t in
+          c.Ulipc.Counters.queue_full_sleeps <-
+            c.Ulipc.Counters.queue_full_sleeps + 1;
+          Real_substrate.flow_sleep t.sub);
+        go ms
+      end
+  in
+  go ms
+
+let post_batch t ~client reqs =
+  check_client t client;
+  match reqs with
+  | [] -> ()
+  | reqs ->
+    let ms = List.map (fun r -> t.inject_req (client, r)) reqs in
+    push_batch t (Real_substrate.request t.sub) ~target:P.Prims.Server ms
+
+let receive_batch t ~max =
+  if max <= 0 then invalid_arg "Rpc.receive_batch: max must be positive";
+  let first = receive_msg t in
+  let rest =
+    if max = 1 then []
+    else
+      Real_substrate.dequeue_many t.sub
+        (Real_substrate.request t.sub)
+        ~max:(max - 1)
+  in
+  bump_receives t (List.length rest);
+  List.map (project_req t) (first :: rest)
+
+let reply_batch t reps =
+  (* Group consecutive same-client replies so each run costs one span
+     claim and at most one wake-up, while per-client FIFO order is
+     preserved whatever the interleaving of clients in [reps]. *)
+  let rec runs = function
+    | [] -> ()
+    | (client, rep) :: rest ->
+      let rec span acc = function
+        | (c, r) :: rest when c = client -> span (t.inject_rep r :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let ms, rest = span [ t.inject_rep rep ] rest in
+      check_client t client;
+      let ch = Real_substrate.reply_channel t.sub client in
+      push_batch t ch ~target:P.Prims.Client ms;
+      bump_replies t (List.length ms);
+      runs rest
+  in
+  runs reps
+
+let collect_batch t ~client ~n =
+  if n < 0 then invalid_arg "Rpc.collect_batch: negative n";
+  check_client t client;
+  let ch = Real_substrate.reply_channel t.sub client in
+  let rec go acc got =
+    if got >= n then List.rev acc
+    else
+      match Real_substrate.dequeue_many t.sub ch ~max:(n - got) with
+      | [] -> go (collect_msg t ~client :: acc) (got + 1)
+      | ms -> go (List.rev_append ms acc) (got + List.length ms)
+  in
+  List.map (project_rep t) (go [] 0)
+
+let call_pipelined t ~client ~depth reqs =
+  if depth <= 0 then invalid_arg "Rpc.call_pipelined: depth must be positive";
+  check_client t client;
+  let ch = Real_substrate.reply_channel t.sub client in
+  (* Sliding window: keep up to [depth] requests outstanding; post in
+     span-claimed bursts, collect opportunistically in batches. *)
+  let rec go pending npending out acc =
+    if npending = 0 && out = 0 then List.rev acc
+    else if npending > 0 && out < depth then begin
+      let k = min (depth - out) npending in
+      let burst, rest = take_drop k pending in
+      post_batch t ~client burst;
+      go rest (npending - k) (out + k) acc
+    end
+    else
+      let ms =
+        match Real_substrate.dequeue_many t.sub ch ~max:out with
+        | [] -> [ collect_msg t ~client ]
+        | ms -> ms
+      in
+      go pending npending (out - List.length ms) (List.rev_append ms acc)
+  in
+  let n = List.length reqs in
+  bump_sends t n;
+  List.map (project_rep t) (go reqs n 0 [])

@@ -23,6 +23,13 @@ type waiting =
       (** §6 handoff variant: the waiting hint names the likely next
           runner.  Between genuinely parallel domains this too degenerates
           to [Domain.cpu_relax]. *)
+  | Adaptive of int
+      (** Adaptive BSLS: per-channel MAX_SPIN, adjusted from the observed
+          spin-success rate and capped by the argument.  A spin episode
+          that ends with a message visible grows the budget
+          ([cur <- min cap (2*cur + 8)]); an exhausted spin halves it.  At
+          [cur = 0] the code path is BSW's consumer sequence, so idle
+          channels pay nothing for the option to spin. *)
 
 type ('req, 'rep) t
 
@@ -66,6 +73,48 @@ val post : ('req, 'rep) t -> client:int -> 'req -> unit
 
 val collect : ('req, 'rep) t -> client:int -> 'rep
 (** Wait for the next reply to this client (pairs with {!post}). *)
+
+(** {1 Batched & pipelined fast path}
+
+    Built on the substrate's span-claim batch operations
+    ({!Real_substrate.enqueue_many} / {!Real_substrate.dequeue_many}):
+    [k] messages move per atomic claim and the wake-up side coalesces to
+    at most one signal per batch ({!Rsem.v_n}). *)
+
+val post_batch : ('req, 'rep) t -> client:int -> 'req list -> unit
+(** Enqueue the whole list (blocking on flow control as {!post} does)
+    with one span claim and at most one consumer wake-up per claim —
+    normally exactly one for the whole batch.
+    @raise Invalid_argument on a bad client number. *)
+
+val collect_batch : ('req, 'rep) t -> client:int -> n:int -> 'rep list
+(** Exactly [n] replies for this client, in order, draining every
+    already-available reply with one span claim and waiting per the
+    session's mode only when the channel runs dry.
+    @raise Invalid_argument if [n < 0] or on a bad client number. *)
+
+val receive_batch : ('req, 'rep) t -> max:int -> (int * 'req) list
+(** Server side: wait for the next request per the session's waiting
+    mode, then drain up to [max - 1] further already-queued requests
+    with one span claim.  Always returns at least one request.
+    @raise Invalid_argument if [max <= 0]. *)
+
+val reply_batch : ('req, 'rep) t -> (int * 'rep) list -> unit
+(** Send every [(client, reply)] pair; consecutive same-client runs
+    cost one span claim and at most one wake-up each.  Per-client FIFO
+    order follows list order.
+    @raise Invalid_argument on a bad client number (earlier runs in the
+    list will already have been sent). *)
+
+val call_pipelined :
+  ('req, 'rep) t -> client:int -> depth:int -> 'req list -> 'rep list
+(** Synchronous calls with up to [depth] requests outstanding: a sliding
+    window over [post_batch]/batch collection.  Returns the replies in
+    request order ([depth = 1] degenerates to sequential {!send}s).
+    Replies must preserve request order for this to pair correctly —
+    true of the echo servers here, as the session's reply channel is
+    FIFO per client.
+    @raise Invalid_argument if [depth <= 0] or on a bad client number. *)
 
 val counters : ('req, 'rep) t -> Ulipc.Counters.t
 (** The protocol-event counters the shared core maintains — the same

@@ -1,32 +1,116 @@
-type t = { mutex : Mutex.t; nonzero : Condition.t; mutable count : int }
+(* Counting semaphore with an atomic fast path (a "benaphore", the shape
+   a futex-based semaphore takes without raw futex access): [count] holds
+   the semaphore value when non-negative and minus the number of waiters
+   when negative, so the uncontended V and P are one atomic
+   read-modify-write each and never touch the mutex — the property the
+   paper's argument needs, since every block/wake otherwise re-imports
+   the kernel-crossing cost the user-level queues removed.
 
-let create count =
+   Slow path: a P that drives [count] negative parks on the
+   Mutex/Condition pair, but only for a *banked* credit: the V that
+   observes a negative count takes the mutex, increments [wakeups] and
+   signals.  Banking the credit (rather than signalling into the void)
+   closes the race where the V fires between the waiter's fetch-and-add
+   and its Condition.wait — the waiter finds [wakeups] already positive
+   and never sleeps.  The futex analogue is the kernel's wait-queue
+   count; the correctness argument is Interleaving 1 of §3 unchanged.
+
+   [v_n] publishes n credits with ONE atomic add and at most ONE
+   signal/broadcast, the wake-coalescing entry point for batched
+   replies: n V operations would take the mutex up to n times and issue
+   up to n wakes.
+
+   A bounded spin in [p] before parking covers the multiprocessor case
+   where the matching V is microseconds away; on a uniprocessor
+   ([Domain.recommended_domain_count () = 1]) spinning can only delay
+   the poster, so the default spin bound is 0 there — the paper's §2.1
+   busy-wait-vs-yield distinction applied to the semaphore itself. *)
+
+type t = {
+  count : int Atomic.t;
+      (* >= 0: semaphore value; < 0: number of waiters parked or parking *)
+  spin : int; (* fast-path retries before parking *)
+  mutex : Mutex.t;
+  nonzero : Condition.t;
+  mutable wakeups : int; (* banked credits for parked waiters *)
+}
+
+let default_spin =
+  (* Resolved once: recommended_domain_count consults the machine. *)
+  let cores = Domain.recommended_domain_count () in
+  if cores <= 1 then 0 else 64
+
+let create ?(spin = default_spin) count =
   if count < 0 then invalid_arg "Rsem.create: negative initial count";
-  { mutex = Mutex.create (); nonzero = Condition.create (); count }
+  if spin < 0 then invalid_arg "Rsem.create: negative spin bound";
+  {
+    count = Padding.copy_padded (Atomic.make count);
+    spin;
+    mutex = Mutex.create ();
+    nonzero = Condition.create ();
+    wakeups = 0;
+  }
 
-let p t =
+(* Park: wait for a banked credit.  The waiter is already accounted for
+   in the negative [count], so the V that will serve it is committed to
+   banking a wakeup; we may only consume exactly one. *)
+let park t =
   Mutex.lock t.mutex;
-  while t.count = 0 do
+  while t.wakeups = 0 do
     Condition.wait t.nonzero t.mutex
   done;
-  t.count <- t.count - 1;
+  t.wakeups <- t.wakeups - 1;
   Mutex.unlock t.mutex
+
+let p t =
+  let rec fast spins =
+    let c = Atomic.get t.count in
+    if c > 0 then begin
+      if not (Atomic.compare_and_set t.count c (c - 1)) then fast spins
+    end
+    else if spins > 0 then begin
+      Domain.cpu_relax ();
+      fast (spins - 1)
+    end
+    else if Atomic.fetch_and_add t.count (-1) > 0 then
+      (* Credit appeared between the last read and the add: it is ours
+         (the add consumed it), no parking needed. *)
+      ()
+    else park t
+  in
+  fast t.spin
 
 let try_p t =
-  Mutex.lock t.mutex;
-  let taken = t.count > 0 in
-  if taken then t.count <- t.count - 1;
-  Mutex.unlock t.mutex;
-  taken
+  (* CAS only on a positive count: never registers as a waiter, never
+     blocks, and cannot disturb the waiter accounting. *)
+  let rec go () =
+    let c = Atomic.get t.count in
+    if c <= 0 then false
+    else if Atomic.compare_and_set t.count c (c - 1) then true
+    else go ()
+  in
+  go ()
 
-let v t =
+(* Wake [wake] parked waiters: bank the credits under the mutex, then
+   issue one signal or one broadcast.  Signalling while holding the
+   mutex keeps the banked credit and its wake atomic with respect to a
+   parking waiter. *)
+let wake_parked t wake =
   Mutex.lock t.mutex;
-  t.count <- t.count + 1;
-  Condition.signal t.nonzero;
+  t.wakeups <- t.wakeups + wake;
+  if wake = 1 then Condition.signal t.nonzero
+  else Condition.broadcast t.nonzero;
   Mutex.unlock t.mutex
 
-let value t =
-  Mutex.lock t.mutex;
-  let c = t.count in
-  Mutex.unlock t.mutex;
-  c
+let v t =
+  let old = Atomic.fetch_and_add t.count 1 in
+  if old < 0 then wake_parked t 1
+
+let v_n t n =
+  if n < 0 then invalid_arg "Rsem.v_n: negative credit count";
+  if n > 0 then begin
+    let old = Atomic.fetch_and_add t.count n in
+    if old < 0 then wake_parked t (min n (-old))
+  end
+
+let value t = max 0 (Atomic.get t.count)

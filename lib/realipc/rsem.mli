@@ -1,27 +1,46 @@
-(** Counting semaphore over [Mutex]/[Condition].
+(** Counting semaphore with an atomic fast path.
 
-    The portable stand-in for the System V semaphores the paper blocks on
-    (and for the futex a modern implementation would use).  Counting
-    semantics matter: the sleep/wake-up protocols rely on a V posted
-    before the P remaining pending (§3, Interleaving 1). *)
+    The portable stand-in for the System V semaphores the paper blocks
+    on, built the way a futex-based semaphore is: the count lives in one
+    [Atomic.t] (negative values record waiters), so uncontended {!v} and
+    {!p} are a single atomic read-modify-write and never take the mutex.
+    Only a P that actually finds no credit parks on the internal
+    Mutex/Condition pair — after a bounded spin — and only a V that
+    observes a parked waiter takes the mutex to bank its wake-up.
+    Counting semantics matter: the sleep/wake-up protocols rely on a V
+    posted before the P remaining pending (§3, Interleaving 1). *)
 
 type t
 
-val create : int -> t
-(** @raise Invalid_argument on a negative initial count. *)
+val create : ?spin:int -> int -> t
+(** [create count] with the given initial count.  [spin] bounds the
+    fast-path retries a {!p} performs before parking; the default is a
+    small bound on multiprocessors and [0] on a uniprocessor, where
+    spinning can only delay the poster.
+    @raise Invalid_argument on a negative initial count or spin bound. *)
 
 val p : t -> unit
-(** Down: block while the count is zero, then decrement. *)
+(** Down: block while the count is zero, then decrement.  Uncontended
+    (count positive): one CAS, no lock. *)
 
 val try_p : t -> bool
 (** Non-blocking down: decrement and return [true] if the count is
     positive, return [false] (without waiting) if it is zero.  The
     Figure 5 consumer drains a raced wake-up with this after its second
     dequeue succeeds (Interleaving 3), where a blocking P could not be
-    used speculatively. *)
+    used speculatively.  Never registers as a waiter. *)
 
 val v : t -> unit
-(** Up: increment and wake one waiter. *)
+(** Up: increment and wake one waiter.  Uncontended (no waiter): one
+    atomic add, no lock, no signal. *)
+
+val v_n : t -> int -> unit
+(** [v_n t n] publishes [n] credits with one atomic add and at most one
+    signal/broadcast — the wake-coalescing primitive batched replies
+    use, where [n] separate {!v} calls would pay up to [n] lock/signal
+    rounds.  [v_n t 1] is {!v}; [v_n t 0] is a no-op.
+    @raise Invalid_argument on a negative [n]. *)
 
 val value : t -> int
-(** Racy snapshot, for tests and residue accounting. *)
+(** Racy snapshot of the credit count (0 while waiters are parked), for
+    tests and residue accounting. *)

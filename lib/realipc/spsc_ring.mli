@@ -33,6 +33,20 @@ val enqueue : 'a t -> 'a -> bool
 val dequeue : 'a t -> 'a option
 (** Consumer side only. *)
 
+val enqueue_batch : 'a t -> 'a list -> int
+(** Enqueue a prefix of the list, claiming the whole span with a single
+    atomic [head] publish, and return how many values were accepted —
+    observationally n single {!enqueue}s (same FIFO order, same exact
+    capacity boundary) at one shared-index store per batch instead of
+    one per message.  Never blocks; [0] when the ring is full.
+    Producer side only. *)
+
+val dequeue_batch : 'a t -> max:int -> 'a list
+(** Dequeue up to [max] values (FIFO order, possibly empty), releasing
+    the whole span with a single atomic [tail] store.  Consumer side
+    only.
+    @raise Invalid_argument if [max < 0]. *)
+
 val is_empty : 'a t -> bool
 (** Lock-free hint, as used by polling loops: two atomic loads, [tail]
     before [head] so a concurrent dequeue can never make an occupied ring

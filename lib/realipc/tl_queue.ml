@@ -39,6 +39,52 @@ let enqueue q v =
   Mutex.unlock q.tail_lock;
   ok
 
+(* Batch variants: the span claim here is the lock itself — one
+   tail-lock (resp. head-lock) round amortised over the whole batch,
+   with the same per-message link/count discipline inside. *)
+let enqueue_batch q vs =
+  match vs with
+  | [] -> 0
+  | vs ->
+    Mutex.lock q.tail_lock;
+    (* Stop at the first rejection so the accepted values are always a
+       prefix, even if a concurrent dequeue frees room mid-batch. *)
+    let rec go k = function
+      | v :: rest when Atomic.get q.count + k < q.cap ->
+        let node = fresh_node (Some v) in
+        Atomic.set q.tail.next (Some node);
+        q.tail <- node;
+        go (k + 1) rest
+      | _ -> k
+    in
+    let k = go 0 vs in
+    (* One count publish per batch; dequeuers read [count] only for the
+       capacity check, where a batch-grained update is conservative. *)
+    if k > 0 then ignore (Atomic.fetch_and_add q.count k : int);
+    Mutex.unlock q.tail_lock;
+    k
+
+let dequeue_batch q ~max =
+  if max < 0 then invalid_arg "Tl_queue.dequeue_batch: negative max";
+  Mutex.lock q.head_lock;
+  let rec take i acc =
+    if i >= max then acc
+    else
+      match Atomic.get q.head.next with
+      | None -> acc
+      | Some node ->
+        let v = node.value in
+        node.value <- None;
+        q.head <- node;
+        Atomic.decr q.count;
+        (match v with
+        | Some v -> take (i + 1) (v :: acc)
+        | None -> assert false (* linked nodes always hold a value *))
+  in
+  let acc = take 0 [] in
+  Mutex.unlock q.head_lock;
+  List.rev acc
+
 let dequeue q =
   Mutex.lock q.head_lock;
   let result =

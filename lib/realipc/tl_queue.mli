@@ -20,6 +20,17 @@ val enqueue : 'a t -> 'a -> bool
 
 val dequeue : 'a t -> 'a option
 
+val enqueue_batch : 'a t -> 'a list -> int
+(** Enqueue a prefix of the list under ONE tail-lock acquisition,
+    returning how many values were accepted — observationally n single
+    {!enqueue}s (FIFO, exact capacity boundary) at one lock round per
+    batch.  Never blocks on a full queue; [0] when full. *)
+
+val dequeue_batch : 'a t -> max:int -> 'a list
+(** Dequeue up to [max] values under ONE head-lock acquisition (FIFO,
+    possibly empty).
+    @raise Invalid_argument if [max < 0]. *)
+
 val is_empty : 'a t -> bool
 (** Lock-free hint, as used by polling loops: one atomic load. *)
 

@@ -17,7 +17,8 @@ val write :
   micro:(string * float) list ->
   real:(string * Metrics.t) list ->
   unit
-(** Write schema [ulipc-bench-real/2]: the Bechamel ns/op rows and the
+(** Write schema [ulipc-bench-real/3]: the Bechamel ns/op rows and the
     real-driver echo rows ([(transport name, metrics)]), the latter with
+    a [depth] pipelining column, a measured [utilization], and
     [latency_p50_us]/[latency_p99_us]/[latency_max_us] fields from the
     round-trip histogram ([null] when latency was not collected). *)

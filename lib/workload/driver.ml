@@ -217,6 +217,7 @@ let run_outcome cfg =
     sim_steps = Kernel.steps_executed kernel;
     total_yields;
     utilization = Kernel.utilization kernel;
+    depth = 1;
   }
   in
   { metrics; kernel; session; server; clients }

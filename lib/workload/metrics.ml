@@ -13,6 +13,7 @@ type t = {
   sim_steps : int;
   total_yields : int;
   utilization : float;
+  depth : int;
 }
 
 (* Real-domain runs have no simulated kernel behind them: usage, step and
@@ -26,8 +27,8 @@ let zero_usage =
     syscalls = 0;
   }
 
-let of_real ?latency ~machine ~protocol ~nclients ~messages ~elapsed_s
-    ~counters () =
+let of_real ?latency ?(utilization = nan) ?(depth = 1) ~machine ~protocol
+    ~nclients ~messages ~elapsed_s ~counters () =
   let elapsed = Ulipc_engine.Sim_time.us_f (elapsed_s *. 1.0e6) in
   {
     machine;
@@ -45,7 +46,8 @@ let of_real ?latency ~machine ~protocol ~nclients ~messages ~elapsed_s
     total_sim_time = elapsed;
     sim_steps = 0;
     total_yields = 0;
-    utilization = nan;
+    utilization;
+    depth;
   }
 
 let round_trip_us t =
@@ -87,9 +89,10 @@ let pp ppf t =
     (100.0 *. t.utilization) Ulipc.Counters.pp t.counters
 
 let pp_row ppf t =
-  Format.fprintf ppf "%-10s %-9s %2d  %8.2f msg/ms  rt %8.1f us" t.machine
+  Format.fprintf ppf "%-10s %-11s %2d d%-2d %8.2f msg/ms  rt %8.1f us"
+    t.machine
     (Ulipc.Protocol_kind.name t.protocol)
-    t.nclients t.throughput_msg_per_ms (round_trip_us t);
+    t.nclients t.depth t.throughput_msg_per_ms (round_trip_us t);
   match t.latency_us with
   | Some h when Ulipc.Histogram.count h > 0 ->
     Format.fprintf ppf "  p50 %8.1f  p99 %8.1f  max %8.1f us"

@@ -21,12 +21,19 @@ type t = {
   total_yields : int;
       (** yield/handoff system calls across all processes during the run *)
   utilization : float;
-      (** machine utilization over the whole run (busy time / ncpus ×
-          elapsed), in [0, 1]; the cost busy-waiting pays *)
+      (** machine utilization over the whole run, in [0, 1]; the cost
+          busy-waiting pays.  Simulator runs report busy time / (ncpus ×
+          elapsed); real runs report server service time (request in
+          hand to reply enqueued) over wall clock *)
+  depth : int;
+      (** pipelining depth: requests a client keeps outstanding at once
+          (1 = synchronous send/receive/reply) *)
 }
 
 val of_real :
   ?latency:Ulipc.Histogram.t ->
+  ?utilization:float ->
+  ?depth:int ->
   machine:string ->
   protocol:Ulipc.Protocol_kind.t ->
   nclients:int ->
@@ -38,9 +45,10 @@ val of_real :
 (** Package a wall-clock measurement from the real-domains backend into
     the same record the simulator produces, so both report through one
     set of printers.  [elapsed_s] is wall-clock seconds; [latency] is the
-    merged per-call round-trip histogram (µs), when it was collected.
-    Fields that only a simulated kernel can account (usage, sim steps,
-    yields, utilization) are zero / [nan]. *)
+    merged per-call round-trip histogram (µs); [utilization] (default
+    [nan]) is the server's measured busy fraction; [depth] (default 1)
+    the pipelining depth the clients ran at.  Fields only a simulated
+    kernel can account (usage, sim steps, yields) are zero. *)
 
 val round_trip_us : t -> float
 (** Mean round-trip latency implied by throughput and client count:

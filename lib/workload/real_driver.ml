@@ -1,7 +1,7 @@
 (* The §2.2 echo workload on real OCaml 5 domains: one server domain,
-   [nclients] client domains, each issuing [messages] synchronous calls
-   through Ulipc_real.Rpc.  The same protocol core the simulator runs,
-   measured in wall-clock time, reported through the same Metrics record.
+   [nclients] client domains, each issuing [messages] calls through
+   Ulipc_real.Rpc.  The same protocol core the simulator runs, measured
+   in wall-clock time, reported through the same Metrics record.
 
    Timing discipline: a start barrier keeps Domain.spawn cost out of the
    measured interval — every client parks on an atomic flag after
@@ -17,7 +17,21 @@
    p50/p99/max percentiles the simulator does.  gettimeofday granularity
    is ~1 µs on most hosts: sub-µs round-trips quantise to 0/1 µs ticks,
    so the percentiles are honest at µs resolution and the throughput
-   numbers remain the precise measurement. *)
+   numbers remain the precise measurement.
+
+   Pipelining: [depth] > 1 switches each client to a sliding window of
+   [depth] outstanding requests (Rpc.call_pipelined, issued in bursts of
+   [depth] so every burst yields a latency sample) and the server to the
+   batched receive/reply path (one span claim and at most one wake-up
+   per batch).  The histogram then records mean per-message latency per
+   burst — the per-message number a pipelined client actually observes.
+
+   Utilization: the server accumulates the time it spends waiting inside
+   receive; busy time is the measured interval minus that waiting, so
+   utilization = 1 - waiting/elapsed.  The waits are the well-measurable
+   part (block/backoff episodes are µs-scale and up, far above
+   gettimeofday's tick), which keeps the subtraction honest even though
+   individual service times are sub-µs. *)
 
 let kind_of_waiting = function
   | Ulipc_real.Rpc.Spin -> Ulipc.Protocol_kind.BSS
@@ -25,19 +39,38 @@ let kind_of_waiting = function
   | Ulipc_real.Rpc.Block_yield -> Ulipc.Protocol_kind.BSWY
   | Ulipc_real.Rpc.Limited_spin max_spin -> Ulipc.Protocol_kind.BSLS max_spin
   | Ulipc_real.Rpc.Handoff -> Ulipc.Protocol_kind.HANDOFF
+  | Ulipc_real.Rpc.Adaptive cap -> Ulipc.Protocol_kind.ADAPT cap
 
-let run ?(machine = "domains") ?transport ?trace ~nclients ~messages waiting =
+let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ~nclients
+    ~messages waiting =
+  if depth <= 0 then invalid_arg "Real_driver.run: depth must be positive";
   let t : (int, int) Ulipc_real.Rpc.t =
     Ulipc_real.Rpc.create ?transport ?trace ~nclients waiting
   in
+  (* Written by the server domain, read only after its join. *)
+  let server_waiting_s = ref 0.0 in
   let server =
     Domain.spawn (fun () ->
         let remaining = ref (nclients * messages) in
-        while !remaining > 0 do
-          let client, v = Ulipc_real.Rpc.receive t in
-          Ulipc_real.Rpc.reply t ~client (v + 1);
-          decr remaining
-        done)
+        let waiting_s = ref 0.0 in
+        if depth = 1 then
+          while !remaining > 0 do
+            let before = Unix.gettimeofday () in
+            let client, v = Ulipc_real.Rpc.receive t in
+            waiting_s := !waiting_s +. (Unix.gettimeofday () -. before);
+            Ulipc_real.Rpc.reply t ~client (v + 1);
+            decr remaining
+          done
+        else
+          while !remaining > 0 do
+            let before = Unix.gettimeofday () in
+            let batch = Ulipc_real.Rpc.receive_batch t ~max:(depth * nclients) in
+            waiting_s := !waiting_s +. (Unix.gettimeofday () -. before);
+            Ulipc_real.Rpc.reply_batch t
+              (List.map (fun (client, v) -> (client, v + 1)) batch);
+            remaining := !remaining - List.length batch
+          done;
+        server_waiting_s := !waiting_s)
   in
   let ready = Atomic.make 0 in
   let go = Atomic.make false in
@@ -49,13 +82,38 @@ let run ?(machine = "domains") ?transport ?trace ~nclients ~messages waiting =
             while not (Atomic.get go) do
               Domain.cpu_relax ()
             done;
-            for i = 1 to messages do
-              let before = Unix.gettimeofday () in
-              let ans = Ulipc_real.Rpc.send t ~client:c i in
-              let after = Unix.gettimeofday () in
-              if ans <> i + 1 then failwith "Real_driver.run: echo mismatch";
-              Ulipc.Histogram.record hist ((after -. before) *. 1.0e6)
-            done;
+            if depth = 1 then
+              for i = 1 to messages do
+                let before = Unix.gettimeofday () in
+                let ans = Ulipc_real.Rpc.send t ~client:c i in
+                let after = Unix.gettimeofday () in
+                if ans <> i + 1 then failwith "Real_driver.run: echo mismatch";
+                Ulipc.Histogram.record hist ((after -. before) *. 1.0e6)
+              done
+            else begin
+              let sent = ref 0 in
+              while !sent < messages do
+                let k = min depth (messages - !sent) in
+                let burst = List.init k (fun j -> !sent + j + 1) in
+                let before = Unix.gettimeofday () in
+                let answers =
+                  Ulipc_real.Rpc.call_pipelined t ~client:c ~depth burst
+                in
+                let after = Unix.gettimeofday () in
+                List.iter2
+                  (fun req ans ->
+                    if ans <> req + 1 then
+                      failwith "Real_driver.run: echo mismatch")
+                  burst answers;
+                let per_msg_us =
+                  (after -. before) *. 1.0e6 /. float_of_int k
+                in
+                for _ = 1 to k do
+                  Ulipc.Histogram.record hist per_msg_us
+                done;
+                sent := !sent + k
+              done
+            end;
             hist))
   in
   while Atomic.get ready < nclients do
@@ -66,12 +124,20 @@ let run ?(machine = "domains") ?transport ?trace ~nclients ~messages waiting =
   let hists = List.map Domain.join clients in
   let t1 = Unix.gettimeofday () in
   Domain.join server;
+  let elapsed_s = t1 -. t0 in
+  let utilization =
+    if elapsed_s <= 0.0 then nan
+    else
+      (* The server also waits before the barrier releases the clients,
+         so the waiting total can exceed the measured interval — clamp. *)
+      Float.max 0.0 (Float.min 1.0 (1.0 -. (!server_waiting_s /. elapsed_s)))
+  in
   let latency = Ulipc.Histogram.create "round-trip (us)" in
   List.iter (fun h -> Ulipc.Histogram.merge_into ~dst:latency h) hists;
-  Metrics.of_real ~latency ~machine
+  Metrics.of_real ~latency ~utilization ~depth ~machine
     ~protocol:(kind_of_waiting waiting)
     ~nclients
     ~messages:(nclients * messages)
-    ~elapsed_s:(t1 -. t0)
+    ~elapsed_s
     ~counters:(Ulipc_real.Rpc.counters t)
     ()

@@ -8,28 +8,41 @@
 
 val kind_of_waiting : Ulipc_real.Rpc.waiting -> Ulipc.Protocol_kind.t
 (** Spin ↦ BSS, Block ↦ BSW, Block_yield ↦ BSWY, Limited_spin n ↦ BSLS n,
-    Handoff ↦ HANDOFF. *)
+    Handoff ↦ HANDOFF, Adaptive cap ↦ ADAPT cap. *)
 
 val run :
   ?machine:string ->
   ?transport:Ulipc_real.Real_substrate.transport ->
   ?trace:Ulipc_real.Trace_ring.t ->
+  ?depth:int ->
   nclients:int ->
   messages:int ->
   Ulipc_real.Rpc.waiting ->
   Metrics.t
 (** [run ~nclients ~messages waiting] spawns one server domain and
-    [nclients] client domains, each performing [messages] synchronous
-    echo calls; returns the wall-clock metrics.  [machine] labels the row
-    (default ["domains"]); [transport] selects the queue transport
-    (default ring — see {!Ulipc_real.Real_substrate.transport});
-    [trace] attaches a per-domain event-trace sink to the session
-    (drained by the caller after the run).
+    [nclients] client domains, each performing [messages] echo calls;
+    returns the wall-clock metrics.  [machine] labels the row (default
+    ["domains"]); [transport] selects the queue transport (default ring —
+    see {!Ulipc_real.Real_substrate.transport}); [trace] attaches a
+    per-domain event-trace sink to the session (drained by the caller
+    after the run).
+
+    [depth] (default 1) is the pipelining depth.  At 1 every call is a
+    synchronous {!Ulipc_real.Rpc.send} and the server answers one request
+    at a time.  Above 1 each client keeps up to [depth] requests
+    outstanding ({!Ulipc_real.Rpc.call_pipelined}, issued in bursts of
+    [depth]) and the server uses the batched receive/reply path — one
+    span claim and at most one wake-up per batch.  The result's [depth]
+    field records the value.
 
     The measured interval excludes domain start-up and tear-down: clients
     park on a start barrier after spawning, the clock starts when the
     barrier releases, and it stops once every client has been joined
-    (before the server join).  Every send is individually timed, and
-    [latency_us] in the result carries the merged round-trip histogram,
-    so {!Metrics.latency_percentile} works for real rows exactly as for
-    simulated ones. *)
+    (before the server join).  Every send (or pipelined burst) is
+    individually timed, and [latency_us] in the result carries the merged
+    round-trip histogram — per-message means for bursts — so
+    {!Metrics.latency_percentile} works for real rows exactly as for
+    simulated ones.  The result's [utilization] is measured: 1 minus the
+    fraction of the interval the server spent waiting inside receive,
+    clamped to [0, 1].
+    @raise Invalid_argument if [depth <= 0]. *)

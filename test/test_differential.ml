@@ -23,6 +23,7 @@ let sim_kind_of = function
   | Ulipc_real.Rpc.Block_yield -> Ulipc.Protocol_kind.BSWY
   | Ulipc_real.Rpc.Limited_spin n -> Ulipc.Protocol_kind.BSLS n
   | Ulipc_real.Rpc.Handoff -> Ulipc.Protocol_kind.HANDOFF
+  | Ulipc_real.Rpc.Adaptive cap -> Ulipc.Protocol_kind.ADAPT cap
 
 let run_sim waiting (traces : int list array) =
   let nclients = Array.length traces in

@@ -393,7 +393,7 @@ let test_bench_json_roundtrip () =
   Sys.remove path;
   let j = parse_json contents in
   (match member "schema" j with
-  | J_str "ulipc-bench-real/2" -> ()
+  | J_str "ulipc-bench-real/3" -> ()
   | _ -> Alcotest.fail "wrong schema");
   (match member "micro_ns_per_op" j with
   | J_arr rows ->
@@ -426,8 +426,16 @@ let test_bench_json_roundtrip () =
           (Printf.sprintf "percentiles ordered (%.1f/%.1f/%.1f)" p50 p99 maxv)
           true
           (p50 <= p99 && p99 <= maxv *. 1.0000001);
-        Alcotest.(check bool) "utilization nan -> null" true
-          (member "utilization" row = J_null))
+        (* Schema 3: depth column, and a measured (finite, in-range)
+           utilization instead of schema 2's null. *)
+        (match member "depth" row with
+        | J_num d -> Alcotest.(check (float 0.0)) "depth" 1.0 d
+        | _ -> Alcotest.fail "depth is not a number");
+        let u = num "utilization" in
+        Alcotest.(check bool)
+          (Printf.sprintf "utilization in [0,1] (%.3f)" u)
+          true
+          (u >= 0.0 && u <= 1.0))
       rows
   | _ -> Alcotest.fail "real_driver not an array"
 

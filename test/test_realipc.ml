@@ -269,6 +269,125 @@ let test_mpsc_rejects_nonpositive () =
       ignore (Mpsc_ring.create ~capacity:0 () : int Mpsc_ring.t))
 
 (* ------------------------------------------------------------------ *)
+(* Batch operations: on every transport, a batch must be observationally
+   identical to n single ops — FIFO, no loss/duplication, exact capacity
+   boundary (the accepted count is the model's free space, even when the
+   batch straddles it). *)
+
+let batch_program =
+  QCheck.(
+    list
+      (oneof
+         [
+           map (fun vs -> `Enq vs) (list (int_bound 100));
+           map (fun n -> `Deq n) (int_bound 12);
+         ]))
+
+let prop_batch_model name create enqueue_batch dequeue_batch =
+  QCheck.Test.make ~name ~count:300 batch_program (fun program ->
+      let q = create ~capacity:8 () in
+      let model = Queue.create () in
+      List.for_all
+        (function
+          | `Enq vs ->
+            let k = enqueue_batch q vs in
+            let expect = min (List.length vs) (8 - Queue.length model) in
+            let rec add i = function
+              | v :: rest when i < expect ->
+                Queue.add v model;
+                add (i + 1) rest
+              | _ -> ()
+            in
+            add 0 vs;
+            k = expect
+          | `Deq max ->
+            let got = dequeue_batch q ~max in
+            let expect =
+              List.init
+                (min max (Queue.length model))
+                (fun _ -> Queue.take model)
+            in
+            got = expect)
+        program)
+
+let prop_tlq_batch_model =
+  prop_batch_model "Tl_queue batch ops match n single ops" Tl_queue.create
+    Tl_queue.enqueue_batch Tl_queue.dequeue_batch
+
+let prop_spsc_batch_model =
+  prop_batch_model "Spsc_ring batch ops match n single ops" Spsc_ring.create
+    Spsc_ring.enqueue_batch Spsc_ring.dequeue_batch
+
+let prop_mpsc_batch_model =
+  prop_batch_model "Mpsc_ring batch ops match n single ops" Mpsc_ring.create
+    Mpsc_ring.enqueue_batch Mpsc_ring.dequeue_batch
+
+let test_batch_validation () =
+  let q = Spsc_ring.create ~capacity:4 () in
+  Alcotest.(check (list int)) "max 0" [] (Spsc_ring.dequeue_batch q ~max:0);
+  Alcotest.check_raises "negative max"
+    (Invalid_argument "Spsc_ring.dequeue_batch: negative max") (fun () ->
+      ignore (Spsc_ring.dequeue_batch q ~max:(-1) : int list));
+  Alcotest.(check int) "empty batch" 0 (Spsc_ring.enqueue_batch q []);
+  (* Prefix semantics at the boundary: capacity 4, 2 occupied, a 5-batch
+     accepts exactly 2. *)
+  Alcotest.(check int) "fill 2" 2 (Spsc_ring.enqueue_batch q [ 1; 2 ]);
+  Alcotest.(check int) "prefix at boundary" 2
+    (Spsc_ring.enqueue_batch q [ 3; 4; 5; 6; 7 ]);
+  Alcotest.(check (list int)) "fifo across batches" [ 1; 2; 3; 4 ]
+    (Spsc_ring.dequeue_batch q ~max:10)
+
+(* Batch enqueues racing a concurrent consumer, on the MPSC ring: two
+   producer domains each pushing batches of varying size, one consumer
+   draining with dequeue_batch.  No loss, no duplication, per-producer
+   FIFO — the span-claim CAS must never hand two producers overlapping
+   slots. *)
+let test_mpsc_batch_concurrent () =
+  let q = Mpsc_ring.create ~capacity:16 () in
+  let nproducers = 2 in
+  let per_producer = 3_000 in
+  let producer p () =
+    let sent = ref 0 in
+    while !sent < per_producer do
+      let k = min (1 + (!sent mod 7)) (per_producer - !sent) in
+      let batch =
+        List.init k (fun i -> (p * 1_000_000) + !sent + i + 1)
+      in
+      let accepted = Mpsc_ring.enqueue_batch q batch in
+      if accepted = 0 then Domain.cpu_relax ();
+      sent := !sent + accepted
+    done
+  in
+  let received = ref [] in
+  let consumer () =
+    let remaining = ref (nproducers * per_producer) in
+    while !remaining > 0 do
+      match Mpsc_ring.dequeue_batch q ~max:8 with
+      | [] -> Domain.cpu_relax ()
+      | vs ->
+        received := List.rev_append vs !received;
+        remaining := !remaining - List.length vs
+    done
+  in
+  let producers =
+    List.init nproducers (fun p -> Domain.spawn (producer (p + 1)))
+  in
+  let dc = Domain.spawn consumer in
+  List.iter Domain.join producers;
+  Domain.join dc;
+  let received = List.rev !received in
+  Alcotest.(check int) "no loss, no duplication"
+    (nproducers * per_producer)
+    (List.length (List.sort_uniq compare received));
+  let ordered p =
+    let mine = List.filter (fun v -> v / 1_000_000 = p) received in
+    mine = List.sort compare mine
+  in
+  for p = 1 to nproducers do
+    Alcotest.(check bool) (Printf.sprintf "producer %d fifo" p) true (ordered p)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Rsem *)
 
 let test_rsem_counting () =
@@ -325,6 +444,53 @@ let test_rsem_try_p_never_blocks () =
     if Rsem.try_p s then Alcotest.fail "took from an empty semaphore"
   done;
   Alcotest.(check int) "still zero" 0 (Rsem.value s)
+
+let test_rsem_v_n_counting () =
+  let s = Rsem.create 0 in
+  Rsem.v_n s 0;
+  Alcotest.(check int) "v_n 0 is a no-op" 0 (Rsem.value s);
+  Rsem.v_n s 5;
+  Alcotest.(check int) "batched credits" 5 (Rsem.value s);
+  for _ = 1 to 5 do
+    Rsem.p s
+  done;
+  Alcotest.(check int) "all consumable" 0 (Rsem.value s);
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Rsem.v_n: negative credit count") (fun () ->
+      Rsem.v_n s (-1))
+
+let test_rsem_v_n_no_lost_wakeup () =
+  (* 4-domain stress: 2 producers publish credits in batches of 1..7 via
+     v_n, 2 consumers take them one P at a time.  Every credit must be
+     consumed exactly once — a lost wake-up hangs a consumer (and the
+     join), an invented one leaves value <> 0. *)
+  let s = Rsem.create 0 in
+  let per_side = 3_000 in
+  let producer seed () =
+    let sent = ref 0 in
+    let k = ref seed in
+    while !sent < per_side do
+      let n = min (1 + (!k mod 7)) (per_side - !sent) in
+      Rsem.v_n s n;
+      sent := !sent + n;
+      k := !k + 3
+    done
+  in
+  let consumer () =
+    for _ = 1 to per_side do
+      Rsem.p s
+    done
+  in
+  let domains =
+    [
+      Domain.spawn (producer 0);
+      Domain.spawn (producer 1);
+      Domain.spawn consumer;
+      Domain.spawn consumer;
+    ]
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "all credits consumed exactly once" 0 (Rsem.value s)
 
 (* ------------------------------------------------------------------ *)
 (* Rpc protocols on real domains *)
@@ -454,6 +620,72 @@ let test_rpc_counters () =
   Alcotest.(check bool) "server wakeups bounded" true
     (c.Ulipc.Counters.server_wakeups <= total)
 
+(* Batched server loop: receive_batch + reply_batch must be
+   observationally identical to the one-at-a-time loop. *)
+let test_rpc_batched_server transport () =
+  let nclients = 2 in
+  let messages = 300 in
+  let t : (int, int) Rpc.t =
+    Rpc.create ~transport ~nclients (Rpc.Adaptive 4096)
+  in
+  let server =
+    Domain.spawn (fun () ->
+        let remaining = ref (nclients * messages) in
+        while !remaining > 0 do
+          let batch = Rpc.receive_batch t ~max:16 in
+          Rpc.reply_batch t (List.map (fun (c, v) -> (c, v * 2)) batch);
+          remaining := !remaining - List.length batch
+        done)
+  in
+  let clients =
+    List.init nclients (fun c ->
+        Domain.spawn (fun () ->
+            let bad = ref 0 in
+            for i = 1 to messages do
+              let v = (c * 10_000_000) + i in
+              if Rpc.send t ~client:c v <> 2 * v then incr bad
+            done;
+            !bad))
+  in
+  let bads = List.map Domain.join clients in
+  Domain.join server;
+  Alcotest.(check (list int)) "all echoes correct" [ 0; 0 ] bads
+
+(* Differential: depth-k pipelining must produce exactly the replies of k
+   sequential sends, in request order. *)
+let test_rpc_pipelined_differential () =
+  let messages = 200 in
+  let t : (int, int) Rpc.t = Rpc.create ~nclients:1 Rpc.Block in
+  let server =
+    Domain.spawn (fun () ->
+        let remaining = ref messages in
+        while !remaining > 0 do
+          let batch = Rpc.receive_batch t ~max:16 in
+          Rpc.reply_batch t (List.map (fun (c, v) -> (c, v + 7)) batch);
+          remaining := !remaining - List.length batch
+        done)
+  in
+  let reqs = List.init messages (fun i -> i * 3) in
+  let got =
+    Domain.join
+      (Domain.spawn (fun () -> Rpc.call_pipelined t ~client:0 ~depth:8 reqs))
+  in
+  Domain.join server;
+  let expect = List.map (fun v -> v + 7) reqs in
+  Alcotest.(check (list int)) "depth-8 = sequential sends" expect got
+
+let test_rpc_pipelined_validation () =
+  let t : (int, int) Rpc.t = Rpc.create ~nclients:1 Rpc.Block in
+  Alcotest.(check (list int)) "empty request list" []
+    (Rpc.call_pipelined t ~client:0 ~depth:4 []);
+  Alcotest.check_raises "bad depth"
+    (Invalid_argument "Rpc.call_pipelined: depth must be positive") (fun () ->
+      ignore (Rpc.call_pipelined t ~client:0 ~depth:0 [ 1 ]));
+  Alcotest.check_raises "bad adaptive cap"
+    (Invalid_argument "Rpc.create: adaptive spin cap must be non-negative")
+    (fun () ->
+      ignore (Rpc.create ~nclients:1 (Rpc.Adaptive (-1)) : (int, int) Rpc.t))
+
 let suites =
   [
     ( "realipc.tl_queue",
@@ -464,6 +696,7 @@ let suites =
         Alcotest.test_case "concurrent transfer" `Quick
           test_tlq_concurrent_transfer;
         QCheck_alcotest.to_alcotest prop_tlq_model;
+        QCheck_alcotest.to_alcotest prop_tlq_batch_model;
       ] );
     ( "realipc.spsc_ring",
       [
@@ -476,6 +709,9 @@ let suites =
         Alcotest.test_case "rejects non-positive capacity" `Quick
           test_spsc_rejects_nonpositive;
         QCheck_alcotest.to_alcotest prop_spsc_model;
+        QCheck_alcotest.to_alcotest prop_spsc_batch_model;
+        Alcotest.test_case "batch validation + prefix boundary" `Quick
+          test_batch_validation;
       ] );
     ( "realipc.mpsc_ring",
       [
@@ -486,6 +722,9 @@ let suites =
         Alcotest.test_case "rejects non-positive capacity" `Quick
           test_mpsc_rejects_nonpositive;
         QCheck_alcotest.to_alcotest prop_mpsc_model;
+        QCheck_alcotest.to_alcotest prop_mpsc_batch_model;
+        Alcotest.test_case "concurrent batch 2p/1c, no loss/dup" `Quick
+          test_mpsc_batch_concurrent;
       ] );
     ( "realipc.rsem",
       [
@@ -497,6 +736,10 @@ let suites =
         Alcotest.test_case "try_p counting" `Quick test_rsem_try_p;
         Alcotest.test_case "try_p never blocks" `Quick
           test_rsem_try_p_never_blocks;
+        Alcotest.test_case "v_n counting + validation" `Quick
+          test_rsem_v_n_counting;
+        Alcotest.test_case "v_n 4-domain no-lost-wakeup stress" `Quick
+          test_rsem_v_n_no_lost_wakeup;
       ] );
     ( "realipc.rpc",
       [
@@ -516,6 +759,10 @@ let suites =
         Alcotest.test_case "echo, limited spin (BSLS)" `Quick
           (echo_exchange (Rpc.Limited_spin 100));
         Alcotest.test_case "echo, handoff" `Quick (echo_exchange Rpc.Handoff);
+        Alcotest.test_case "echo, adaptive (ADAPT)" `Quick
+          (echo_exchange (Rpc.Adaptive 4096));
+        Alcotest.test_case "echo, adaptive (ADAPT, two-lock)" `Quick
+          (echo_exchange ~transport:Real_substrate.Two_lock (Rpc.Adaptive 4096));
         Alcotest.test_case "async post/collect" `Quick test_rpc_async;
         Alcotest.test_case "validation" `Quick test_rpc_validation;
         Alcotest.test_case "no stale wake-ups (try_p drain, ring)" `Quick
@@ -523,5 +770,15 @@ let suites =
         Alcotest.test_case "no stale wake-ups (try_p drain, two-lock)" `Quick
           (test_rpc_no_stale_wakeups Real_substrate.Two_lock);
         Alcotest.test_case "counters" `Quick test_rpc_counters;
+        Alcotest.test_case "batched server (receive_batch/reply_batch, ring)"
+          `Quick
+          (test_rpc_batched_server Real_substrate.Ring);
+        Alcotest.test_case
+          "batched server (receive_batch/reply_batch, two-lock)" `Quick
+          (test_rpc_batched_server Real_substrate.Two_lock);
+        Alcotest.test_case "pipelined depth-8 = sequential (differential)"
+          `Quick test_rpc_pipelined_differential;
+        Alcotest.test_case "pipelined validation" `Quick
+          test_rpc_pipelined_validation;
       ] );
   ]
