@@ -30,7 +30,7 @@ let run kind =
   in
   let session =
     Ulipc.Session.create ~kernel ~costs:machine.Ulipc_machines.Machine.costs
-      ~multiprocessor:false ~kind ~nclients ~capacity:64
+      ~multiprocessor:false ~kind ~nclients ~capacity:64 ()
   in
   let total = nclients * requests_per_client in
   let server =

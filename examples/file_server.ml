@@ -31,7 +31,7 @@ let () =
   let session =
     Ulipc.Session.create ~kernel ~costs:machine.Ulipc_machines.Machine.costs
       ~multiprocessor:false ~kind:(Ulipc.Protocol_kind.BSLS 10) ~nclients
-      ~capacity:64
+      ~capacity:64 ()
   in
   let bulk = Ulipc.Bulk.create session ~arena_size:32_768 in
   let total = nclients * requests_per_client in

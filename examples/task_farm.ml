@@ -43,7 +43,7 @@ let run label farmer =
   let session =
     Ulipc.Session.create ~kernel ~costs:machine.Ulipc_machines.Machine.costs
       ~multiprocessor:false ~kind:(Ulipc.Protocol_kind.BSLS 10) ~nclients:1
-      ~capacity:(4 * batch)
+      ~capacity:(4 * batch) ()
   in
   let total = batch * batches in
   let _server =

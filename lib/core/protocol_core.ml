@@ -102,12 +102,13 @@ module Make (S : Substrate.S) = struct
       in
       let bump_fall () =
         let c = S.counters s in
-        match side with
+        (match side with
         | Client ->
           c.Counters.spin_fallthroughs <- c.Counters.spin_fallthroughs + 1
         | Server ->
           c.Counters.server_spin_fallthroughs <-
-            c.Counters.server_spin_fallthroughs + 1
+            c.Counters.server_spin_fallthroughs + 1);
+        S.note_spin_exhausted s ch
       in
       let rec loop spincnt =
         if S.queue_is_empty s ch then

@@ -2,7 +2,15 @@
    cost-charged shared memory, the semaphore and the scheduling hints are
    syscall effects the simulated kernel interprets.  Every function here
    is exactly the substrate-specific half of what lib/core's protocols did
-   before the functorization. *)
+   before the functorization.
+
+   Event emission reads the kernel's clock and current pid directly —
+   uncharged instrumentation reads, not [Usys] syscalls — so attaching a
+   sink changes nothing about the simulated run.  Timestamps follow the
+   causal discipline shared with the real backend: producer-side events
+   (Enqueue, Wake, Block) are stamped before the operation and Dequeue
+   after it, so a merged cross-proc stream never shows an effect before
+   its cause even when a proc is preempted mid-operation. *)
 
 open Ulipc_engine
 open Ulipc_os
@@ -12,17 +20,53 @@ type t = Session.t
 type channel = Channel.t
 type msg = Message.t
 
+let now_us (s : Session.t) = Sim_time.to_us (Kernel.now s.Session.kernel)
+
+let emit_at (s : Session.t) (ch : channel) kind ~t_us =
+  match s.Session.events with
+  | None -> ()
+  | Some sink ->
+    Ulipc_observe.Sink.record sink kind ~t_us
+      ~actor:(Kernel.current_pid s.Session.kernel)
+      ~chan:ch.Channel.id
+
+let emit (s : Session.t) (ch : channel) kind =
+  match s.Session.events with
+  | None -> ()
+  | Some _ -> emit_at s ch kind ~t_us:(now_us s)
+
 let request (s : Session.t) = s.Session.request
 let reply_channel = Session.reply_channel
-let enqueue (_ : t) (ch : channel) m = Ms_queue.enqueue ch.Channel.queue m
-let dequeue (_ : t) (ch : channel) = Ms_queue.dequeue ch.Channel.queue
+
+let enqueue (s : t) (ch : channel) m =
+  match s.Session.events with
+  | None -> Ms_queue.enqueue ch.Channel.queue m
+  | Some _ ->
+    let t_us = now_us s in
+    let ok = Ms_queue.enqueue ch.Channel.queue m in
+    if ok then emit_at s ch Ulipc_observe.Event.Enqueue ~t_us;
+    ok
+
+let dequeue (s : t) (ch : channel) =
+  let m = Ms_queue.dequeue ch.Channel.queue in
+  (match m with
+  | Some _ -> emit s ch Ulipc_observe.Event.Dequeue
+  | None -> ());
+  m
+
 let queue_is_empty (_ : t) (ch : channel) = Ms_queue.is_empty ch.Channel.queue
 let awake_test_and_set (_ : t) ch = Mem.Flag.test_and_set ch.Channel.awake
 let awake_clear (_ : t) ch = Mem.Flag.write ch.Channel.awake false
 let awake_set (_ : t) ch = Mem.Flag.write ch.Channel.awake true
 let awake_read (_ : t) ch = Mem.Flag.read ch.Channel.awake
-let sem_p (_ : t) ch = Usys.sem_p ch.Channel.sem
-let sem_v (_ : t) ch = Usys.sem_v ch.Channel.sem
+
+let sem_p (s : t) ch =
+  emit s ch Ulipc_observe.Event.Block;
+  Usys.sem_p ch.Channel.sem
+
+let sem_v (s : t) ch =
+  emit s ch Ulipc_observe.Event.Wake;
+  Usys.sem_v ch.Channel.sem
 
 (* A single non-blocking semop: the count peek is an uncharged kernel-state
    read so the whole operation costs exactly one system call — the same
@@ -30,6 +74,7 @@ let sem_v (_ : t) ch = Usys.sem_v ch.Channel.sem
 let sem_try_p (s : t) ch =
   if Kernel.sem_value s.Session.kernel ch.Channel.sem > 0 then begin
     Usys.sem_p ch.Channel.sem;
+    emit s ch Ulipc_observe.Event.Wake_drain;
     true
   end
   else false
@@ -58,12 +103,20 @@ let poll (s : t) (ch : channel) =
 let yield (_ : t) = Usys.yield ()
 
 let handoff_server (s : t) =
+  emit s s.Session.request Ulipc_observe.Event.Handoff;
   if s.Session.server_pid > 0 then
     Usys.handoff (Syscall.To_pid s.Session.server_pid)
   else
     (* Server not registered yet (connection phase): plain yield. *)
     Usys.yield ()
 
-let handoff_any (_ : t) = Usys.handoff Syscall.To_any
+let handoff_any (s : t) =
+  emit s s.Session.request Ulipc_observe.Event.Handoff;
+  Usys.handoff Syscall.To_any
+
 let flow_sleep (_ : t) = Usys.sleep (Sim_time.sec 1)
+
+let note_spin_exhausted (s : t) ch =
+  emit s ch Ulipc_observe.Event.Spin_exhaust
+
 let counters (s : t) = s.Session.counters

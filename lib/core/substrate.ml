@@ -94,6 +94,12 @@ module type S = sig
 
   (** {2 Instrumentation} *)
 
+  val note_spin_exhausted : t -> channel -> unit
+  (** A §5 limited spin burned its full budget on [channel] and is about
+      to fall through to the blocking sequence.  Pure instrumentation —
+      substrates with a trace sink record a spin-exhaust event, others
+      do nothing; the protocol core's behaviour must not depend on it. *)
+
   val counters : t -> Counters.t
   (** The shared sink for the §4.2 statistics.  Substrates whose
       processes run in parallel (real domains) may lose increments from

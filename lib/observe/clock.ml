@@ -1,0 +1,3 @@
+external now_us : unit -> (float[@unboxed])
+  = "ulipc_monotonic_us_byte" "ulipc_monotonic_us"
+[@@noalloc]

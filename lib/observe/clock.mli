@@ -1,0 +1,11 @@
+(** Monotonic clock for trace timestamps and spin-budget guards.
+
+    [Unix.gettimeofday] follows the wall clock, so an NTP step reorders
+    merged cross-domain events and can poison wall-clock spin budgets;
+    this reads CLOCK_MONOTONIC instead (via a C stub, unboxed and
+    allocation-free on the native path). *)
+
+external now_us : unit -> (float[@unboxed])
+  = "ulipc_monotonic_us_byte" "ulipc_monotonic_us"
+[@@noalloc]
+(** Microseconds since an arbitrary fixed origin; never steps backwards. *)

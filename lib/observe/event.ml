@@ -1,0 +1,30 @@
+type kind =
+  | Enqueue
+  | Dequeue
+  | Block
+  | Wake
+  | Wake_drain
+  | Handoff
+  | Spin_exhaust
+
+let kind_name = function
+  | Enqueue -> "enqueue"
+  | Dequeue -> "dequeue"
+  | Block -> "block"
+  | Wake -> "wake"
+  | Wake_drain -> "wake-drain"
+  | Handoff -> "handoff"
+  | Spin_exhaust -> "spin-exhaust"
+
+type t = { t_us : float; actor : int; seq : int; chan : int; kind : kind }
+
+let compare a b =
+  let c = Float.compare a.t_us b.t_us in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.actor b.actor in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+let pp ppf ev =
+  Format.fprintf ppf "%.3f us  actor %d #%d  chan %d  %s" ev.t_us ev.actor
+    ev.seq ev.chan (kind_name ev.kind)

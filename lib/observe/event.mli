@@ -1,0 +1,45 @@
+(** The unified trace-event schema shared by both backends.
+
+    One structured event type covers the whole sleep/wake-up seam: queue
+    transfers (enqueue/dequeue), the scheduler interactions the paper's
+    protocols are built from (block = semaphore P, wake = semaphore V,
+    raced-wake drain), and the §5/§6 hints (spin exhaustion, handoff).
+    The simulator substrate stamps events with simulated time and proc
+    ids; the real backend stamps CLOCK_MONOTONIC and domain ids.  Both
+    attach a per-actor sequence number so merged cross-actor streams
+    order deterministically and per-actor program order is recoverable
+    even under timestamp ties. *)
+
+type kind =
+  | Enqueue  (** a message was accepted by a channel's queue *)
+  | Dequeue  (** a message was taken from a channel's queue *)
+  | Block  (** a consumer entered the semaphore P of step C.4 *)
+  | Wake  (** a producer issued the semaphore V of step P.3 *)
+  | Wake_drain
+      (** a consumer absorbed a raced wake-up's semaphore credit (the
+          [sem_try_p] drain of step C.3') without ever sleeping *)
+  | Handoff  (** a §6 handoff/yield scheduling hint was issued *)
+  | Spin_exhaust
+      (** a §5 limited spin burned its full budget and fell through to
+          the blocking path *)
+
+val kind_name : kind -> string
+
+type t = {
+  t_us : float;
+      (** timestamp in µs: CLOCK_MONOTONIC on the real backend,
+          simulated time on the simulator — comparable within one trace,
+          never across backends *)
+  actor : int;
+      (** recording actor: [Domain.self] on the real backend, the
+          simulated proc's pid on the simulator *)
+  seq : int;  (** per-actor sequence number, starting at 0 *)
+  chan : int;  (** -1 = shared request channel, n = reply channel n *)
+  kind : kind;
+}
+
+val compare : t -> t -> int
+(** Total order by [(t_us, actor, seq)] — the deterministic cross-actor
+    merge order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** A deliberately small JSON reader — objects, arrays, strings,
+    numbers, true/false/null — so tests and the trace CLI can validate
+    emitted files as real syntax (a raw [nan] token fails the parse)
+    without a JSON dependency.  Not a general-purpose parser: surrogate
+    pairs in [\u] escapes collapse to ['?']. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input (with an offset). *)
+
+val parse_result : string -> (t, string) result
+
+val member_opt : string -> t -> t option
+(** Field lookup; [None] when absent or not an object. *)

@@ -1,0 +1,75 @@
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write ?(process_name = "ulipc") ?report ~path events =
+  let events = List.sort Event.compare events in
+  let t0 = match events with [] -> 0.0 | e :: _ -> e.Event.t_us in
+  let oc = open_out path in
+  let first = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun line ->
+        if !first then first := false else output_string oc ",\n";
+        output_string oc "    ";
+        output_string oc line)
+      fmt
+  in
+  output_string oc "{\n  \"traceEvents\": [\n";
+  emit "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"args\": {\"name\": \"%s\"}}"
+    (escape process_name);
+  let actors =
+    List.sort_uniq Int.compare (List.map (fun e -> e.Event.actor) events)
+  in
+  List.iter
+    (fun a ->
+      emit
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": %d, \"args\": {\"name\": \"actor %d\"}}"
+        a a)
+    actors;
+  List.iter
+    (fun e ->
+      emit
+        "{\"name\": \"%s\", \"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, \"pid\": 0, \"tid\": %d, \"args\": {\"chan\": %d, \"seq\": %d}}"
+        (Event.kind_name e.Event.kind)
+        (e.Event.t_us -. t0)
+        e.Event.actor e.Event.chan e.Event.seq)
+    events;
+  (match report with
+  | None -> ()
+  | Some r ->
+    List.iter
+      (fun p ->
+        emit
+          "{\"name\": \"blocked\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %d, \"args\": {\"chan\": %d}}"
+          (p.Trace_analysis.t_from_us -. t0)
+          (Trace_analysis.pair_us p)
+          p.Trace_analysis.from_actor p.Trace_analysis.chan)
+      r.Trace_analysis.block_pairs;
+    List.iteri
+      (fun i p ->
+        emit
+          "{\"name\": \"wake\", \"cat\": \"wake\", \"ph\": \"s\", \"id\": %d, \"ts\": %.3f, \"pid\": 0, \"tid\": %d}"
+          i
+          (p.Trace_analysis.t_from_us -. t0)
+          p.Trace_analysis.from_actor;
+        emit
+          "{\"name\": \"wake\", \"cat\": \"wake\", \"ph\": \"f\", \"bp\": \"e\", \"id\": %d, \"ts\": %.3f, \"pid\": 0, \"tid\": %d}"
+          i
+          (p.Trace_analysis.t_to_us -. t0)
+          p.Trace_analysis.to_actor)
+      r.Trace_analysis.wake_pairs);
+  output_string oc "\n  ],\n  \"displayTimeUnit\": \"ns\"\n}\n";
+  close_out oc

@@ -1,0 +1,18 @@
+(** Chrome-trace-event JSON export (Perfetto's legacy JSON importer).
+
+    One track per actor ([tid] = actor under a single [pid]): every
+    event becomes a thread-scoped instant, and when a {!Trace_analysis}
+    report is supplied each Block→Wake pair becomes a "blocked" duration
+    slice on the sleeper's track and each Wake→Dequeue pair a flow arrow
+    from the waker's track to the woken track.  Timestamps are
+    normalised so the trace starts at 0 µs.  Load the file at
+    https://ui.perfetto.dev or chrome://tracing. *)
+
+val write :
+  ?process_name:string ->
+  ?report:Trace_analysis.t ->
+  path:string ->
+  Event.t list ->
+  unit
+(** Events are written in the deterministic merge order of
+    {!Event.compare} regardless of input order. *)

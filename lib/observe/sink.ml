@@ -1,0 +1,43 @@
+type t = {
+  cap : int;
+  slots : Event.t array;
+  mutable count : int;
+  seqs : (int, int ref) Hashtbl.t; (* actor -> next sequence number *)
+}
+
+let dummy =
+  { Event.t_us = 0.0; actor = -1; seq = 0; chan = 0; kind = Event.Enqueue }
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
+  {
+    cap = capacity;
+    slots = Array.make capacity dummy;
+    count = 0;
+    seqs = Hashtbl.create 16;
+  }
+
+let capacity t = t.cap
+
+let next_seq t actor =
+  match Hashtbl.find_opt t.seqs actor with
+  | Some r ->
+    let s = !r in
+    incr r;
+    s
+  | None ->
+    Hashtbl.add t.seqs actor (ref 1);
+    0
+
+let record t kind ~t_us ~actor ~chan =
+  let seq = next_seq t actor in
+  t.slots.(t.count mod t.cap) <- { Event.t_us; actor; seq; chan; kind };
+  t.count <- t.count + 1
+
+let events t =
+  let n = Stdlib.min t.count t.cap in
+  let start = t.count - n in
+  List.init n (fun i -> t.slots.((start + i) mod t.cap))
+
+let recorded t = t.count
+let dropped t = Stdlib.max 0 (t.count - t.cap)

@@ -1,0 +1,29 @@
+(** Bounded single-threaded event sink for the simulator substrate.
+
+    The simulator runs every simulated proc on one OCaml domain, so this
+    sink is a plain ring: an array store plus a counter bump per event,
+    no synchronisation.  When full, the oldest events are overwritten
+    and counted as dropped, exactly like the real backend's
+    [Trace_ring].  Per-actor sequence numbers are assigned here so the
+    schema matches cross-backend. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh sink retaining the last [capacity] events (default 65536).
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val record : t -> Event.kind -> t_us:float -> actor:int -> chan:int -> unit
+(** Append one event; the per-[actor] sequence number is assigned
+    internally in recording order. *)
+
+val events : t -> Event.t list
+(** Retained events in recording order (oldest first). *)
+
+val recorded : t -> int
+(** Total events ever recorded, including overwritten ones. *)
+
+val dropped : t -> int
+(** Events lost to ring overwrite. *)

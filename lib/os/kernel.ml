@@ -48,6 +48,7 @@ type t = {
   mutable steps : int;
   max_steps : int;
   mutable failure : (string * exn) option;
+  mutable cur_pid : int; (* pid being stepped, 0 between steps *)
 }
 
 let create ?trace ?(max_steps = 200_000_000) ~ncpus ~policy ~costs () =
@@ -73,9 +74,11 @@ let create ?trace ?(max_steps = 200_000_000) ~ncpus ~policy ~costs () =
     steps = 0;
     max_steps;
     failure = None;
+    cur_pid = 0;
   }
 
 let now t = t.now
+let current_pid t = t.cur_pid
 let trace t = t.tr
 let procs t = List.rev t.all_procs
 let live_count t = t.live
@@ -368,6 +371,7 @@ let handle_call (type a) t cpu p (req : a Syscall.t)
 (* Run one step of [p] on [cpu] at time [now]. *)
 let run_step t cpu p ~now_ =
   t.steps <- t.steps + 1;
+  t.cur_pid <- p.Proc.pid;
   match Proc.run_next p with
   | Proc.Working (d, k) ->
     Proc.set_resume p k ();

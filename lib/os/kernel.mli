@@ -46,6 +46,13 @@ val run : ?until:Ulipc_engine.Sim_time.t -> t -> run_result
     @raise Proc_failure if any process body raises. *)
 
 val now : t -> Ulipc_engine.Sim_time.t
+
+val current_pid : t -> int
+(** Pid of the process currently being stepped (0 outside a step).  An
+    uncharged instrumentation read — unlike [Usys.pid ()] it performs no
+    syscall effect, so observers can attribute events to the running
+    process without perturbing the simulation. *)
+
 val trace : t -> Ulipc_engine.Trace.t
 val procs : t -> Proc.t list
 (** All processes ever spawned, in spawn order. *)

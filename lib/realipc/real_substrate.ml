@@ -16,9 +16,10 @@
 
    Instrumentation lives here, on the substrate side of the signature's
    counters seam, so the protocol core stays untouched: an optional
-   Trace_ring sink records enqueue/dequeue/block/wake/handoff events with
-   timestamps into per-domain bounded rings.  With no sink attached the
-   hot path pays one option match per operation. *)
+   Trace_ring sink records the unified Ulipc_observe.Event schema
+   (enqueue/dequeue/block/wake/drain/handoff/spin-exhaust) with
+   CLOCK_MONOTONIC timestamps into per-domain bounded rings.  With no
+   sink attached the hot path pays one option match per operation. *)
 
 open Ulipc_engine
 
@@ -86,6 +87,19 @@ let emit t ch kind =
   | None -> ()
   | Some sink -> Trace_ring.record sink kind ~chan:ch.chan_id
 
+let emit_at t ch kind ~t_us =
+  match t.trace with
+  | None -> ()
+  | Some sink -> Trace_ring.record_at sink kind ~t_us ~chan:ch.chan_id
+
+(* Producer-side events (Enqueue, Wake) are stamped *before* the
+   operation and consumer-side Dequeues *after* it: a producer
+   descheduled between its enqueue and a post-operation clock read would
+   otherwise let the consumer's dequeue carry the earlier timestamp, and
+   the merged stream would show the effect before its cause. *)
+let pre_stamp t =
+  match t.trace with None -> 0.0 | Some _ -> Ulipc_observe.Clock.now_us ()
+
 (* Every queue operation reports to the calling domain's backoff state:
    success ends the waiting episode, failure tags the wait's role (the
    request channel's consumer spins long, everyone else escalates to
@@ -94,6 +108,7 @@ let emit t ch kind =
    Substrate.S seam. *)
 
 let enqueue t ch m =
+  let t_us = pre_stamp t in
   let ok =
     match ch.queue with
     | Q_two_lock q -> Tl_queue.enqueue q m
@@ -102,7 +117,7 @@ let enqueue t ch m =
   in
   if ok then begin
     Backoff.progress (Backoff.get ());
-    emit t ch Trace_ring.Enqueue
+    emit_at t ch Ulipc_observe.Event.Enqueue ~t_us
   end
   else Backoff.note_role (Backoff.get ()) ~server_side:false;
   ok
@@ -117,7 +132,7 @@ let dequeue t ch =
   (match m with
   | Some _ ->
     Backoff.progress (Backoff.get ());
-    emit t ch Trace_ring.Dequeue
+    emit t ch Ulipc_observe.Event.Dequeue
   | None ->
     Backoff.note_role (Backoff.get ()) ~server_side:(ch.chan_id = -1));
   m
@@ -126,6 +141,7 @@ let dequeue t ch =
    message, one backoff progress per batch. *)
 
 let enqueue_many t ch ms =
+  let t_us = pre_stamp t in
   let k =
     match ch.queue with
     | Q_two_lock q -> Tl_queue.enqueue_batch q ms
@@ -135,7 +151,7 @@ let enqueue_many t ch ms =
   if k > 0 then begin
     Backoff.progress (Backoff.get ());
     for _ = 1 to k do
-      emit t ch Trace_ring.Enqueue
+      emit_at t ch Ulipc_observe.Event.Enqueue ~t_us
     done
   end
   else if ms <> [] then Backoff.note_role (Backoff.get ()) ~server_side:false;
@@ -151,7 +167,7 @@ let dequeue_many t ch ~max =
   (match ms with
   | _ :: _ ->
     Backoff.progress (Backoff.get ());
-    List.iter (fun _ -> emit t ch Trace_ring.Dequeue) ms
+    List.iter (fun _ -> emit t ch Ulipc_observe.Event.Dequeue) ms
   | [] ->
     if max > 0 then
       Backoff.note_role (Backoff.get ()) ~server_side:(ch.chan_id = -1));
@@ -169,19 +185,27 @@ let awake_set _ ch = Atomic.set ch.awake true
 let awake_read _ ch = Atomic.get ch.awake
 
 let sem_p t ch =
-  emit t ch Trace_ring.Block;
+  emit t ch Ulipc_observe.Event.Block;
   Rsem.p ch.sem
 
-let sem_try_p _ ch = Rsem.try_p ch.sem
+let sem_try_p t ch =
+  let ok = Rsem.try_p ch.sem in
+  (* A successful non-blocking P is the C.3' drain of a raced wake-up:
+     record it so the analysis can balance the semaphore-credit algebra
+     (every Wake must be consumed by a Block or a drain). *)
+  if ok then emit t ch Ulipc_observe.Event.Wake_drain;
+  ok
 
 let sem_v t ch =
-  emit t ch Trace_ring.Wake;
+  emit t ch Ulipc_observe.Event.Wake;
   Rsem.v ch.sem
 
 let sem_v_n t ch n =
-  (* One trace event for the whole batch, mirroring the at-most-one
-     signal the coalesced wake-up issues. *)
-  if n > 0 then emit t ch Trace_ring.Wake;
+  (* One trace event per credit, keeping the analysis' credit algebra
+     exact (the coalesced wake-up still issues at most one signal). *)
+  for _ = 1 to n do
+    emit t ch Ulipc_observe.Event.Wake
+  done;
   Rsem.v_n ch.sem n
 
 (* Domains are genuinely parallel OS threads, so the waiting/scheduling
@@ -202,14 +226,15 @@ let poll _ _ = Domain.cpu_relax ()
 let yield _ = Domain.cpu_relax ()
 
 let handoff_server t =
-  emit t t.request_ch Trace_ring.Handoff;
+  emit t t.request_ch Ulipc_observe.Event.Handoff;
   Domain.cpu_relax ()
 
 let handoff_any t =
-  emit t t.request_ch Trace_ring.Handoff;
+  emit t t.request_ch Ulipc_observe.Event.Handoff;
   Domain.cpu_relax ()
 
 let flow_sleep t = if Backoff.wait (Backoff.get ()) then slept t
+let note_spin_exhausted t ch = emit t ch Ulipc_observe.Event.Spin_exhaust
 let counters t = t.counters
 
 let wake_residue t =

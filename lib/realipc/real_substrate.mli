@@ -73,7 +73,9 @@ val dequeue_many : t -> channel -> max:int -> msg list
 
 val sem_v_n : t -> channel -> int -> unit
 (** Publish [n] semaphore credits with at most one wake-up
-    ({!Rsem.v_n}): the wake-coalescing half of a batched send. *)
+    ({!Rsem.v_n}): the wake-coalescing half of a batched send.  Records
+    one trace event per credit so the analysis' credit algebra stays
+    exact. *)
 
 include
   Ulipc.Substrate.S

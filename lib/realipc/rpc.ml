@@ -98,10 +98,12 @@ let check_client t client =
    polling.  Crediting those turns oversubscription into the paper's
    Figure 11 positive feedback — preemption causes hits, hits grow the
    budget, longer spins cause more preemption — driving the budget to
-   its cap exactly when spinning is most harmful.  The wall-clock guard
-   (two [gettimeofday] reads, only on the [cur > 0] path) makes every
-   descheduled spin a miss, so on a saturated host the budget decays to
-   0 and ADAPT converges to BSW. *)
+   its cap exactly when spinning is most harmful.  The elapsed-time
+   guard (two CLOCK_MONOTONIC reads, only on the [cur > 0] path) makes
+   every descheduled spin a miss, so on a saturated host the budget
+   decays to 0 and ADAPT converges to BSW.  The clock must be monotonic:
+   a wall-clock step during the spin would read as a huge (or negative)
+   elapsed time and poison the learned budget. *)
 let adaptive_dequeue t ch ~slot ~cap ~side =
   if cap = 0 then P.Prims.blocking_dequeue t.sub ch ~side ()
   else begin
@@ -109,15 +111,15 @@ let adaptive_dequeue t ch ~slot ~cap ~side =
     let productive =
       if cur = 0 then not (Real_substrate.queue_is_empty t.sub ch)
       else begin
-        let t0 = Unix.gettimeofday () in
+        let t0 = Ulipc_observe.Clock.now_us () in
         P.Prims.limited_spin t.sub ch ~side ~max_spin:cur;
-        let spin_s = Unix.gettimeofday () -. t0 in
+        let spin_us = Ulipc_observe.Clock.now_us () -. t0 in
         (* ~10 ns per cpu_relax iteration plus 1 µs of clock-granularity
            slack: a genuine early exit sits under this, while even one
            context-switch round (the cheapest way off the CPU and back)
            costs several µs and lands over it. *)
         (not (Real_substrate.queue_is_empty t.sub ch))
-        && spin_s < 1e-6 +. (float_of_int cur *. 1e-8)
+        && spin_us < 1.0 +. (float_of_int cur *. 1e-2)
       end
     in
     if productive then Atomic.set slot (min cap ((2 * cur) + 8))

@@ -6,19 +6,16 @@
    registry of rings, taken once per domain (on first record) and once
    per drain.  Draining while writers are still running is memory-safe
    but can see torn orderings; callers drain after Domain.join, exactly
-   like Histogram merges. *)
+   like Histogram merges.
 
-type kind = Enqueue | Dequeue | Block | Wake | Handoff
+   The per-ring count doubles as the per-domain sequence number, and the
+   ring drops oldest-first, so the retained window of any domain always
+   carries contiguous sequences — the property Trace_analysis's gap
+   check relies on. *)
 
-let kind_name = function
-  | Enqueue -> "enqueue"
-  | Dequeue -> "dequeue"
-  | Block -> "block"
-  | Wake -> "wake"
-  | Handoff -> "handoff"
+module Event = Ulipc_observe.Event
 
-type event = { t_us : float; domain : int; chan : int; kind : kind }
-type ring = { slots : event array; mutable count : int }
+type ring = { actor : int; slots : Event.t array; mutable count : int }
 
 type t = {
   ring_capacity : int;
@@ -27,15 +24,23 @@ type t = {
   key : ring Domain.DLS.key;
 }
 
+let dummy =
+  { Event.t_us = 0.0; actor = -1; seq = 0; chan = 0; kind = Event.Enqueue }
+
 let create ?(capacity = 4096) () =
   if capacity <= 0 then
     invalid_arg "Trace_ring.create: capacity must be positive";
   let mutex = Mutex.create () in
   let rings = ref [] in
-  let dummy = { t_us = 0.0; domain = -1; chan = 0; kind = Enqueue } in
   let key =
     Domain.DLS.new_key (fun () ->
-        let r = { slots = Array.make capacity dummy; count = 0 } in
+        let r =
+          {
+            actor = (Domain.self () :> int);
+            slots = Array.make capacity dummy;
+            count = 0;
+          }
+        in
         Mutex.lock mutex;
         rings := r :: !rings;
         Mutex.unlock mutex;
@@ -45,18 +50,15 @@ let create ?(capacity = 4096) () =
 
 let capacity t = t.ring_capacity
 
-let record t kind ~chan =
+let record_at t kind ~t_us ~chan =
   let r = Domain.DLS.get t.key in
-  let ev =
-    {
-      t_us = Unix.gettimeofday () *. 1.0e6;
-      domain = (Domain.self () :> int);
-      chan;
-      kind;
-    }
-  in
-  r.slots.(r.count mod t.ring_capacity) <- ev;
+  let seq = r.count in
+  r.slots.(seq mod t.ring_capacity) <-
+    { Event.t_us; actor = r.actor; seq; chan; kind };
   r.count <- r.count + 1
+
+let record t kind ~chan =
+  record_at t kind ~t_us:(Ulipc_observe.Clock.now_us ()) ~chan
 
 let snapshot t =
   Mutex.lock t.mutex;
@@ -72,8 +74,7 @@ let ring_events t r =
   List.init n (fun i -> r.slots.((start + i) mod t.ring_capacity))
 
 let events t =
-  List.concat_map (ring_events t) (snapshot t)
-  |> List.sort (fun a b -> Float.compare a.t_us b.t_us)
+  List.concat_map (ring_events t) (snapshot t) |> List.sort Event.compare
 
 let recorded t =
   List.fold_left (fun acc r -> acc + r.count) 0 (snapshot t)
@@ -82,7 +83,3 @@ let dropped t =
   List.fold_left
     (fun acc r -> acc + Stdlib.max 0 (r.count - t.ring_capacity))
     0 (snapshot t)
-
-let pp_event ppf ev =
-  Format.fprintf ppf "%.1f us  domain %d  chan %d  %s" ev.t_us ev.domain
-    ev.chan (kind_name ev.kind)

@@ -7,25 +7,15 @@
     domain and counting the rest as dropped.  Drain with {!events} after
     the traffic has quiesced (all recording domains joined).
 
+    Events use the unified {!Ulipc_observe.Event} schema: the actor is
+    [Domain.self], the timestamp is CLOCK_MONOTONIC microseconds
+    ({!Ulipc_observe.Clock} — immune to NTP steps, unlike the wall
+    clock), and each domain stamps a private sequence number so the
+    cross-domain merge is deterministic.
+
     This is instrumentation on the substrate side of the
     [Ulipc.Substrate.S] seam, exactly like the counters sink: the
     protocol core never sees it. *)
-
-type kind =
-  | Enqueue  (** a message was accepted by a channel's queue *)
-  | Dequeue  (** a message was taken from a channel's queue *)
-  | Block  (** a consumer entered the semaphore P of step C.4 *)
-  | Wake  (** a producer issued the semaphore V of step P.3 *)
-  | Handoff  (** a §6 handoff/yield scheduling hint was issued *)
-
-val kind_name : kind -> string
-
-type event = {
-  t_us : float;  (** wall-clock timestamp, µs since the epoch *)
-  domain : int;  (** [Domain.self] of the recording domain *)
-  chan : int;  (** -1 = shared request channel, n = reply channel n *)
-  kind : kind;
-}
 
 type t
 
@@ -36,17 +26,23 @@ val create : ?capacity:int -> unit -> t
 
 val capacity : t -> int
 
-val record : t -> kind -> chan:int -> unit
-(** Append one event to the calling domain's ring (lazily created). *)
+val record : t -> Ulipc_observe.Event.kind -> chan:int -> unit
+(** Append one event stamped [Clock.now_us ()] to the calling domain's
+    ring (lazily created). *)
 
-val events : t -> event list
-(** All retained events, merged across domains and sorted by timestamp.
-    Only meaningful once every recording domain has been joined. *)
+val record_at : t -> Ulipc_observe.Event.kind -> t_us:float -> chan:int -> unit
+(** Like {!record} with a caller-supplied timestamp — for pre-operation
+    stamps taken before the recorded effect was attempted, so the merged
+    stream never orders an effect before its cause. *)
+
+val events : t -> Ulipc_observe.Event.t list
+(** All retained events, merged across domains and sorted by
+    [(t_us, actor, seq)] — equal timestamps tie-break on (actor,
+    sequence), so the merge is deterministic.  Only meaningful once
+    every recording domain has been joined. *)
 
 val recorded : t -> int
 (** Total events ever recorded, including overwritten ones. *)
 
 val dropped : t -> int
 (** Events lost to ring overwrite, summed over domains. *)
-
-val pp_event : Format.formatter -> event -> unit

@@ -39,7 +39,7 @@ let fresh_session kernel (machine : Ulipc_machines.Machine.t) ~kind ~nclients
     ~capacity =
   Ulipc.Session.create ~kernel ~costs:machine.Ulipc_machines.Machine.costs
     ~multiprocessor:machine.Ulipc_machines.Machine.multiprocessor ~kind
-    ~nclients ~capacity
+    ~nclients ~capacity ()
 
 (* The paper's architecture: one server thread, shared request queue,
    counting its way to [nclients] Disconnects. *)

@@ -32,7 +32,7 @@ let write ~path ~quick ~micro ~real =
   let p fmt = Printf.fprintf oc fmt in
   let sep i n = if i = n - 1 then "" else "," in
   p "{\n";
-  p "  \"schema\": \"ulipc-bench-real/3\",\n";
+  p "  \"schema\": \"ulipc-bench-real/4\",\n";
   p "  \"quick\": %b,\n" quick;
   p "  \"micro_ns_per_op\": [\n";
   let n = List.length micro in
@@ -50,7 +50,8 @@ let write ~path ~quick ~micro ~real =
         "    { \"transport\": \"%s\", \"protocol\": \"%s\", \"nclients\": %d, \
          \"depth\": %d, \"messages\": %d, \"throughput_msg_per_ms\": %s, \
          \"round_trip_us\": %s, \"latency_p50_us\": %s, \"latency_p99_us\": \
-         %s, \"latency_max_us\": %s, \"utilization\": %s }%s\n"
+         %s, \"latency_max_us\": %s, \"wake_latency_p50_us\": %s, \
+         \"wake_latency_p99_us\": %s, \"utilization\": %s }%s\n"
         (json_escape transport)
         (json_escape (Ulipc.Protocol_kind.name m.Metrics.protocol))
         m.Metrics.nclients m.Metrics.depth m.Metrics.messages
@@ -59,6 +60,8 @@ let write ~path ~quick ~micro ~real =
         (json_float_opt (Metrics.latency_percentile m 50.0))
         (json_float_opt (Metrics.latency_percentile m 99.0))
         (json_float_opt (Metrics.latency_max m))
+        (json_float m.Metrics.wake_latency_p50_us)
+        (json_float m.Metrics.wake_latency_p99_us)
         (json_float m.Metrics.utilization)
         (sep i n))
     real;

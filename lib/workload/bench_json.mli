@@ -17,8 +17,10 @@ val write :
   micro:(string * float) list ->
   real:(string * Metrics.t) list ->
   unit
-(** Write schema [ulipc-bench-real/3]: the Bechamel ns/op rows and the
+(** Write schema [ulipc-bench-real/4]: the Bechamel ns/op rows and the
     real-driver echo rows ([(transport name, metrics)]), the latter with
-    a [depth] pipelining column, a measured [utilization], and
+    a [depth] pipelining column, a measured [utilization],
     [latency_p50_us]/[latency_p99_us]/[latency_max_us] fields from the
-    round-trip histogram ([null] when latency was not collected). *)
+    round-trip histogram ([null] when latency was not collected), and
+    [wake_latency_p50_us]/[wake_latency_p99_us] recovered from the run's
+    event trace ([null] for protocols that never block). *)

@@ -12,6 +12,7 @@ type config = {
   client_think : Sim_time.t;
   collect_latency : bool;
   trace : Trace.t option;
+  events : Ulipc_observe.Sink.t option;
   time_limit : Sim_time.t option;
   iface : Ulipc.Iface.t option;
   noise : Noise.config option;
@@ -19,8 +20,8 @@ type config = {
 
 let config ?(capacity = 64) ?(fixed_priority = false)
     ?(server_work = Sim_time.zero) ?(client_think = Sim_time.zero)
-    ?(collect_latency = false) ?trace ?time_limit ?iface ?noise ~machine ~kind
-    ~nclients ~messages_per_client () =
+    ?(collect_latency = false) ?trace ?events ?time_limit ?iface ?noise
+    ~machine ~kind ~nclients ~messages_per_client () =
   {
     machine;
     kind;
@@ -32,6 +33,7 @@ let config ?(capacity = 64) ?(fixed_priority = false)
     client_think;
     collect_latency;
     trace;
+    events;
     time_limit;
     iface;
     noise;
@@ -156,9 +158,10 @@ let run_outcome cfg =
       ~costs:machine.Ulipc_machines.Machine.costs ()
   in
   let session =
-    Ulipc.Session.create ~kernel ~costs:machine.Ulipc_machines.Machine.costs
+    Ulipc.Session.create ?events:cfg.events ~kernel
+      ~costs:machine.Ulipc_machines.Machine.costs
       ~multiprocessor:machine.Ulipc_machines.Machine.multiprocessor
-      ~kind:cfg.kind ~nclients:cfg.nclients ~capacity:cfg.capacity
+      ~kind:cfg.kind ~nclients:cfg.nclients ~capacity:cfg.capacity ()
   in
   let t_start = ref Sim_time.zero and t_stop = ref Sim_time.zero in
   let echoed = ref 0 in
@@ -202,6 +205,19 @@ let run_outcome cfg =
       (fun acc p -> acc + p.Proc.yield_count)
       0 (Kernel.procs kernel)
   in
+  let wake_latency_p50_us, wake_latency_p99_us =
+    match cfg.events with
+    | None -> (nan, nan)
+    | Some sink ->
+      let report =
+        Ulipc_observe.Trace_analysis.analyse
+          ~complete:(Ulipc_observe.Sink.dropped sink = 0)
+          (Ulipc_observe.Sink.events sink)
+      in
+      let d = report.Ulipc_observe.Trace_analysis.wake_latency in
+      ( d.Ulipc_observe.Trace_analysis.p50_us,
+        d.Ulipc_observe.Trace_analysis.p99_us )
+  in
   let metrics = {
     Metrics.machine = machine.Ulipc_machines.Machine.name;
     protocol = cfg.kind;
@@ -218,6 +234,8 @@ let run_outcome cfg =
     total_yields;
     utilization = Kernel.utilization kernel;
     depth = 1;
+    wake_latency_p50_us;
+    wake_latency_p99_us;
   }
   in
   { metrics; kernel; session; server; clients }

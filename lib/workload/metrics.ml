@@ -14,6 +14,8 @@ type t = {
   total_yields : int;
   utilization : float;
   depth : int;
+  wake_latency_p50_us : float;
+  wake_latency_p99_us : float;
 }
 
 (* Real-domain runs have no simulated kernel behind them: usage, step and
@@ -27,8 +29,9 @@ let zero_usage =
     syscalls = 0;
   }
 
-let of_real ?latency ?(utilization = nan) ?(depth = 1) ~machine ~protocol
-    ~nclients ~messages ~elapsed_s ~counters () =
+let of_real ?latency ?(utilization = nan) ?(depth = 1)
+    ?(wake_latency_p50_us = nan) ?(wake_latency_p99_us = nan) ~machine
+    ~protocol ~nclients ~messages ~elapsed_s ~counters () =
   let elapsed = Ulipc_engine.Sim_time.us_f (elapsed_s *. 1.0e6) in
   {
     machine;
@@ -48,6 +51,8 @@ let of_real ?latency ?(utilization = nan) ?(depth = 1) ~machine ~protocol
     total_yields = 0;
     utilization;
     depth;
+    wake_latency_p50_us;
+    wake_latency_p99_us;
   }
 
 let round_trip_us t =

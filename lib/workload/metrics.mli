@@ -28,12 +28,20 @@ type t = {
   depth : int;
       (** pipelining depth: requests a client keeps outstanding at once
           (1 = synchronous send/receive/reply) *)
+  wake_latency_p50_us : float;
+      (** wake-up latency (a producer's V to the dequeue it enabled)
+          recovered by {!Ulipc_observe.Trace_analysis} from the run's
+          event trace; [nan] when no trace was taken or no blocking
+          wake-up occurred *)
+  wake_latency_p99_us : float;
 }
 
 val of_real :
   ?latency:Ulipc.Histogram.t ->
   ?utilization:float ->
   ?depth:int ->
+  ?wake_latency_p50_us:float ->
+  ?wake_latency_p99_us:float ->
   machine:string ->
   protocol:Ulipc.Protocol_kind.t ->
   nclients:int ->

@@ -24,7 +24,7 @@ let run_point ?(capacity = 64) ?(seed = 42) ~machine ~kind ~nclients
   let session =
     Ulipc.Session.create ~kernel ~costs:machine.Ulipc_machines.Machine.costs
       ~multiprocessor:machine.Ulipc_machines.Machine.multiprocessor ~kind
-      ~nclients ~capacity
+      ~nclients ~capacity ()
   in
   let total = nclients * messages_per_client in
   let server =

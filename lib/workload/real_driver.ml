@@ -44,8 +44,17 @@ let kind_of_waiting = function
 let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ~nclients
     ~messages waiting =
   if depth <= 0 then invalid_arg "Real_driver.run: depth must be positive";
+  (* Every run is traced: with no caller-supplied sink we attach our own,
+     sized so a typical bench run (a few messages × a handful of events
+     each, per domain) fits without overwrite, and distil the trace into
+     the wake-latency percentiles of the metrics row. *)
+  let trace =
+    match trace with
+    | Some sink -> sink
+    | None -> Ulipc_real.Trace_ring.create ~capacity:65536 ()
+  in
   let t : (int, int) Ulipc_real.Rpc.t =
-    Ulipc_real.Rpc.create ?transport ?trace ~nclients waiting
+    Ulipc_real.Rpc.create ?transport ~trace ~nclients waiting
   in
   (* Written by the server domain, read only after its join. *)
   let server_waiting_s = ref 0.0 in
@@ -134,7 +143,19 @@ let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ~nclients
   in
   let latency = Ulipc.Histogram.create "round-trip (us)" in
   List.iter (fun h -> Ulipc.Histogram.merge_into ~dst:latency h) hists;
-  Metrics.of_real ~latency ~utilization ~depth ~machine
+  (* All recording domains are joined: the drain is race-free. *)
+  let wake_latency_p50_us, wake_latency_p99_us =
+    let report =
+      Ulipc_observe.Trace_analysis.analyse
+        ~complete:(Ulipc_real.Trace_ring.dropped trace = 0)
+        (Ulipc_real.Trace_ring.events trace)
+    in
+    let d = report.Ulipc_observe.Trace_analysis.wake_latency in
+    ( d.Ulipc_observe.Trace_analysis.p50_us,
+      d.Ulipc_observe.Trace_analysis.p99_us )
+  in
+  Metrics.of_real ~latency ~utilization ~depth ~wake_latency_p50_us
+    ~wake_latency_p99_us ~machine
     ~protocol:(kind_of_waiting waiting)
     ~nclients
     ~messages:(nclients * messages)

@@ -25,7 +25,11 @@ val run :
     ["domains"]); [transport] selects the queue transport (default ring —
     see {!Ulipc_real.Real_substrate.transport}); [trace] attaches a
     per-domain event-trace sink to the session (drained by the caller
-    after the run).
+    after the run).  When [trace] is omitted the driver attaches its own
+    sink; either way the trace is analysed after the joins
+    ({!Ulipc_observe.Trace_analysis}) and the recovered wake-up-latency
+    p50/p99 fill the result's [wake_latency_p50_us]/[wake_latency_p99_us]
+    (nan for protocols that never block, e.g. BSS).
 
     [depth] (default 1) is the pipelining depth.  At 1 every call is a
     synchronous {!Ulipc_real.Rpc.send} and the server answers one request

@@ -48,7 +48,7 @@ let make_session ?(nclients = 2) ?(kind = Ulipc.Protocol_kind.BSW) () =
   in
   ( kernel,
     Ulipc.Session.create ~kernel ~costs:Costs.default ~multiprocessor:false
-      ~kind ~nclients ~capacity:8 )
+      ~kind ~nclients ~capacity:8 () )
 
 let test_session_validation () =
   let _, session = make_session () in
@@ -184,7 +184,7 @@ let test_async_batch () =
   let session =
     Ulipc.Session.create ~kernel ~costs:Ulipc_machines.Sgi_indy.costs
       ~multiprocessor:false ~kind:Ulipc.Protocol_kind.BSW ~nclients:1
-      ~capacity:16
+      ~capacity:16 ()
   in
   let batch = 10 in
   let got = ref [] in
@@ -220,7 +220,7 @@ let test_async_try_collect () =
   in
   let session =
     Ulipc.Session.create ~kernel ~costs:Costs.default ~multiprocessor:false
-      ~kind:Ulipc.Protocol_kind.BSW ~nclients:1 ~capacity:8
+      ~kind:Ulipc.Protocol_kind.BSW ~nclients:1 ~capacity:8 ()
   in
   let observed_empty = ref false in
   let collected = ref (-1) in
@@ -405,7 +405,7 @@ let bulk_fixture ~nclients ~kind =
   in
   let session =
     Ulipc.Session.create ~kernel ~costs:Ulipc_machines.Sgi_indy.costs
-      ~multiprocessor:false ~kind ~nclients ~capacity:32
+      ~multiprocessor:false ~kind ~nclients ~capacity:32 ()
   in
   (kernel, Ulipc.Bulk.create session ~arena_size:4096)
 
@@ -450,7 +450,7 @@ let test_bulk_arena_backpressure () =
   let session =
     Ulipc.Session.create ~kernel ~costs:Ulipc_machines.Sgi_indy.costs
       ~multiprocessor:false ~kind:Ulipc.Protocol_kind.BSW ~nclients:2
-      ~capacity:32
+      ~capacity:32 ()
   in
   let bulk = Ulipc.Bulk.create session ~arena_size:700 in
   let per_client = 15 in
@@ -550,7 +550,7 @@ let test_guard_survives_malicious_client () =
   let session =
     Ulipc.Session.create ~kernel ~costs:Ulipc_machines.Sgi_indy.costs
       ~multiprocessor:false ~kind:Ulipc.Protocol_kind.BSW ~nclients:2
-      ~capacity:32
+      ~capacity:32 ()
   in
   let guard = Ulipc.Guard.create session Ulipc.Guard.default_policy in
   let honest_messages = 60 and garbage = 30 in
@@ -605,7 +605,7 @@ let test_guard_credit_bound () =
   let session =
     Ulipc.Session.create ~kernel ~costs:Ulipc_machines.Sgi_indy.costs
       ~multiprocessor:false ~kind:Ulipc.Protocol_kind.BSW ~nclients:2
-      ~capacity:32
+      ~capacity:32 ()
   in
   let guard =
     Ulipc.Guard.create session

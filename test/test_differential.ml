@@ -34,7 +34,7 @@ let run_sim waiting (traces : int list array) =
   in
   let session =
     Ulipc.Session.create ~kernel ~costs:Ulipc_machines.Sgi_indy.costs
-      ~multiprocessor:false ~kind:(sim_kind_of waiting) ~nclients ~capacity:8
+      ~multiprocessor:false ~kind:(sim_kind_of waiting) ~nclients ~capacity:8 ()
   in
   let total = Array.fold_left (fun acc l -> acc + List.length l) 0 traces in
   let _server =

@@ -133,7 +133,7 @@ let test_histogram_merge_across_domains () =
 let test_trace_ring_bounds () =
   let sink = Ulipc_real.Trace_ring.create ~capacity:8 () in
   for i = 1 to 20 do
-    Ulipc_real.Trace_ring.record sink Ulipc_real.Trace_ring.Enqueue ~chan:i
+    Ulipc_real.Trace_ring.record sink Ulipc_observe.Event.Enqueue ~chan:i
   done;
   Alcotest.(check int) "recorded" 20 (Ulipc_real.Trace_ring.recorded sink);
   Alcotest.(check int) "dropped" 12 (Ulipc_real.Trace_ring.dropped sink);
@@ -143,7 +143,13 @@ let test_trace_ring_bounds () =
   Alcotest.(check (list int))
     "oldest-to-newest"
     [ 13; 14; 15; 16; 17; 18; 19; 20 ]
-    (List.map (fun e -> e.Ulipc_real.Trace_ring.chan) events);
+    (List.map (fun e -> e.Ulipc_observe.Event.chan) events);
+  (* Ring drops oldest-first, so retained per-actor seqs stay contiguous
+     — the property Trace_analysis.Seq_gap relies on. *)
+  Alcotest.(check (list int))
+    "sequence numbers contiguous"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun e -> e.Ulipc_observe.Event.seq) events);
   Alcotest.check_raises "bad capacity"
     (Invalid_argument "Trace_ring.create: capacity must be positive")
     (fun () -> ignore (Ulipc_real.Trace_ring.create ~capacity:0 ()))
@@ -161,27 +167,44 @@ let test_trace_through_real_run () =
     (List.length events);
   let count k =
     List.length
-      (List.filter (fun e -> e.Trace_ring.kind = k) events)
+      (List.filter (fun e -> e.Ulipc_observe.Event.kind = k) events)
   in
   (* Every request and every reply is one enqueue and one dequeue. *)
   let total = 2 * nclients * messages in
-  Alcotest.(check int) "enqueue events" total (count Trace_ring.Enqueue);
-  Alcotest.(check int) "dequeue events" total (count Trace_ring.Dequeue);
+  Alcotest.(check int) "enqueue events" total
+    (count Ulipc_observe.Event.Enqueue);
+  Alcotest.(check int) "dequeue events" total
+    (count Ulipc_observe.Event.Dequeue);
   (* Every completed block consumed a wake; raced wakes are drained
-     without blocking, so wakes dominate blocks. *)
+     without blocking (and show up as Wake_drain), so wakes dominate
+     blocks. *)
   Alcotest.(check bool)
-    (Printf.sprintf "wakes (%d) >= blocks (%d)" (count Trace_ring.Wake)
-       (count Trace_ring.Block))
+    (Printf.sprintf "wakes (%d) >= blocks (%d)"
+       (count Ulipc_observe.Event.Wake)
+       (count Ulipc_observe.Event.Block))
     true
-    (count Trace_ring.Wake >= count Trace_ring.Block);
+    (count Ulipc_observe.Event.Wake >= count Ulipc_observe.Event.Block);
   List.iter
     (fun e ->
       Alcotest.(check bool) "channel id in range" true
-        (e.Trace_ring.chan >= -1 && e.Trace_ring.chan < nclients))
+        (e.Ulipc_observe.Event.chan >= -1
+        && e.Ulipc_observe.Event.chan < nclients))
     events;
-  let ts = List.map (fun e -> e.Trace_ring.t_us) events in
+  let ts = List.map (fun e -> e.Ulipc_observe.Event.t_us) events in
   Alcotest.(check bool) "timestamps sorted" true
-    (List.sort Float.compare ts = ts)
+    (List.sort Float.compare ts = ts);
+  (* The unified analysis over a real run: the invariant checker must
+     come back clean and every block must have recovered a wake pair. *)
+  let report =
+    Ulipc_observe.Trace_analysis.analyse
+      ~complete:(Trace_ring.dropped sink = 0)
+      events
+  in
+  Alcotest.(check (list string))
+    "no invariant violations" []
+    (List.map
+       (Fmt.str "%a" Ulipc_observe.Trace_analysis.pp_violation)
+       report.Ulipc_observe.Trace_analysis.violations)
 
 (* ------------------------------------------------------------------ *)
 (* Real_driver latency *)
@@ -215,157 +238,21 @@ let test_real_driver_latency transport () =
 (* ------------------------------------------------------------------ *)
 (* Bench_json: emitted file parses as JSON, percentiles are non-null *)
 
-(* A deliberately small JSON reader — objects, arrays, strings, numbers,
-   true/false/null — so the test validates real syntax (a raw [nan]
-   token fails the parse) without a JSON dependency. *)
-type json =
-  | J_null
-  | J_bool of bool
-  | J_num of float
-  | J_str of string
-  | J_arr of json list
-  | J_obj of (string * json) list
+(* The shared minimal reader (Ulipc_observe.Json_min) validates real
+   syntax — a raw [nan] token fails the parse — without a JSON
+   dependency.  Thin wrappers turn parse/lookup failures into test
+   failures. *)
+module J = Ulipc_observe.Json_min
 
 let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = failwith (Printf.sprintf "json: %s at %d" msg !pos) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let skip_ws () =
-    while
-      !pos < n
-      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-    do
-      incr pos
-    done
-  in
-  let expect c =
-    if peek () = Some c then incr pos
-    else fail (Printf.sprintf "expected %c" c)
-  in
-  let literal lit v =
-    let len = String.length lit in
-    if n - !pos >= len && String.sub s !pos len = lit then begin
-      pos := !pos + len;
-      v
-    end
-    else fail ("expected " ^ lit)
-  in
-  let string_lit () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string";
-      match s.[!pos] with
-      | '"' ->
-        incr pos;
-        Buffer.contents b
-      | '\\' ->
-        incr pos;
-        if !pos >= n then fail "bad escape";
-        (match s.[!pos] with
-        | '"' -> Buffer.add_char b '"'
-        | '\\' -> Buffer.add_char b '\\'
-        | '/' -> Buffer.add_char b '/'
-        | 'n' -> Buffer.add_char b '\n'
-        | 't' -> Buffer.add_char b '\t'
-        | 'r' -> Buffer.add_char b '\r'
-        | 'b' -> Buffer.add_char b '\b'
-        | 'f' -> Buffer.add_char b '\012'
-        | 'u' ->
-          if !pos + 4 >= n then fail "bad unicode escape";
-          pos := !pos + 4;
-          Buffer.add_char b '?'
-        | _ -> fail "bad escape");
-        incr pos;
-        go ()
-      | c ->
-        Buffer.add_char b c;
-        incr pos;
-        go ()
-    in
-    go ()
-  in
-  let number () =
-    let start = !pos in
-    let num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while !pos < n && num_char s.[!pos] do
-      incr pos
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      incr pos;
-      skip_ws ();
-      if peek () = Some '}' then begin
-        incr pos;
-        J_obj []
-      end
-      else
-        let rec members acc =
-          skip_ws ();
-          let k = string_lit () in
-          skip_ws ();
-          expect ':';
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            incr pos;
-            members ((k, v) :: acc)
-          | Some '}' ->
-            incr pos;
-            J_obj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected , or } in object"
-        in
-        members []
-    | Some '[' ->
-      incr pos;
-      skip_ws ();
-      if peek () = Some ']' then begin
-        incr pos;
-        J_arr []
-      end
-      else
-        let rec items acc =
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            incr pos;
-            items (v :: acc)
-          | Some ']' ->
-            incr pos;
-            J_arr (List.rev (v :: acc))
-          | _ -> fail "expected , or ] in array"
-        in
-        items []
-    | Some '"' -> J_str (string_lit ())
-    | Some 't' -> literal "true" (J_bool true)
-    | Some 'f' -> literal "false" (J_bool false)
-    | Some 'n' -> literal "null" J_null
-    | Some _ -> J_num (number ())
-    | None -> fail "unexpected end of input"
-  in
-  let v = value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
+  match J.parse_result s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "json parse: %s" msg
 
-let member k = function
-  | J_obj kvs -> (
-    match List.assoc_opt k kvs with
-    | Some v -> v
-    | None -> Alcotest.failf "missing field %S" k)
-  | _ -> Alcotest.failf "not an object looking up %S" k
+let member k j =
+  match J.member_opt k j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S" k
 
 let test_json_float_non_finite () =
   Alcotest.(check string) "nan" "null" (Bench_json.json_float nan);
@@ -393,22 +280,22 @@ let test_bench_json_roundtrip () =
   Sys.remove path;
   let j = parse_json contents in
   (match member "schema" j with
-  | J_str "ulipc-bench-real/3" -> ()
+  | J.Str "ulipc-bench-real/4" -> ()
   | _ -> Alcotest.fail "wrong schema");
   (match member "micro_ns_per_op" j with
-  | J_arr rows ->
+  | J.Arr rows ->
     let ns name =
       member "ns_per_op"
-        (List.find (fun r -> member "name" r = J_str name) rows)
+        (List.find (fun r -> member "name" r = J.Str name) rows)
     in
     (match ns "spsc pair" with
-    | J_num v -> Alcotest.(check (float 1e-6)) "finite ns survives" 25.1 v
+    | J.Num v -> Alcotest.(check (float 1e-6)) "finite ns survives" 25.1 v
     | _ -> Alcotest.fail "finite ns row not a number");
-    Alcotest.(check bool) "nan serialises as null" true (ns "nan row" = J_null);
-    Alcotest.(check bool) "inf serialises as null" true (ns "inf row" = J_null)
+    Alcotest.(check bool) "nan serialises as null" true (ns "nan row" = J.Null);
+    Alcotest.(check bool) "inf serialises as null" true (ns "inf row" = J.Null)
   | _ -> Alcotest.fail "micro_ns_per_op not an array");
   match member "real_driver" j with
-  | J_arr rows ->
+  | J.Arr rows ->
     Alcotest.(check int) "one row per transport" (List.length transports)
       (List.length rows);
     List.iter
@@ -416,7 +303,7 @@ let test_bench_json_roundtrip () =
         (* The acceptance criterion: non-null latency percentiles. *)
         let num k =
           match member k row with
-          | J_num v -> v
+          | J.Num v -> v
           | _ -> Alcotest.failf "%s is not a number" k
         in
         let p50 = num "latency_p50_us" in
@@ -429,13 +316,22 @@ let test_bench_json_roundtrip () =
         (* Schema 3: depth column, and a measured (finite, in-range)
            utilization instead of schema 2's null. *)
         (match member "depth" row with
-        | J_num d -> Alcotest.(check (float 0.0)) "depth" 1.0 d
+        | J.Num d -> Alcotest.(check (float 0.0)) "depth" 1.0 d
         | _ -> Alcotest.fail "depth is not a number");
         let u = num "utilization" in
         Alcotest.(check bool)
           (Printf.sprintf "utilization in [0,1] (%.3f)" u)
           true
-          (u >= 0.0 && u <= 1.0))
+          (u >= 0.0 && u <= 1.0);
+        (* Schema 4: wake-latency percentiles recovered from the trace.
+           The rows are BSW (a blocking protocol), so they must be
+           non-null, non-negative and ordered. *)
+        let w50 = num "wake_latency_p50_us" in
+        let w99 = num "wake_latency_p99_us" in
+        Alcotest.(check bool)
+          (Printf.sprintf "wake latency ordered (%.1f/%.1f)" w50 w99)
+          true
+          (0.0 <= w50 && w50 <= w99))
       rows
   | _ -> Alcotest.fail "real_driver not an array"
 
