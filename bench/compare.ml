@@ -2,7 +2,7 @@
 
      dune exec bench/compare.exe -- BASELINE.json CURRENT.json [--factor F]
 
-   Reads the micro_ns_per_op rows of both files (schema ulipc-bench-real/4,
+   Reads the micro_ns_per_op rows of both files (schema ulipc-bench-real/5,
    the exact line-per-row layout Bench_json.write emits — this is a
    purpose-built scanner, not a JSON parser) and fails with exit code 1 if
    any row present in both is more than F times slower in CURRENT than in

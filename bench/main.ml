@@ -218,7 +218,7 @@ let micro_tests () =
       ~free:ignore
       (Staged.stage (fun q ->
            ignore (Ulipc_real.Spsc_ring.enqueue q 1 : bool);
-           ignore (Ulipc_real.Spsc_ring.dequeue q : int option)))
+           ignore (Ulipc_real.Spsc_ring.dequeue q : int)))
   in
   let mpsc_pair =
     Test.make_with_resource ~name:"mpsc_ring enqueue+dequeue" Test.uniq
@@ -226,19 +226,29 @@ let micro_tests () =
       ~free:ignore
       (Staged.stage (fun q ->
            ignore (Ulipc_real.Mpsc_ring.enqueue q 1 : bool);
-           ignore (Ulipc_real.Mpsc_ring.dequeue q : int option)))
+           ignore (Ulipc_real.Mpsc_ring.dequeue q : int)))
   in
-  (* Batch rows push 8 messages per span claim; ns/op is divided by 8
-     after analysis (micro_rows) so the row reads per message, directly
-     comparable with the single-op row above it. *)
-  let eight = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let slab_pair =
+    Test.make_with_resource ~name:"slab alloc+release" Test.uniq
+      ~allocate:(fun () -> Ulipc_real.Slab.create ~slots:64 ())
+      ~free:ignore
+      (Staged.stage (fun s ->
+           Ulipc_real.Slab.release s (Ulipc_real.Slab.try_alloc s)))
+  in
+  (* Batch rows push 8 messages per span claim (the ring rows through
+     flat array spans, a shared scratch is fine single-threaded); ns/op
+     is divided by 8 after analysis (micro_rows) so the row reads per
+     message, directly comparable with the single-op row above it. *)
+  let eight_list = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let eight = [| 1; 2; 3; 4; 5; 6; 7; 8 |] in
+  let scratch8 = Array.make 8 0 in
   let queue_batch =
     Test.make_with_resource ~name:"tl_queue batch-8 enqueue+dequeue"
       Test.uniq
       ~allocate:(fun () -> Ulipc_real.Tl_queue.create ~capacity:64 ())
       ~free:ignore
       (Staged.stage (fun q ->
-           ignore (Ulipc_real.Tl_queue.enqueue_batch q eight : int);
+           ignore (Ulipc_real.Tl_queue.enqueue_batch q eight_list : int);
            ignore (Ulipc_real.Tl_queue.dequeue_batch q ~max:8 : int list)))
   in
   let spsc_batch =
@@ -247,8 +257,24 @@ let micro_tests () =
       ~allocate:(fun () -> Ulipc_real.Spsc_ring.create ~capacity:64 ())
       ~free:ignore
       (Staged.stage (fun q ->
-           ignore (Ulipc_real.Spsc_ring.enqueue_batch q eight : int);
-           ignore (Ulipc_real.Spsc_ring.dequeue_batch q ~max:8 : int list)))
+           ignore (Ulipc_real.Spsc_ring.enqueue_batch q eight ~pos:0 ~len:8 : int);
+           ignore
+             (Ulipc_real.Spsc_ring.dequeue_batch q scratch8 ~pos:0 ~max:8 : int)))
+  in
+  (* Torquati multipush: eight producer-local appends, one index
+     publish (the eighth append auto-flushes at the buffer bound). *)
+  let spsc_multipush =
+    Test.make_with_resource ~name:"spsc_ring multipush-8 local+flush+dequeue"
+      Test.uniq
+      ~allocate:(fun () -> Ulipc_real.Spsc_ring.create ~capacity:64 ())
+      ~free:ignore
+      (Staged.stage (fun q ->
+           for v = 1 to 8 do
+             ignore (Ulipc_real.Spsc_ring.enqueue_local q v : bool)
+           done;
+           ignore (Ulipc_real.Spsc_ring.flush q : bool);
+           ignore
+             (Ulipc_real.Spsc_ring.dequeue_batch q scratch8 ~pos:0 ~max:8 : int)))
   in
   let mpsc_batch =
     Test.make_with_resource ~name:"mpsc_ring batch-8 enqueue+dequeue"
@@ -256,8 +282,9 @@ let micro_tests () =
       ~allocate:(fun () -> Ulipc_real.Mpsc_ring.create ~capacity:64 ())
       ~free:ignore
       (Staged.stage (fun q ->
-           ignore (Ulipc_real.Mpsc_ring.enqueue_batch q eight : int);
-           ignore (Ulipc_real.Mpsc_ring.dequeue_batch q ~max:8 : int list)))
+           ignore (Ulipc_real.Mpsc_ring.enqueue_batch q eight ~pos:0 ~len:8 : int);
+           ignore
+             (Ulipc_real.Mpsc_ring.dequeue_batch q scratch8 ~pos:0 ~max:8 : int)))
   in
   let sem_pair =
     Test.make_with_resource ~name:"rsem V+P" Test.uniq
@@ -284,23 +311,29 @@ let micro_tests () =
       (Staged.stage (fun f -> ignore (Atomic.exchange f true : bool)))
   in
   let round_trip name transport waiting =
-    (* Resource: a live echo server domain; -1 asks it to exit. *)
+    (* Resource: a live echo server domain on the in-place [serve] path
+       (the zero-allocation server turn); -1 asks it to exit.  Immediate
+       int codecs keep the payload in the slot's unboxed data field, so
+       the measured round-trip is the index-passing hot path. *)
     let name = Printf.sprintf "%s [%s]" name (transport_name transport) in
     Test.make_with_resource ~name Test.uniq
       ~allocate:(fun () ->
         let t : (int, int) Ulipc_real.Rpc.t =
-          Ulipc_real.Rpc.create ~transport ~nclients:1 waiting
+          Ulipc_real.Rpc.create ~transport ~req_codec:Ulipc_real.Rpc.int_codec
+            ~rep_codec:Ulipc_real.Rpc.int_codec ~nclients:1 waiting
         in
         let d =
           Domain.spawn (fun () ->
-              let rec serve () =
-                match Ulipc_real.Rpc.receive t with
-                | client, -1 -> Ulipc_real.Rpc.reply t ~client (-1)
-                | client, v ->
-                  Ulipc_real.Rpc.reply t ~client (v + 1);
-                  serve ()
+              (* Bind the handler once: a closure built inside the loop
+                 would be allocated per serve turn. *)
+              let stop = ref false in
+              let handler ~client:_ v =
+                if v = -1 then stop := true;
+                v + 1
               in
-              serve ())
+              while not !stop do
+                Ulipc_real.Rpc.serve t handler
+              done)
         in
         (t, d))
       ~free:(fun (t, d) ->
@@ -310,8 +343,8 @@ let micro_tests () =
            ignore (Ulipc_real.Rpc.send t ~client:0 42 : int)))
   in
   [
-    queue_pair; queue_batch; spsc_pair; spsc_batch; mpsc_pair; mpsc_batch;
-    sem_pair; sem_vn; tas;
+    queue_pair; queue_batch; spsc_pair; spsc_batch; spsc_multipush; mpsc_pair;
+    mpsc_batch; slab_pair; sem_pair; sem_vn; tas;
   ]
   @ List.concat_map
       (fun transport ->
@@ -353,15 +386,16 @@ let micro_rows ~quick () =
         | Some [] | None -> acc)
       results []
   in
-  (* Batch tests move 8 messages per run: report them per message. *)
+  (* Batch and multipush tests move 8 messages per run: report them per
+     message. *)
   let per_message (name, ns) =
-    let is_batch =
-      let sub = "batch-8" in
+    let contains sub =
       let n = String.length name and k = String.length sub in
       let rec scan i = i + k <= n && (String.sub name i k = sub || scan (i + 1)) in
       scan 0
     in
-    if is_batch then (name, ns /. 8.0) else (name, ns)
+    if contains "batch-8" || contains "multipush-8" then (name, ns /. 8.0)
+    else (name, ns)
   in
   List.sort compare (List.map per_message rows)
 

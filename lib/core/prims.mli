@@ -35,11 +35,16 @@ val wake_consumer : Session.t -> Channel.t -> target:side -> bool
 val spinning_dequeue : Session.t -> Channel.t -> Message.t
 (** The BSS consumer: [while (!dequeue(Q)) busy_wait()]. *)
 
+type empty_hint = No_hint | Hint_busy_wait | Hint_handoff_server
+(** The scheduling hint run between a failed first dequeue (C.1) and the
+    awake-flag clear (C.2) — an enumeration, not a closure, so hinted
+    consumers allocate nothing. *)
+
 val blocking_dequeue :
   Session.t ->
   Channel.t ->
   side:side ->
-  ?on_empty:(unit -> unit) ->
+  ?on_empty:empty_hint ->
   unit ->
   Message.t
 (** The consumer sequence C.1–C.5 of Figure 4 as hardened in Figure 5:

@@ -34,15 +34,25 @@ module Make (S : Substrate.S) = struct
       end
       else false
 
-    let spinning_dequeue s ch =
-      let rec loop () =
-        match S.dequeue s ch with
-        | Some m -> m
-        | None ->
-          S.busy_wait s;
-          loop ()
-      in
-      loop ()
+    (* Emptiness is the [S.no_msg] sentinel, compared physically: for
+       immediate messages (the real backend's slab indices) [==] is
+       value equality and costs one compare, for boxed messages it is a
+       pointer compare against the substrate's one distinguished block —
+       either way the empty path allocates nothing, where an option
+       return would box every successful dequeue.
+
+       The wait loops below are module-level recursive functions, not
+       local [let rec]s: a local loop would capture its environment in a
+       closure allocated on every call (this project does not assume
+       flambda), and these loops ARE the per-message consumer path of
+       the zero-allocation message plane. *)
+    let rec spinning_dequeue s ch =
+      let m = S.dequeue s ch in
+      if m != S.no_msg then m
+      else begin
+        S.busy_wait s;
+        spinning_dequeue s ch
+      end
 
     let count_block s = function
       | Client ->
@@ -68,58 +78,74 @@ module Make (S : Substrate.S) = struct
         done
       end
 
-    let blocking_dequeue s ch ~side ?(on_empty = fun () -> ()) () =
-      let rec outer () =
-        match S.dequeue s ch with (* C.1 *)
-        | Some m -> m
-        | None ->
-          on_empty ();
-          S.awake_clear s ch;
-          (* C.2 *)
-          (match S.dequeue s ch with (* C.3 *)
-          | None ->
-            count_block s side;
-            S.sem_p s ch;
-            (* C.4 *)
-            S.awake_set s ch;
-            (* C.5 *)
-            outer ()
-          | Some m ->
-            drain_raced_wakeup s ch;
-            m)
-      in
-      outer ()
+    (* What to do between a failed first dequeue (C.1) and clearing the
+       awake flag (C.2): nothing (BSW), the §2.1 busy-wait hint (BSWY,
+       BSLS) or the §6 hand-off (HANDOFF).  An enumeration rather than a
+       closure on purpose — a [~on_empty:(fun () -> ...)] argument
+       capturing the substrate would allocate a closure on every
+       consumer call, and the zero-copy message plane promises an
+       allocation-free round-trip. *)
+    type empty_hint = No_hint | Hint_busy_wait | Hint_handoff_server
+
+    let rec blocking_loop s ch ~side on_empty =
+      let m = S.dequeue s ch in
+      (* C.1 *)
+      if m != S.no_msg then m
+      else begin
+        (match on_empty with
+        | No_hint -> ()
+        | Hint_busy_wait -> S.busy_wait s
+        | Hint_handoff_server -> S.handoff_server s);
+        S.awake_clear s ch;
+        (* C.2 *)
+        let m = S.dequeue s ch in
+        (* C.3 *)
+        if m != S.no_msg then begin
+          drain_raced_wakeup s ch;
+          m
+        end
+        else begin
+          count_block s side;
+          S.sem_p s ch;
+          (* C.4 *)
+          S.awake_set s ch;
+          (* C.5 *)
+          blocking_loop s ch ~side on_empty
+        end
+      end
+
+    let blocking_dequeue s ch ~side ?(on_empty = No_hint) () =
+      blocking_loop s ch ~side on_empty
+
+    let bump_spin_iter s side =
+      let c = S.counters s in
+      match side with
+      | Client -> c.Counters.spin_iterations <- c.Counters.spin_iterations + 1
+      | Server ->
+        c.Counters.server_spin_iterations <-
+          c.Counters.server_spin_iterations + 1
+
+    let bump_spin_fall s ch side =
+      let c = S.counters s in
+      (match side with
+      | Client ->
+        c.Counters.spin_fallthroughs <- c.Counters.spin_fallthroughs + 1
+      | Server ->
+        c.Counters.server_spin_fallthroughs <-
+          c.Counters.server_spin_fallthroughs + 1);
+      S.note_spin_exhausted s ch
+
+    let rec limited_spin_loop s ch ~side ~max_spin spincnt =
+      if S.queue_is_empty s ch then
+        if spincnt < max_spin then begin
+          bump_spin_iter s side;
+          S.poll s ch;
+          limited_spin_loop s ch ~side ~max_spin (spincnt + 1)
+        end
+        else bump_spin_fall s ch side
 
     let limited_spin s ch ~side ~max_spin =
-      let bump_iter () =
-        let c = S.counters s in
-        match side with
-        | Client ->
-          c.Counters.spin_iterations <- c.Counters.spin_iterations + 1
-        | Server ->
-          c.Counters.server_spin_iterations <-
-            c.Counters.server_spin_iterations + 1
-      in
-      let bump_fall () =
-        let c = S.counters s in
-        (match side with
-        | Client ->
-          c.Counters.spin_fallthroughs <- c.Counters.spin_fallthroughs + 1
-        | Server ->
-          c.Counters.server_spin_fallthroughs <-
-            c.Counters.server_spin_fallthroughs + 1);
-        S.note_spin_exhausted s ch
-      in
-      let rec loop spincnt =
-        if S.queue_is_empty s ch then
-          if spincnt < max_spin then begin
-            bump_iter ();
-            S.poll s ch;
-            loop (spincnt + 1)
-          end
-          else bump_fall ()
-      in
-      loop 0
+      limited_spin_loop s ch ~side ~max_spin 0
   end
 
   let bump_sends s =
@@ -190,25 +216,26 @@ module Make (S : Substrate.S) = struct
         S.busy_wait s;
       let ans =
         Prims.blocking_dequeue s reply_ch ~side:Prims.Client
-          ~on_empty:(fun () -> S.busy_wait s)
-          ()
+          ~on_empty:Prims.Hint_busy_wait ()
       in
       bump_sends s;
       ans
 
     let receive s =
-      match S.dequeue s (S.request s) with
-      | Some m ->
+      let m = S.dequeue s (S.request s) in
+      if m != S.no_msg then begin
         (* Requests pending: keep processing rather than give up the CPU —
            this is what lets the server batch under multiple clients. *)
         bump_receives s;
         m
-      | None ->
+      end
+      else begin
         S.yield s;
         (* let the clients run *)
         let m = Prims.blocking_dequeue s (S.request s) ~side:Prims.Server () in
         bump_receives s;
         m
+      end
 
     let reply s ~client msg =
       let ch = S.reply_channel s client in
@@ -227,8 +254,7 @@ module Make (S : Substrate.S) = struct
       Prims.limited_spin s reply_ch ~side:Prims.Client ~max_spin;
       let ans =
         Prims.blocking_dequeue s reply_ch ~side:Prims.Client
-          ~on_empty:(fun () -> S.busy_wait s)
-          ()
+          ~on_empty:Prims.Hint_busy_wait ()
       in
       bump_sends s;
       ans
@@ -256,23 +282,24 @@ module Make (S : Substrate.S) = struct
         S.handoff_server s;
       let ans =
         Prims.blocking_dequeue s reply_ch ~side:Prims.Client
-          ~on_empty:(fun () -> S.handoff_server s)
-          ()
+          ~on_empty:Prims.Hint_handoff_server ()
       in
       bump_sends s;
       ans
 
     let receive s =
-      match S.dequeue s (S.request s) with
-      | Some m ->
+      let m = S.dequeue s (S.request s) in
+      if m != S.no_msg then begin
         bump_receives s;
         m
-      | None ->
+      end
+      else begin
         S.handoff_any s;
         (* let the clients run *)
         let m = Prims.blocking_dequeue s (S.request s) ~side:Prims.Server () in
         bump_receives s;
         m
+      end
 
     let reply s ~client msg =
       let ch = S.reply_channel s client in

@@ -24,8 +24,14 @@ module Make (S : Substrate.S) : sig
     val wake_consumer : S.t -> S.channel -> target:side -> bool
     val spinning_dequeue : S.t -> S.channel -> S.msg
 
+    type empty_hint = No_hint | Hint_busy_wait | Hint_handoff_server
+    (** The scheduling hint run between a failed first dequeue (C.1) and
+        clearing the awake flag: nothing, the §2.1 busy-wait (BSWY,
+        BSLS), or the §6 hand-off.  An enumeration, not a closure, so
+        hinted consumers stay allocation-free. *)
+
     val blocking_dequeue :
-      S.t -> S.channel -> side:side -> ?on_empty:(unit -> unit) -> unit -> S.msg
+      S.t -> S.channel -> side:side -> ?on_empty:empty_hint -> unit -> S.msg
 
     val limited_spin : S.t -> S.channel -> side:side -> max_spin:int -> unit
   end

@@ -20,6 +20,12 @@ type t = Session.t
 type channel = Channel.t
 type msg = Message.t
 
+(* The simulator keeps its boxed Message.t view; the conversion seam to
+   the core's sentinel-based dequeue is this one distinguished block,
+   compared physically.  It is allocated once here and never enqueued,
+   so [==] can only be true for the sentinel itself. *)
+let no_msg : msg = Message.make ~opcode:(Custom (-1)) ~reply_chan:(-1) nan
+
 let now_us (s : Session.t) = Sim_time.to_us (Kernel.now s.Session.kernel)
 
 let emit_at (s : Session.t) (ch : channel) kind ~t_us =
@@ -48,11 +54,11 @@ let enqueue (s : t) (ch : channel) m =
     ok
 
 let dequeue (s : t) (ch : channel) =
-  let m = Ms_queue.dequeue ch.Channel.queue in
-  (match m with
-  | Some _ -> emit s ch Ulipc_observe.Event.Dequeue
-  | None -> ());
-  m
+  match Ms_queue.dequeue ch.Channel.queue with
+  | Some m ->
+    emit s ch Ulipc_observe.Event.Dequeue;
+    m
+  | None -> no_msg
 
 let queue_is_empty (_ : t) (ch : channel) = Ms_queue.is_empty ch.Channel.queue
 let awake_test_and_set (_ : t) ch = Mem.Flag.test_and_set ch.Channel.awake

@@ -23,6 +23,14 @@ module type S = sig
   type msg
   (** What the queues carry. *)
 
+  val no_msg : msg
+  (** The "no message" sentinel {!dequeue} returns on an empty queue —
+      a distinguished value compared with physical equality ([==]), so
+      substrates whose messages are immediates (the real backend passes
+      slab slot indices, with [no_msg = -1]) report emptiness without
+      allocating an option, and substrates with boxed messages use one
+      distinguished block.  [no_msg] must never be enqueued. *)
+
   (** {2 Session shape} *)
 
   val request : t -> channel
@@ -37,7 +45,9 @@ module type S = sig
   val enqueue : t -> channel -> msg -> bool
   (** [false] when the queue is full (the flow-control condition). *)
 
-  val dequeue : t -> channel -> msg option
+  val dequeue : t -> channel -> msg
+  (** The oldest message, or [no_msg] (test with [==]) when the queue
+      is empty. *)
 
   val queue_is_empty : t -> channel -> bool
   (** Cheap emptiness hint, as used by the polling loops. *)

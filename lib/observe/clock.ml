@@ -1,3 +1,5 @@
 external now_us : unit -> (float[@unboxed])
   = "ulipc_monotonic_us_byte" "ulipc_monotonic_us"
 [@@noalloc]
+
+external now_ns : unit -> int = "ulipc_monotonic_ns" [@@noalloc]

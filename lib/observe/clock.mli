@@ -9,3 +9,10 @@ external now_us : unit -> (float[@unboxed])
   = "ulipc_monotonic_us_byte" "ulipc_monotonic_us"
 [@@noalloc]
 (** Microseconds since an arbitrary fixed origin; never steps backwards. *)
+
+external now_ns : unit -> int = "ulipc_monotonic_ns" [@@noalloc]
+(** Nanoseconds since an arbitrary fixed origin, as an immediate int —
+    the variant for hot paths that must stay off the minor heap: unlike
+    a float, the result remains immediate through any downstream
+    comparison, subtraction or storage in an int array.  Same clock as
+    {!now_us}. *)

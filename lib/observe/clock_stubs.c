@@ -2,9 +2,16 @@
  *
  * CLOCK_MONOTONIC is immune to NTP steps and settimeofday, so events
  * recorded on different domains merge in true order even while the wall
- * clock is being disciplined.  Returned as a double in microseconds to
- * match the trace schema; the native variant is unboxed and noalloc so
- * the hot recording path costs one vDSO call and no GC work.
+ * clock is being disciplined.  Two variants share the clock read:
+ *
+ *   - microseconds as a double, matching the trace schema (the native
+ *     variant is unboxed and noalloc so recording costs one vDSO call
+ *     and no GC work);
+ *   - nanoseconds as a tagged OCaml int (Val_long), for hot paths that
+ *     must not touch the minor heap at all: a float return is unboxed
+ *     only across the external itself, while an int stays immediate
+ *     through any amount of downstream arithmetic.  62 signed bits of
+ *     nanoseconds overflow after ~73 years of uptime.
  */
 
 #include <caml/alloc.h>
@@ -34,4 +41,18 @@ CAMLprim double ulipc_monotonic_us(value unit)
 CAMLprim value ulipc_monotonic_us_byte(value unit)
 {
   return caml_copy_double(ulipc_monotonic_us(unit));
+}
+
+CAMLprim value ulipc_monotonic_ns(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+#else
+  struct timeval tv;
+  gettimeofday(&tv, NULL);
+  return Val_long((intnat)tv.tv_sec * 1000000000 + (intnat)tv.tv_usec * 1000);
+#endif
 }

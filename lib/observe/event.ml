@@ -16,6 +16,27 @@ let kind_name = function
   | Handoff -> "handoff"
   | Spin_exhaust -> "spin-exhaust"
 
+(* Dense int codes so allocation-free recorders (Trace_ring) can store a
+   kind in a flat int array and rebuild the constructor at drain time. *)
+let kind_tag = function
+  | Enqueue -> 0
+  | Dequeue -> 1
+  | Block -> 2
+  | Wake -> 3
+  | Wake_drain -> 4
+  | Handoff -> 5
+  | Spin_exhaust -> 6
+
+let kind_of_tag = function
+  | 0 -> Enqueue
+  | 1 -> Dequeue
+  | 2 -> Block
+  | 3 -> Wake
+  | 4 -> Wake_drain
+  | 5 -> Handoff
+  | 6 -> Spin_exhaust
+  | n -> invalid_arg (Printf.sprintf "Event.kind_of_tag: %d" n)
+
 type t = { t_us : float; actor : int; seq : int; chan : int; kind : kind }
 
 let compare a b =

@@ -25,6 +25,14 @@ type kind =
 
 val kind_name : kind -> string
 
+val kind_tag : kind -> int
+(** Dense int code of a kind (0-based, stable), so allocation-free
+    recorders can store kinds in flat int arrays. *)
+
+val kind_of_tag : int -> kind
+(** Inverse of {!kind_tag}.
+    @raise Invalid_argument on an unknown code. *)
+
 type t = {
   t_us : float;
       (** timestamp in µs: CLOCK_MONOTONIC on the real backend,

@@ -25,11 +25,17 @@
 
    An episode is the run of failed waits since this domain last made
    progress (a successful enqueue or dequeue); progress resets the
-   spin count and the sleep duration. *)
+   spin count and the sleep duration.
+
+   All state and arithmetic are integer nanoseconds, and the park is a
+   direct nanosleep stub taking a tagged int: the sleep path allocates
+   nothing (a [Unix.sleepf] park would box the float duration and every
+   [Float.min/max] bound on it), so backoff never perturbs the zero-
+   allocation message plane it serves. *)
 
 type t = {
   mutable spins : int; (* failed waits this episode *)
-  mutable sleep_s : float; (* next sleep duration, grows exponentially *)
+  mutable sleep_ns : int; (* next sleep duration, grows exponentially *)
   mutable server_side : bool;
       (* the wait in progress is the request channel's consumer *)
 }
@@ -56,16 +62,21 @@ let client_spin_budget = 256
      single park — waking early is worse than oversleeping, because
      each early wake preempts the very domain it is waiting for.
 
-   Both still grow exponentially to their cap, which stays low:
-   [Unix.sleepf] costs floor + requested, so a large cap buys no extra
-   CPU relief but adds its full value to the peer's worst-case wake
-   latency. *)
-let server_min_sleep_s = 1e-6
-let server_max_sleep_s = 1e-5
-let client_min_sleep_s = 2e-5
-let client_max_sleep_s = 5e-5
+   Both still grow exponentially to their cap, which stays low: a park
+   costs floor + requested, so a large cap buys no extra CPU relief but
+   adds its full value to the peer's worst-case wake latency. *)
+let server_min_sleep_ns = 1_000
+let server_max_sleep_ns = 10_000
+let client_min_sleep_ns = 20_000
+let client_max_sleep_ns = 50_000
 
 external set_timerslack_ns : int -> unit = "ulipc_set_timerslack_ns"
+
+external nanosleep_ns : int -> unit = "ulipc_nanosleep_ns"
+(* Not [@@noalloc]: the stub releases the runtime lock around the
+   nanosleep (a sleeper must not stall other domains' GC), which the
+   noalloc calling convention does not allow.  The call itself still
+   allocates nothing — int argument, unit result. *)
 
 let key =
   Domain.DLS.new_key (fun () ->
@@ -74,7 +85,7 @@ let key =
          (~30 µs here) instead of the 50 µs default-slack floor.
          No-op outside Linux. *)
       set_timerslack_ns 1;
-      { spins = 0; sleep_s = 0.0; server_side = false })
+      { spins = 0; sleep_ns = 0; server_side = false })
 
 let get () = Domain.DLS.get key
 
@@ -93,19 +104,19 @@ let wait t =
   end
   else begin
     let lo, hi =
-      if t.server_side then (server_min_sleep_s, server_max_sleep_s)
-      else (client_min_sleep_s, client_max_sleep_s)
+      if t.server_side then (server_min_sleep_ns, server_max_sleep_ns)
+      else (client_min_sleep_ns, client_max_sleep_ns)
     in
-    (* [sleep_s = 0.0] means "fresh episode": start at the role's
+    (* [sleep_ns = 0] means "fresh episode": start at the role's
        minimum; the clamp also handles a role change mid-episode. *)
-    let d = Float.min (Float.max t.sleep_s lo) hi in
-    Unix.sleepf d;
-    t.sleep_s <- Float.min (d *. 2.0) hi;
+    let d = min (max t.sleep_ns lo) hi in
+    nanosleep_ns d;
+    t.sleep_ns <- min (d * 2) hi;
     true
   end
 
 let progress t =
   if t.spins > 0 then begin
     t.spins <- 0;
-    t.sleep_s <- 0.0
+    t.sleep_ns <- 0
   end

@@ -4,9 +4,12 @@
     is the run of failed waits since the domain last made progress.
     Within an episode the first [budget] waits are [Domain.cpu_relax]
     hints; after that each wait is a bounded, exponentially growing
-    [Unix.sleepf] — the portable yield that stops oversubscribed
+    nanosleep — the portable yield that stops oversubscribed
     spinners (BSS on few cores) from burning whole scheduler quanta
-    while the peer they wait for cannot run.
+    while the peer they wait for cannot run.  Durations are integer
+    nanoseconds end to end and the park is a direct [nanosleep] stub,
+    so a backoff step never touches the minor heap (a [Unix.sleepf]
+    park would box its float duration on every step).
 
     The spin budget is small and role-independent — on a single CPU a
     spinning domain is not preempted when its peer wakes, so long spins

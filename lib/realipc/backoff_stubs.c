@@ -10,6 +10,9 @@
 
 #include <caml/mlvalues.h>
 #include <caml/memory.h>
+#include <caml/threads.h>
+#include <time.h>
+#include <errno.h>
 
 #ifdef __linux__
 #include <sys/prctl.h>
@@ -24,4 +27,25 @@ CAMLprim value ulipc_set_timerslack_ns(value ns)
   (void)ns;
 #endif
   CAMLreturn(Val_unit);
+}
+
+/* Allocation-free bounded park: a tagged-int duration straight into
+   nanosleep, releasing the runtime lock so a parked domain never
+   stalls another domain's stop-the-world GC.  The Unix.sleepf
+   alternative boxes its float argument on every call — minor-heap
+   traffic on exactly the paths that must stay allocation-free. */
+CAMLprim value ulipc_nanosleep_ns(value ns)
+{
+  struct timespec req;
+  intnat d = Long_val(ns);
+  if (d > 0) {
+    req.tv_sec = d / 1000000000;
+    req.tv_nsec = d % 1000000000;
+    caml_release_runtime_system();
+    /* A signal can cut the park short; that only means an earlier
+       retry of the caller's wait loop, so no EINTR resume here. */
+    nanosleep(&req, NULL);
+    caml_acquire_runtime_system();
+  }
+  return Val_unit;
 }

@@ -1,8 +1,9 @@
 (* Bounded multi-producer/single-consumer ring: Vyukov's bounded queue
-   specialised to one consumer.  Producers claim a slot by CAS-ing the
-   tail ticket; each slot carries a sequence number that says which lap
-   of the ring it is ready for, so a claimed-but-unfilled slot is
-   distinguishable from a filled one without any lock:
+   specialised to one consumer, over flat arrays.  Producers claim a
+   slot by CAS-ing the tail ticket; each slot carries a sequence number
+   that says which lap of the ring it is ready for, so a
+   claimed-but-unfilled slot is distinguishable from a filled one
+   without any lock:
 
      seq = index            the slot is free for the producer holding
                             ticket [index];
@@ -14,6 +15,14 @@
    The consumer owns [head] outright (single consumer), so dequeue does
    no CAS at all: check the head slot's sequence, take the value, bump
    the sequence a full lap, bump head.
+
+   The values live in a flat [int array] (non-negative immediates —
+   slab indices on the message plane), published by the per-slot
+   sequence bump exactly as the old record field was: the plain value
+   store happens before the releasing [Atomic.set] on the slot's
+   sequence, and the consumer reads the value only after acquiring that
+   sequence.  No ['a option] box, no write barrier, no allocation;
+   dequeue returns [-1] when empty.
 
    Flow control is exact against the logical [cap] (which may be smaller
    than the power-of-two slot count): a producer first checks
@@ -28,16 +37,28 @@
    every producer issues its wake-up only after its own enqueue completes,
    so the hole's owner is the one that wakes the consumer it stalled. *)
 
-type 'a slot = { mutable value : 'a option; seq : int Atomic.t }
-
-type 'a t = {
-  slots : 'a slot array;
+type t = {
+  values : int array;
+  seqs : int Atomic.t array;
   mask : int;
   ring : int;
   cap : int;
   tail : int Atomic.t; (* producers' ticket counter (CAS) *)
   head : int Atomic.t; (* next read index; written by the consumer only *)
 }
+
+let nil = -1
+
+(* Plain store/load into an atomic's cell — the x86-TSO publication
+   spelling discussed at length in spsc_ring.ml: the producers' ticket
+   CAS stays a real CAS (that is the synchronisation), but the stores
+   that *follow* a won ticket (value, then sequence) and the single
+   consumer's recycle/head stores are ordered by TSO alone, so
+   [Atomic.set]'s full fence on each is pure overhead.  Same-unit so
+   they inline to the bare mov.  On a weakly-ordered target revert to
+   [Atomic.set]/[Atomic.get]. *)
+let fenceless_set (r : int Atomic.t) (v : int) = (Obj.magic r : int ref) := v
+let fenceless_get (r : int Atomic.t) : int = !(Obj.magic r : int ref)
 
 let rec ceil_pow2 n acc = if acc >= n then acc else ceil_pow2 n (acc * 2)
 
@@ -46,7 +67,8 @@ let create ~capacity () =
     invalid_arg "Mpsc_ring.create: capacity must be positive";
   let ring = ceil_pow2 capacity 1 in
   {
-    slots = Array.init ring (fun i -> { value = None; seq = Atomic.make i });
+    values = Array.make ring 0;
+    seqs = Array.init ring Atomic.make;
     mask = ring - 1;
     ring;
     cap = capacity;
@@ -56,106 +78,117 @@ let create ~capacity () =
 
 let capacity q = q.cap
 
-let rec enqueue q v =
+let rec raw_enqueue q v =
   let tail = Atomic.get q.tail in
-  if tail - Atomic.get q.head >= q.cap then false
+  if tail - fenceless_get q.head >= q.cap then false
   else begin
-    let slot = q.slots.(tail land q.mask) in
-    let seq = Atomic.get slot.seq in
+    let i = tail land q.mask in
+    let seq = Atomic.get (Array.unsafe_get q.seqs i) in
     if seq = tail then
       if Atomic.compare_and_set q.tail tail (tail + 1) then begin
         (* Ticket won: the slot is ours alone.  The plain value store is
            published by the sequence bump. *)
-        slot.value <- Some v;
-        Atomic.set slot.seq (tail + 1);
+        Array.unsafe_set q.values i v;
+        fenceless_set (Array.unsafe_get q.seqs i) (tail + 1);
         true
       end
-      else enqueue q v (* lost the ticket race; retry *)
+      else raw_enqueue q v (* lost the ticket race; retry *)
     else if seq - tail < 0 then
       (* Still occupied from the previous lap: full at ring granularity
          (unreachable after the exact check above, kept as the Vyukov
          fallback). *)
       false
-    else enqueue q v (* another producer advanced tail; reload *)
+    else raw_enqueue q v (* another producer advanced tail; reload *)
   end
+
+let enqueue q v =
+  if v < 0 then invalid_arg "Mpsc_ring.enqueue: negative value";
+  raw_enqueue q v
 
 (* Single consumer: no competition for [head].  The sequence is bumped a
    full lap *before* head so that a producer passing the exact capacity
    check always finds the slot recycled (see the ordering argument in
    enqueue's full check). *)
 let dequeue q =
-  let head = Atomic.get q.head in
-  let slot = q.slots.(head land q.mask) in
-  if Atomic.get slot.seq = head + 1 then begin
-    let v = slot.value in
-    slot.value <- None;
-    Atomic.set slot.seq (head + q.ring);
-    Atomic.set q.head (head + 1);
+  let head = fenceless_get q.head in
+  let i = head land q.mask in
+  if Atomic.get (Array.unsafe_get q.seqs i) = head + 1 then begin
+    let v = Array.unsafe_get q.values i in
+    fenceless_set (Array.unsafe_get q.seqs i) (head + q.ring);
+    fenceless_set q.head (head + 1);
     v
   end
-  else None
+  else nil
 
 (* Batch enqueue: claim a span of [k] tickets with ONE tail CAS, then
    fill and publish the slots in ascending index order so the consumer
-   can drain the batch progressively.  The claim is safe for the same
-   reason the single-op claim is: [k <= cap - (tail - head)] and
-   [cap <= ring] together guarantee every claimed slot's previous lap
-   was already consumed (its sequence recycled before [head] passed it),
-   so no per-slot sequence check is needed before the CAS.  A producer
-   descheduled mid-fill leaves a [k]-slot hole, tolerated exactly as the
-   single-op hole is: the batch's wake-up is only issued after the whole
-   fill completes. *)
-let rec enqueue_batch q vs =
-  match vs with
-  | [] -> 0
-  | vs ->
+   can drain the batch progressively.  The span length is a parameter
+   (the list API this replaces paid a List.length traversal to learn it
+   before the claim CAS, then traversed again to fill).  The claim is
+   safe for the same reason the single-op claim is:
+   [k <= cap - (tail - head)] and [cap <= ring] together guarantee every
+   claimed slot's previous lap was already consumed (its sequence
+   recycled before [head] passed it), so no per-slot sequence check is
+   needed before the CAS.  A producer descheduled mid-fill leaves a
+   [k]-slot hole, tolerated exactly as the single-op hole is: the
+   batch's wake-up is only issued after the whole fill completes. *)
+(* Top-level recursion, not a local [let rec]: a local claim loop would
+   capture the queue and the span and be allocated on every batch (no
+   flambda to lift it). *)
+let rec claim_batch q vs ~pos ~len =
+  if len = 0 then 0
+  else begin
     let tail = Atomic.get q.tail in
-    let head = Atomic.get q.head in
+    let head = fenceless_get q.head in
     let free = q.cap - (tail - head) in
-    let k = min (List.length vs) free in
+    let k = min len free in
     if k <= 0 then 0
     else if Atomic.compare_and_set q.tail tail (tail + k) then begin
-      let rec fill i = function
-        | v :: rest when i < k ->
-          let idx = tail + i in
-          let slot = q.slots.(idx land q.mask) in
-          slot.value <- Some v;
-          Atomic.set slot.seq (idx + 1);
-          fill (i + 1) rest
-        | _ -> ()
-      in
-      fill 0 vs;
+      for i = 0 to k - 1 do
+        let idx = tail + i in
+        let j = idx land q.mask in
+        Array.unsafe_set q.values j (Array.unsafe_get vs (pos + i));
+        fenceless_set (Array.unsafe_get q.seqs j) (idx + 1)
+      done;
       k
     end
-    else enqueue_batch q vs (* lost the ticket race; reload *)
+    else claim_batch q vs ~pos ~len (* lost the ticket race; reload *)
+  end
+
+let enqueue_batch q vs ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length vs then
+    invalid_arg "Mpsc_ring.enqueue_batch: bad span";
+  for i = pos to pos + len - 1 do
+    if vs.(i) < 0 then invalid_arg "Mpsc_ring.enqueue_batch: negative value"
+  done;
+  claim_batch q vs ~pos ~len
 
 (* Batch dequeue (single consumer): take every ready slot from [head]
-   up to [max], recycle each sequence a full lap as it is emptied, and
-   publish [head] ONCE at the end — after all the recycles, preserving
-   the seq-before-head ordering the producers' capacity check relies
-   on. *)
-let dequeue_batch q ~max =
-  if max < 0 then invalid_arg "Mpsc_ring.dequeue_batch: negative max";
-  let head = Atomic.get q.head in
-  let rec take i acc =
-    if i >= max then (i, acc)
-    else begin
-      let idx = head + i in
-      let slot = q.slots.(idx land q.mask) in
-      if Atomic.get slot.seq = idx + 1 then begin
-        let v = slot.value in
-        slot.value <- None;
-        Atomic.set slot.seq (idx + q.ring);
-        match v with
-        | Some v -> take (i + 1) (v :: acc)
-        | None -> assert false (* published slots always hold a value *)
-      end
-      else (i, acc)
+   up to [max] into the caller's buffer, recycle each sequence a full
+   lap as it is emptied, and publish [head] ONCE at the end — after all
+   the recycles, preserving the seq-before-head ordering the producers'
+   capacity check relies on. *)
+let rec take_batch q buf ~pos ~max ~head i =
+  if i >= max then i
+  else begin
+    let idx = head + i in
+    let j = idx land q.mask in
+    if Atomic.get (Array.unsafe_get q.seqs j) = idx + 1 then begin
+      Array.unsafe_set buf (pos + i) (Array.unsafe_get q.values j);
+      fenceless_set (Array.unsafe_get q.seqs j) (idx + q.ring);
+      take_batch q buf ~pos ~max ~head (i + 1)
     end
-  in
-  let k, acc = take 0 [] in
-  if k > 0 then Atomic.set q.head (head + k);
-  List.rev acc
+    else i
+  end
+
+let dequeue_batch q buf ~pos ~max =
+  if max < 0 then invalid_arg "Mpsc_ring.dequeue_batch: negative max";
+  if pos < 0 || pos + max > Array.length buf then
+    invalid_arg "Mpsc_ring.dequeue_batch: bad span";
+  let head = fenceless_get q.head in
+  let k = take_batch q buf ~pos ~max ~head 0 in
+  if k > 0 then fenceless_set q.head (head + k);
+  k
 
 (* Same snapshot ordering invariant as Spsc_ring, with the roles
    swapped: here the occupancy is [tail - head] and the single consumer

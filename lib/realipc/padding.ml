@@ -21,3 +21,4 @@ let copy_padded (v : 'a) : 'a =
     Obj.set_field dst i (Obj.repr 0)
   done;
   Obj.obj dst
+

@@ -18,3 +18,4 @@ val copy_padded : 'a -> 'a
     only address field 0 — e.g. an ['a Atomic.t] or an ['a ref] — and
     must not yet be shared with another domain.  Use at structure
     creation time only. *)
+

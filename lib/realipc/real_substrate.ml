@@ -1,8 +1,15 @@
 (* The real-OCaml-5-domains instantiation of Ulipc.Substrate.S: a
    selectable queue transport, a bool Atomic.t for the awake flag, a
    Mutex/Condition counting semaphore, and pause-hint delay loops for
-   every scheduling hint.  Messages are Univ.t so one (monomorphic)
-   functor application in Rpc serves every ('req, 'rep) session.
+   every scheduling hint.
+
+   Messages are slab slot indices (immediate ints): the substrate owns a
+   {!Slab} of preallocated payload slots, producers fill a slot's flat
+   fields and pass only its index through the queue, and the consumer
+   reads the fields back out by index.  Queue emptiness is the [no_msg]
+   sentinel (-1), never an option — so the steady-state data path
+   touches no heap: no message records, no option boxing, no queue
+   nodes (on the ring transport).
 
    Two transports implement the queue primitives.  [Two_lock] is the
    paper's Michael & Scott two-lock queue (Tl_queue): safe for any mix of
@@ -18,19 +25,17 @@
    counters seam, so the protocol core stays untouched: an optional
    Trace_ring sink records the unified Ulipc_observe.Event schema
    (enqueue/dequeue/block/wake/drain/handoff/spin-exhaust) with
-   CLOCK_MONOTONIC timestamps into per-domain bounded rings.  With no
-   sink attached the hot path pays one option match per operation. *)
-
-open Ulipc_engine
+   CLOCK_MONOTONIC timestamps into per-domain flat bounded rings.  With
+   no sink attached the hot path pays one option match per operation. *)
 
 type transport = Two_lock | Ring
 
 let transport_name = function Two_lock -> "two-lock" | Ring -> "ring"
 
 type queue =
-  | Q_two_lock of Univ.t Tl_queue.t
-  | Q_spsc of Univ.t Spsc_ring.t
-  | Q_mpsc of Univ.t Mpsc_ring.t
+  | Q_two_lock of int Tl_queue.t
+  | Q_spsc of Spsc_ring.t
+  | Q_mpsc of Mpsc_ring.t
 
 type channel = {
   queue : queue;
@@ -42,17 +47,20 @@ type channel = {
 type t = {
   request_ch : channel;
   replies : channel array;
+  slab : Slab.t;
   transport : transport;
   counters : Ulipc.Counters.t;
   trace : Trace_ring.t option;
 }
 
-type msg = Univ.t
+type msg = int
+
+let no_msg = Slab.nil (* -1: an index no slab ever hands out *)
 
 let make_channel ~chan_id queue =
   { queue; awake = Atomic.make true; sem = Rsem.create 0; chan_id }
 
-let create ?(transport = Ring) ?trace ~capacity ~nclients () =
+let create ?(transport = Ring) ?trace ?slots ~capacity ~nclients () =
   let request_queue =
     match transport with
     | Two_lock -> Q_two_lock (Tl_queue.create ~capacity ())
@@ -63,10 +71,19 @@ let create ?(transport = Ring) ?trace ~capacity ~nclients () =
     | Two_lock -> Q_two_lock (Tl_queue.create ~capacity ())
     | Ring -> Q_spsc (Spsc_ring.create ~capacity ())
   in
+  (* Default slab sizing: every channel full plus one in-flight slot per
+     endpoint can never exhaust it, so the protocols' flow control (the
+     bounded queues) is what callers observe, not slab pressure. *)
+  let slots =
+    match slots with
+    | Some n -> n
+    | None -> (nclients + 1) * (capacity + 1)
+  in
   {
     request_ch = make_channel ~chan_id:(-1) request_queue;
     replies =
       Array.init nclients (fun i -> make_channel ~chan_id:i (reply_queue ()));
+    slab = Slab.create ~slots ();
     transport;
     counters = Ulipc.Counters.create ();
     trace;
@@ -74,6 +91,7 @@ let create ?(transport = Ring) ?trace ~capacity ~nclients () =
 
 let transport t = t.transport
 let trace t = t.trace
+let slab t = t.slab
 let request t = t.request_ch
 let nclients t = Array.length t.replies
 
@@ -87,10 +105,10 @@ let emit t ch kind =
   | None -> ()
   | Some sink -> Trace_ring.record sink kind ~chan:ch.chan_id
 
-let emit_at t ch kind ~t_us =
+let emit_at t ch kind ~t_ns =
   match t.trace with
   | None -> ()
-  | Some sink -> Trace_ring.record_at sink kind ~t_us ~chan:ch.chan_id
+  | Some sink -> Trace_ring.record_at sink kind ~t_ns ~chan:ch.chan_id
 
 (* Producer-side events (Enqueue, Wake) are stamped *before* the
    operation and consumer-side Dequeues *after* it: a producer
@@ -98,7 +116,7 @@ let emit_at t ch kind ~t_us =
    otherwise let the consumer's dequeue carry the earlier timestamp, and
    the merged stream would show the effect before its cause. *)
 let pre_stamp t =
-  match t.trace with None -> 0.0 | Some _ -> Ulipc_observe.Clock.now_us ()
+  match t.trace with None -> 0 | Some _ -> Ulipc_observe.Clock.now_ns ()
 
 (* Every queue operation reports to the calling domain's backoff state:
    success ends the waiting episode, failure tags the wait's role (the
@@ -108,7 +126,7 @@ let pre_stamp t =
    Substrate.S seam. *)
 
 let enqueue t ch m =
-  let t_us = pre_stamp t in
+  let t_ns = pre_stamp t in
   let ok =
     match ch.queue with
     | Q_two_lock q -> Tl_queue.enqueue q m
@@ -117,7 +135,7 @@ let enqueue t ch m =
   in
   if ok then begin
     Backoff.progress (Backoff.get ());
-    emit_at t ch Ulipc_observe.Event.Enqueue ~t_us
+    emit_at t ch Ulipc_observe.Event.Enqueue ~t_ns
   end
   else Backoff.note_role (Backoff.get ()) ~server_side:false;
   ok
@@ -125,53 +143,93 @@ let enqueue t ch m =
 let dequeue t ch =
   let m =
     match ch.queue with
-    | Q_two_lock q -> Tl_queue.dequeue q
+    | Q_two_lock q -> (
+      match Tl_queue.dequeue q with Some v -> v | None -> no_msg)
     | Q_spsc q -> Spsc_ring.dequeue q
     | Q_mpsc q -> Mpsc_ring.dequeue q
   in
-  (match m with
-  | Some _ ->
+  if m != no_msg then begin
     Backoff.progress (Backoff.get ());
     emit t ch Ulipc_observe.Event.Dequeue
-  | None ->
-    Backoff.note_role (Backoff.get ()) ~server_side:(ch.chan_id = -1));
+  end
+  else Backoff.note_role (Backoff.get ()) ~server_side:(ch.chan_id = -1);
   m
 
-(* Batch variants: one span claim on the queue, one trace event per
-   message, one backoff progress per batch. *)
+(* Multipush seam (Torquati): [enqueue_local] parks the index in the
+   SPSC ring's producer-private buffer — invisible to the consumer and
+   free of any shared write — and [flush_local] publishes every parked
+   index with one head store.  Callers must flush before waking the
+   consumer, or the wake-up races a message it cannot yet see.  On the
+   other queue kinds the pair degrades to plain enqueue / no-op, so the
+   batched plane in Rpc is transport-oblivious. *)
 
-let enqueue_many t ch ms =
-  let t_us = pre_stamp t in
+let enqueue_local t ch m =
+  match ch.queue with
+  | Q_spsc q ->
+    let t_ns = pre_stamp t in
+    let ok = Spsc_ring.enqueue_local q m in
+    if ok then begin
+      Backoff.progress (Backoff.get ());
+      emit_at t ch Ulipc_observe.Event.Enqueue ~t_ns
+    end
+    else Backoff.note_role (Backoff.get ()) ~server_side:false;
+    ok
+  | Q_two_lock _ | Q_mpsc _ -> enqueue t ch m
+
+let flush_local _ ch =
+  match ch.queue with
+  | Q_spsc q -> Spsc_ring.flush q
+  | Q_two_lock _ | Q_mpsc _ -> true
+
+(* Batch variants: one span claim on the queue, one trace event per
+   message, one backoff progress per batch.  Array-based — the spans
+   live in caller-owned scratch buffers, so a batch round-trip builds
+   no lists. *)
+
+let enqueue_many t ch vs ~pos ~len =
+  let t_ns = pre_stamp t in
   let k =
     match ch.queue with
-    | Q_two_lock q -> Tl_queue.enqueue_batch q ms
-    | Q_spsc q -> Spsc_ring.enqueue_batch q ms
-    | Q_mpsc q -> Mpsc_ring.enqueue_batch q ms
+    | Q_two_lock q ->
+      let rec to_list i acc =
+        if i < pos then acc else to_list (i - 1) (vs.(i) :: acc)
+      in
+      if len < 0 || pos < 0 || pos + len > Array.length vs then
+        invalid_arg "Real_substrate.enqueue_many: bad span";
+      Tl_queue.enqueue_batch q (to_list (pos + len - 1) [])
+    | Q_spsc q -> Spsc_ring.enqueue_batch q vs ~pos ~len
+    | Q_mpsc q -> Mpsc_ring.enqueue_batch q vs ~pos ~len
   in
   if k > 0 then begin
     Backoff.progress (Backoff.get ());
     for _ = 1 to k do
-      emit_at t ch Ulipc_observe.Event.Enqueue ~t_us
+      emit_at t ch Ulipc_observe.Event.Enqueue ~t_ns
     done
   end
-  else if ms <> [] then Backoff.note_role (Backoff.get ()) ~server_side:false;
+  else if len > 0 then Backoff.note_role (Backoff.get ()) ~server_side:false;
   k
 
-let dequeue_many t ch ~max =
-  let ms =
+let dequeue_many t ch ~buf ~pos ~max =
+  let k =
     match ch.queue with
-    | Q_two_lock q -> Tl_queue.dequeue_batch q ~max
-    | Q_spsc q -> Spsc_ring.dequeue_batch q ~max
-    | Q_mpsc q -> Mpsc_ring.dequeue_batch q ~max
+    | Q_two_lock q ->
+      if max < 0 || pos < 0 || pos + max > Array.length buf then
+        invalid_arg "Real_substrate.dequeue_many: bad span";
+      let ms = Tl_queue.dequeue_batch q ~max in
+      List.iteri (fun i v -> buf.(pos + i) <- v) ms;
+      List.length ms
+    | Q_spsc q -> Spsc_ring.dequeue_batch q buf ~pos ~max
+    | Q_mpsc q -> Mpsc_ring.dequeue_batch q buf ~pos ~max
   in
-  (match ms with
-  | _ :: _ ->
+  if k > 0 then begin
     Backoff.progress (Backoff.get ());
-    List.iter (fun _ -> emit t ch Ulipc_observe.Event.Dequeue) ms
-  | [] ->
-    if max > 0 then
-      Backoff.note_role (Backoff.get ()) ~server_side:(ch.chan_id = -1));
-  ms
+    for _ = 1 to k do
+      emit t ch Ulipc_observe.Event.Dequeue
+    done
+  end
+  else if max > 0 then
+    Backoff.note_role (Backoff.get ()) ~server_side:(ch.chan_id = -1);
+  k
 
 let queue_is_empty _ ch =
   match ch.queue with
@@ -214,7 +272,7 @@ let sem_v_n t ch n =
    burns its whole timeslice while the producer holds the only core).
    [busy_wait] and [flow_sleep] therefore delegate to the per-domain
    {!Backoff} state: a role-sized pause-hint budget first, then bounded
-   exponential [Unix.sleepf] so the peer actually gets the core.  Each
+   exponential nanosleep so the peer actually gets the core.  Each
    completed sleep is recorded in the substrate counters.  [poll] stays a
    single pause hint — BSLS accounts its own bounded spin. *)
 let slept t =

@@ -2,10 +2,16 @@
 
     A selectable queue transport for the data path, [bool Atomic.t] for
     the awake flags, {!Rsem} for the counting semaphores,
-    [Domain.cpu_relax] delay hints for every busy-wait.  Messages are
-    {!Ulipc_engine.Univ.t}, so the single
+    [Domain.cpu_relax] delay hints for every busy-wait.
+
+    Messages are slab slot {e indices} (immediate ints): the substrate
+    owns a {!Slab} of preallocated payload slots, producers fill a
+    slot's flat fields and enqueue only its index, and consumers read
+    the fields back out by index — so the steady-state data path
+    allocates nothing on the minor heap.  The single
     [Ulipc.Protocol_core.Make (Real_substrate)] application in {!Rpc}
-    serves sessions of every request/reply type. *)
+    still serves sessions of every request/reply type, via codecs that
+    marshal typed payloads into slot fields. *)
 
 type transport =
   | Two_lock
@@ -25,28 +31,39 @@ val transport_name : transport -> string
 
 type t
 type channel
-type msg = Ulipc_engine.Univ.t
+
+type msg = int
+(** A {!Slab} slot index; {!Ulipc.Substrate.S.no_msg} is [-1]. *)
 
 val create :
   ?transport:transport ->
   ?trace:Trace_ring.t ->
+  ?slots:int ->
   capacity:int ->
   nclients:int ->
   unit ->
   t
 (** One request channel plus [nclients] reply channels, each bounded by
-    [capacity], and a fresh {!Ulipc.Counters} sink.  [transport]
-    (default {!Ring}) selects the queue implementation under every
-    channel.  [trace] attaches an event-trace sink: every successful
-    enqueue/dequeue, every semaphore block/wake and every handoff hint is
-    recorded with a timestamp into the calling domain's bounded ring —
-    instrumentation on the substrate side of the [Substrate.S] seam, like
-    the counters, so the protocol core is untouched. *)
+    [capacity], one payload {!Slab} of [slots] slots (default
+    [(nclients + 1) * (capacity + 1)]: every channel full plus one
+    in-flight slot per endpoint can never exhaust it), and a fresh
+    {!Ulipc.Counters} sink.  [transport] (default {!Ring}) selects the
+    queue implementation under every channel.  [trace] attaches an
+    event-trace sink: every successful enqueue/dequeue, every semaphore
+    block/wake and every handoff hint is recorded with a timestamp into
+    the calling domain's bounded ring — instrumentation on the substrate
+    side of the [Substrate.S] seam, like the counters, so the protocol
+    core is untouched. *)
 
 val transport : t -> transport
 
 val trace : t -> Trace_ring.t option
 (** The sink given at {!create} time, for post-run draining. *)
+
+val slab : t -> Slab.t
+(** The payload slab all channels pass indices into.  {!Rpc} owns the
+    slot lifecycle (acquire/fill/pass/release); tests may inspect
+    [Slab.in_use_count] at quiescence. *)
 
 val nclients : t -> int
 
@@ -58,18 +75,31 @@ val wake_residue : t -> int
 (** {1 Batch data path}
 
     Outside the [Substrate.S] seam (the protocol core stays untouched):
-    the pipelined fast path in {!Rpc} uses these to move [k] messages
-    per atomic span claim and coalesce [k] wake-ups into one. *)
+    the pipelined fast path in {!Rpc} uses these to move [k] slot
+    indices per atomic span claim and coalesce [k] wake-ups into one.
+    Spans live in caller-owned scratch arrays, so a batched round-trip
+    builds no lists. *)
 
-val enqueue_many : t -> channel -> msg list -> int
-(** Enqueue a prefix of the list with one span claim on the transport
-    ({!Spsc_ring.enqueue_batch} / {!Mpsc_ring.enqueue_batch} /
-    {!Tl_queue.enqueue_batch}); returns how many were accepted.  One
-    trace event per message. *)
+val enqueue_many : t -> channel -> msg array -> pos:int -> len:int -> int
+(** Enqueue a prefix of [vs.(pos .. pos+len-1)] with one span claim on
+    the transport ({!Spsc_ring.enqueue_batch} /
+    {!Mpsc_ring.enqueue_batch} / {!Tl_queue.enqueue_batch}); returns how
+    many were accepted.  One trace event per message. *)
 
-val dequeue_many : t -> channel -> max:int -> msg list
-(** Dequeue up to [max] messages with one span claim (FIFO, possibly
-    empty). *)
+val dequeue_many : t -> channel -> buf:msg array -> pos:int -> max:int -> int
+(** Dequeue up to [max] indices into [buf.(pos ..)] with one span claim;
+    returns how many were taken (FIFO, possibly 0). *)
+
+val enqueue_local : t -> channel -> msg -> bool
+(** Torquati multipush: park the index in the SPSC producer-private
+    buffer — no shared write, invisible to the consumer until
+    {!flush_local}.  On non-SPSC channels this is plain {!enqueue}.
+    Callers must flush before waking the consumer. *)
+
+val flush_local : t -> channel -> bool
+(** Publish every parked index with one head store; [false] when the
+    ring lacks room (the indices stay parked).  [true] and a no-op on
+    non-SPSC channels. *)
 
 val sem_v_n : t -> channel -> int -> unit
 (** Publish [n] semaphore credits with at most one wake-up

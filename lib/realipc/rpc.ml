@@ -5,9 +5,19 @@
    real-domains substrate and routes each call to the protocol selected at
    create time.  The producer steps P.1–P.3, the consumer sequence
    C.1–C.5, the raced-wake-up drain and the poll loops are the very same
-   code the simulator runs. *)
+   code the simulator runs.
 
-open Ulipc_engine
+   What this module does own is the slot lifecycle of the zero-copy
+   message plane.  The queues carry slab slot indices (Real_substrate's
+   [msg = int]); a codec pair marshals the session's typed payloads into
+   a slot's flat fields.  Ownership of a slot follows the message: the
+   sender allocates and fills it, the queue transfer hands it over, and
+   the receiver reads and releases it (or, in [serve], refills it in
+   place for the reply).  On the ring transport a steady-state
+   round-trip with immediate payloads therefore allocates nothing on the
+   minor heap — no message records, no options, no closures, no queue
+   nodes. *)
+
 module P = Ulipc.Protocol_core.Make (Real_substrate)
 
 type waiting =
@@ -18,6 +28,25 @@ type waiting =
   | Handoff
   | Adaptive of int
 
+type 'a codec = {
+  write : Slab.t -> int -> 'a -> unit;
+  read : Slab.t -> int -> 'a;
+}
+
+(* The generality Univ used to provide, moved into the slot: arbitrary
+   boxed payloads ride the slab's box field.  The dynamic check Univ did
+   per message is replaced by the session invariant that each channel
+   direction only ever carries its own codec's encoding — enforced by
+   the ('req, 'rep) phantom on [t], not at runtime. *)
+let boxed_codec () =
+  {
+    write = (fun slab i v -> Slab.set_box slab i (Obj.repr v));
+    read = (fun slab i -> Obj.obj (Slab.get_box slab i));
+  }
+
+let int_codec = { write = Slab.set_data; read = Slab.get_data }
+let float_codec = { write = Slab.set_arg; read = Slab.get_arg }
+
 type ('req, 'rep) t = {
   waiting : waiting;
   sub : Real_substrate.t;
@@ -26,13 +55,17 @@ type ('req, 'rep) t = {
          (read/written by the server only), slot [i+1] reply channel [i]
          (its owning client only) — Atomic for cross-domain publication,
          never contended. *)
-  inject_req : int * 'req -> Univ.t;
-  project_req : Univ.t -> (int * 'req) option;
-  inject_rep : 'rep -> Univ.t;
-  project_rep : Univ.t -> 'rep option;
+  req_codec : 'req codec;
+  rep_codec : 'rep codec;
+  server_scratch : int array;
+      (* span buffer for the server's batch drains; server domain only *)
+  client_scratch : int array array;
+      (* span buffer per client, for its bursts and batch collects;
+         owned by the client domain of that number *)
 }
 
-let create ?(capacity = 64) ?transport ?trace ~nclients waiting =
+let create ?(capacity = 64) ?transport ?trace ?slots ?req_codec ?rep_codec
+    ~nclients waiting =
   if nclients <= 0 then invalid_arg "Rpc.create: nclients must be positive";
   if capacity <= 0 then invalid_arg "Rpc.create: capacity must be positive";
   (match waiting with
@@ -52,34 +85,68 @@ let create ?(capacity = 64) ?transport ?trace ~nclients waiting =
     | Adaptive _ when Domain.recommended_domain_count () <= 1 -> Adaptive 0
     | w -> w
   in
-  let inject_req, project_req = Univ.embed () in
-  let inject_rep, project_rep = Univ.embed () in
+  let req_codec =
+    match req_codec with Some c -> c | None -> boxed_codec ()
+  in
+  let rep_codec =
+    match rep_codec with Some c -> c | None -> boxed_codec ()
+  in
   {
     waiting;
-    sub = Real_substrate.create ?transport ?trace ~capacity ~nclients ();
+    sub = Real_substrate.create ?transport ?trace ?slots ~capacity ~nclients ();
     adapt = Array.init (nclients + 1) (fun _ -> Atomic.make 0);
-    inject_req;
-    project_req;
-    inject_rep;
-    project_rep;
+    req_codec;
+    rep_codec;
+    server_scratch = Array.make capacity 0;
+    client_scratch = Array.init nclients (fun _ -> Array.make capacity 0);
   }
 
 let nclients t = Real_substrate.nclients t.sub
 let transport t = Real_substrate.transport t.sub
 let trace t = Real_substrate.trace t.sub
+let slab t = Real_substrate.slab t.sub
 let counters t = Real_substrate.counters t.sub
 let wake_residue t = Real_substrate.wake_residue t.sub
 
-(* Channels only ever carry the embedding of their direction, so a failed
-   projection is a bug in this module, not a user error. *)
-let project_rep t m =
-  match t.project_rep m with Some v -> v | None -> assert false
-
-let project_req t m =
-  match t.project_req m with Some v -> v | None -> assert false
-
 let check_client t client =
   ignore (Real_substrate.reply_channel t.sub client : Real_substrate.channel)
+
+let ctrs t = Real_substrate.counters t.sub
+
+let bump_sends t k =
+  let c = ctrs t in
+  c.Ulipc.Counters.sends <- c.Ulipc.Counters.sends + k
+
+let bump_receives t k =
+  let c = ctrs t in
+  c.Ulipc.Counters.receives <- c.Ulipc.Counters.receives + k
+
+let bump_replies t k =
+  let c = ctrs t in
+  c.Ulipc.Counters.replies <- c.Ulipc.Counters.replies + k
+
+let bump_full_sleep t =
+  let c = ctrs t in
+  c.Ulipc.Counters.queue_full_sleeps <- c.Ulipc.Counters.queue_full_sleeps + 1
+
+(* Slab exhaustion is flow control, one layer under the full-queue case:
+   every slot is riding a queue or held by a busy peer, so the sender
+   backs off exactly as it would for a full queue.  Unreachable with the
+   default slab sizing (every queue full plus one slot per endpoint fits)
+   — only a deliberately small [slots] hits this. *)
+let rec alloc_slot t =
+  (* Top-level recursion: a local retry closure would allocate per call
+     on the otherwise allocation-free send path (no flambda). *)
+  let i = Slab.try_alloc (Real_substrate.slab t.sub) in
+  if i >= 0 then i
+  else begin
+    (match t.waiting with
+    | Spin -> P.Prims.busy_wait t.sub
+    | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
+      bump_full_sleep t;
+      Real_substrate.flow_sleep t.sub);
+    alloc_slot t
+  end
 
 (* Adaptive BSLS: the BSLS code path with a per-channel MAX_SPIN that
    tracks the observed spin-success rate.  A spin episode that ends with
@@ -103,7 +170,8 @@ let check_client t client =
    every descheduled spin a miss, so on a saturated host the budget
    decays to 0 and ADAPT converges to BSW.  The clock must be monotonic:
    a wall-clock step during the spin would read as a huge (or negative)
-   elapsed time and poison the learned budget. *)
+   elapsed time and poison the learned budget.  Integer nanoseconds end
+   to end ([Clock.now_ns]) so the guard allocates no floats. *)
 let adaptive_dequeue t ch ~slot ~cap ~side =
   if cap = 0 then P.Prims.blocking_dequeue t.sub ch ~side ()
   else begin
@@ -111,63 +179,46 @@ let adaptive_dequeue t ch ~slot ~cap ~side =
     let productive =
       if cur = 0 then not (Real_substrate.queue_is_empty t.sub ch)
       else begin
-        let t0 = Ulipc_observe.Clock.now_us () in
+        let t0 = Ulipc_observe.Clock.now_ns () in
         P.Prims.limited_spin t.sub ch ~side ~max_spin:cur;
-        let spin_us = Ulipc_observe.Clock.now_us () -. t0 in
+        let spin_ns = Ulipc_observe.Clock.now_ns () - t0 in
         (* ~10 ns per cpu_relax iteration plus 1 µs of clock-granularity
            slack: a genuine early exit sits under this, while even one
            context-switch round (the cheapest way off the CPU and back)
            costs several µs and lands over it. *)
         (not (Real_substrate.queue_is_empty t.sub ch))
-        && spin_us < 1.0 +. (float_of_int cur *. 1e-2)
+        && spin_ns < 1_000 + (cur * 10)
       end
     in
     if productive then Atomic.set slot (min cap ((2 * cur) + 8))
     else Atomic.set slot (cur / 2);
-    P.Prims.blocking_dequeue t.sub ch ~side
-      ~on_empty:(fun () -> P.Prims.busy_wait t.sub)
-      ()
+    P.Prims.blocking_dequeue t.sub ch ~side ~on_empty:P.Prims.Hint_busy_wait ()
   end
 
-let ctrs t = Real_substrate.counters t.sub
+(* The raw index planes: protocol dispatch over slot indices.  The
+   typed layer below them is nothing but alloc/fill before and
+   read/release after. *)
 
-let bump_sends t k =
-  let c = ctrs t in
-  c.Ulipc.Counters.sends <- c.Ulipc.Counters.sends + k
-
-let bump_receives t k =
-  let c = ctrs t in
-  c.Ulipc.Counters.receives <- c.Ulipc.Counters.receives + k
-
-let bump_replies t k =
-  let c = ctrs t in
-  c.Ulipc.Counters.replies <- c.Ulipc.Counters.replies + k
-
-let send t ~client req =
-  check_client t client;
-  let m = t.inject_req (client, req) in
-  let ans =
-    match t.waiting with
-    | Spin -> P.Bss.send t.sub ~client m
-    | Block -> P.Bsw.send t.sub ~client m
-    | Block_yield -> P.Bswy.send t.sub ~client m
-    | Limited_spin max_spin -> P.Bsls.send t.sub ~client ~max_spin m
-    | Handoff -> P.Handoff.send t.sub ~client m
-    | Adaptive cap ->
-      let request = Real_substrate.request t.sub in
-      let reply_ch = Real_substrate.reply_channel t.sub client in
-      P.Prims.flow_enqueue t.sub request m;
-      let (_ : bool) =
-        P.Prims.wake_consumer t.sub request ~target:P.Prims.Server
-      in
-      let ans =
-        adaptive_dequeue t reply_ch ~slot:t.adapt.(client + 1) ~cap
-          ~side:P.Prims.Client
-      in
-      bump_sends t 1;
-      ans
-  in
-  project_rep t ans
+let send_msg t ~client m =
+  match t.waiting with
+  | Spin -> P.Bss.send t.sub ~client m
+  | Block -> P.Bsw.send t.sub ~client m
+  | Block_yield -> P.Bswy.send t.sub ~client m
+  | Limited_spin max_spin -> P.Bsls.send t.sub ~client ~max_spin m
+  | Handoff -> P.Handoff.send t.sub ~client m
+  | Adaptive cap ->
+    let request = Real_substrate.request t.sub in
+    let reply_ch = Real_substrate.reply_channel t.sub client in
+    P.Prims.flow_enqueue t.sub request m;
+    let (_ : bool) =
+      P.Prims.wake_consumer t.sub request ~target:P.Prims.Server
+    in
+    let ans =
+      adaptive_dequeue t reply_ch ~slot:t.adapt.(client + 1) ~cap
+        ~side:P.Prims.Client
+    in
+    bump_sends t 1;
+    ans
 
 let receive_msg t =
   match t.waiting with
@@ -185,10 +236,7 @@ let receive_msg t =
     bump_receives t 1;
     m
 
-let receive t = project_req t (receive_msg t)
-
-let reply t ~client rep =
-  let m = t.inject_rep rep in
+let reply_msg t ~client m =
   match t.waiting with
   | Spin -> P.Bss.reply t.sub ~client m
   | Block -> P.Bsw.reply t.sub ~client m
@@ -197,17 +245,60 @@ let reply t ~client rep =
   | Limited_spin _ | Adaptive _ -> P.Bsls.reply t.sub ~client m
   | Handoff -> P.Handoff.reply t.sub ~client m
 
+let send t ~client req =
+  check_client t client;
+  let slab = Real_substrate.slab t.sub in
+  let i = alloc_slot t in
+  Slab.set_client slab i client;
+  t.req_codec.write slab i req;
+  let j = send_msg t ~client i in
+  let rep = t.rep_codec.read slab j in
+  Slab.release slab j;
+  rep
+
+let call = send
+
+let receive t =
+  let slab = Real_substrate.slab t.sub in
+  let i = receive_msg t in
+  let client = Slab.get_client slab i in
+  let req = t.req_codec.read slab i in
+  Slab.release slab i;
+  (client, req)
+
+let reply t ~client rep =
+  check_client t client;
+  let slab = Real_substrate.slab t.sub in
+  let j = alloc_slot t in
+  t.rep_codec.write slab j rep;
+  reply_msg t ~client j
+
+let serve t f =
+  let slab = Real_substrate.slab t.sub in
+  let i = receive_msg t in
+  let client = Slab.get_client slab i in
+  let rep = f ~client (t.req_codec.read slab i) in
+  (* The request slot becomes the reply slot: the server owns it between
+     its dequeue and the reply enqueue, so refilling in place is safe and
+     saves the release/alloc pair — the whole server turn touches no
+     shared allocator state and no heap. *)
+  t.rep_codec.write slab i rep;
+  reply_msg t ~client i
+
 (* The asynchronous halves, composed from the same shared primitives the
    synchronous protocols use (cf. Ulipc.Async on the simulator side). *)
 
 let post t ~client req =
   check_client t client;
-  let m = t.inject_req (client, req) in
+  let slab = Real_substrate.slab t.sub in
+  let i = alloc_slot t in
+  Slab.set_client slab i client;
+  t.req_codec.write slab i req;
   let request = Real_substrate.request t.sub in
   match t.waiting with
-  | Spin -> P.Prims.spin_enqueue t.sub request m
+  | Spin -> P.Prims.spin_enqueue t.sub request i
   | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
-    P.Prims.flow_enqueue t.sub request m;
+    P.Prims.flow_enqueue t.sub request i;
     ignore (P.Prims.wake_consumer t.sub request ~target:P.Prims.Server : bool)
 
 let collect_msg t ~client =
@@ -217,34 +308,24 @@ let collect_msg t ~client =
   | Block | Handoff -> P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client ()
   | Block_yield ->
     P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client
-      ~on_empty:(fun () -> P.Prims.busy_wait t.sub)
-      ()
+      ~on_empty:P.Prims.Hint_busy_wait ()
   | Limited_spin max_spin ->
     P.Prims.limited_spin t.sub ch ~side:P.Prims.Client ~max_spin;
     P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client
-      ~on_empty:(fun () -> P.Prims.busy_wait t.sub)
-      ()
+      ~on_empty:P.Prims.Hint_busy_wait ()
   | Adaptive cap ->
     adaptive_dequeue t ch ~slot:t.adapt.(client + 1) ~cap ~side:P.Prims.Client
 
-let collect t ~client = project_rep t (collect_msg t ~client)
+let collect t ~client =
+  let slab = Real_substrate.slab t.sub in
+  let j = collect_msg t ~client in
+  let rep = t.rep_codec.read slab j in
+  Slab.release slab j;
+  rep
 
 (* ------------------------------------------------------------------ *)
 (* Batched & pipelined fast path.                                      *)
 (* ------------------------------------------------------------------ *)
-
-let rec drop k = function
-  | rest when k <= 0 -> rest
-  | [] -> []
-  | _ :: rest -> drop (k - 1) rest
-
-let take_drop k vs =
-  let rec go k acc = function
-    | rest when k <= 0 -> (List.rev acc, rest)
-    | [] -> (List.rev acc, [])
-    | v :: rest -> go (k - 1) (v :: acc) rest
-  in
-  go k [] vs
 
 (* Wake the channel's consumer once for a whole batch: the tas guard is
    the same as wake_consumer's, but the credit is published through the
@@ -261,73 +342,143 @@ let wake_batch t ch ~target =
     Real_substrate.sem_v_n t.sub ch 1
   end
 
-(* Enqueue the whole list with span claims, waking the consumer after
+(* Enqueue the whole span with span claims, waking the consumer after
    every non-empty claim (not only at the end: if the queue fills while
    the consumer sleeps, only a wake-up can make room — deferring the
    wake to the end of the batch would deadlock). *)
-let push_batch t ch ~target ms =
-  let rec go ms =
-    match ms with
-    | [] -> ()
-    | ms ->
-      let k = Real_substrate.enqueue_many t.sub ch ms in
-      if k > 0 then begin
-        (match t.waiting with
-        | Spin -> ()
-        | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
-          wake_batch t ch ~target);
-        go (drop k ms)
-      end
-      else begin
-        (match t.waiting with
-        | Spin -> P.Prims.busy_wait t.sub
-        | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
-          let c = ctrs t in
-          c.Ulipc.Counters.queue_full_sleeps <-
-            c.Ulipc.Counters.queue_full_sleeps + 1;
-          Real_substrate.flow_sleep t.sub);
-        go ms
-      end
-  in
-  go ms
+let rec push_batch t ch ~target buf ~pos ~len =
+  if len > 0 then begin
+    let k = Real_substrate.enqueue_many t.sub ch buf ~pos ~len in
+    if k > 0 then begin
+      (match t.waiting with
+      | Spin -> ()
+      | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
+        wake_batch t ch ~target);
+      push_batch t ch ~target buf ~pos:(pos + k) ~len:(len - k)
+    end
+    else begin
+      (match t.waiting with
+      | Spin -> P.Prims.busy_wait t.sub
+      | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
+        bump_full_sleep t;
+        Real_substrate.flow_sleep t.sub);
+      push_batch t ch ~target buf ~pos ~len
+    end
+  end
 
 let post_batch t ~client reqs =
   check_client t client;
-  match reqs with
-  | [] -> ()
-  | reqs ->
-    let ms = List.map (fun r -> t.inject_req (client, r)) reqs in
-    push_batch t (Real_substrate.request t.sub) ~target:P.Prims.Server ms
+  let slab = Real_substrate.slab t.sub in
+  let buf = t.client_scratch.(client) in
+  let cap = Array.length buf in
+  let request = Real_substrate.request t.sub in
+  let rec chunks = function
+    | [] -> ()
+    | reqs ->
+      let rec fill n = function
+        | r :: rest when n < cap ->
+          let i = alloc_slot t in
+          Slab.set_client slab i client;
+          t.req_codec.write slab i r;
+          buf.(n) <- i;
+          fill (n + 1) rest
+        | rest -> (n, rest)
+      in
+      let n, rest = fill 0 reqs in
+      if n > 0 then push_batch t request ~target:P.Prims.Server buf ~pos:0 ~len:n;
+      chunks rest
+  in
+  chunks reqs
 
 let receive_batch t ~max =
   if max <= 0 then invalid_arg "Rpc.receive_batch: max must be positive";
-  let first = receive_msg t in
-  let rest =
-    if max = 1 then []
-    else
+  let slab = Real_substrate.slab t.sub in
+  let take i =
+    let client = Slab.get_client slab i in
+    let req = t.req_codec.read slab i in
+    Slab.release slab i;
+    (client, req)
+  in
+  let first = take (receive_msg t) in
+  if max = 1 then [ first ]
+  else begin
+    let buf = t.server_scratch in
+    let k =
       Real_substrate.dequeue_many t.sub
         (Real_substrate.request t.sub)
-        ~max:(max - 1)
-  in
-  bump_receives t (List.length rest);
-  List.map (project_req t) (first :: rest)
+        ~buf ~pos:0
+        ~max:(min (max - 1) (Array.length buf))
+    in
+    bump_receives t k;
+    let rec build i acc =
+      if i < 0 then acc else build (i - 1) (take buf.(i) :: acc)
+    in
+    first :: build (k - 1) []
+  end
+
+(* Multipush flow control for a same-client reply run: [enqueue_local]
+   parks each index in the SPSC producer-private buffer — no shared
+   store per message — and the end-of-run flush publishes the whole span
+   with one head store, followed by one coalesced wake-up.  If buffer
+   and ring both fill mid-run, only the consumer can make room, so the
+   producer publishes what it can, wakes, and backs off (the same
+   no-deferred-wake rule as [push_batch]). *)
+let rec push_local t ch ~target m =
+  if not (Real_substrate.enqueue_local t.sub ch m) then begin
+    ignore (Real_substrate.flush_local t.sub ch : bool);
+    (match t.waiting with
+    | Spin -> P.Prims.busy_wait t.sub
+    | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
+      wake_batch t ch ~target;
+      bump_full_sleep t;
+      Real_substrate.flow_sleep t.sub);
+    push_local t ch ~target m
+  end
+
+let rec flush_run t ch ~target =
+  if not (Real_substrate.flush_local t.sub ch) then begin
+    (match t.waiting with
+    | Spin -> P.Prims.busy_wait t.sub
+    | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
+      wake_batch t ch ~target;
+      bump_full_sleep t;
+      Real_substrate.flow_sleep t.sub);
+    flush_run t ch ~target
+  end
+
+let finish_run t ch ~target =
+  flush_run t ch ~target;
+  match t.waiting with
+  | Spin -> ()
+  | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
+    wake_batch t ch ~target
 
 let reply_batch t reps =
-  (* Group consecutive same-client replies so each run costs one span
-     claim and at most one wake-up, while per-client FIFO order is
-     preserved whatever the interleaving of clients in [reps]. *)
+  (* Group consecutive same-client replies so each run rides the reply
+     ring's multipush — one index publish and at most one wake-up per
+     run — while per-client FIFO order is preserved whatever the
+     interleaving of clients in [reps]. *)
+  let slab = Real_substrate.slab t.sub in
+  let encode r =
+    let j = alloc_slot t in
+    t.rep_codec.write slab j r;
+    j
+  in
   let rec runs = function
     | [] -> ()
     | (client, rep) :: rest ->
-      let rec span acc = function
-        | (c, r) :: rest when c = client -> span (t.inject_rep r :: acc) rest
-        | rest -> (List.rev acc, rest)
-      in
-      let ms, rest = span [ t.inject_rep rep ] rest in
       check_client t client;
       let ch = Real_substrate.reply_channel t.sub client in
-      push_batch t ch ~target:P.Prims.Client ms;
-      bump_replies t (List.length ms);
+      push_local t ch ~target:P.Prims.Client (encode rep);
+      let rec run n = function
+        | (c, r) :: rest when c = client ->
+          push_local t ch ~target:P.Prims.Client (encode r);
+          run (n + 1) rest
+        | rest -> (n, rest)
+      in
+      let n, rest = run 1 rest in
+      finish_run t ch ~target:P.Prims.Client;
+      bump_replies t n;
       runs rest
   in
   runs reps
@@ -335,38 +486,82 @@ let reply_batch t reps =
 let collect_batch t ~client ~n =
   if n < 0 then invalid_arg "Rpc.collect_batch: negative n";
   check_client t client;
+  let slab = Real_substrate.slab t.sub in
   let ch = Real_substrate.reply_channel t.sub client in
+  let buf = t.client_scratch.(client) in
+  let cap = Array.length buf in
+  let decode j =
+    let r = t.rep_codec.read slab j in
+    Slab.release slab j;
+    r
+  in
   let rec go acc got =
     if got >= n then List.rev acc
-    else
-      match Real_substrate.dequeue_many t.sub ch ~max:(n - got) with
-      | [] -> go (collect_msg t ~client :: acc) (got + 1)
-      | ms -> go (List.rev_append ms acc) (got + List.length ms)
+    else begin
+      let k =
+        Real_substrate.dequeue_many t.sub ch ~buf ~pos:0
+          ~max:(min (n - got) cap)
+      in
+      if k = 0 then go (decode (collect_msg t ~client) :: acc) (got + 1)
+      else begin
+        let rec add acc i =
+          if i >= k then acc else add (decode buf.(i) :: acc) (i + 1)
+        in
+        go (add acc 0) (got + k)
+      end
+    end
   in
-  List.map (project_rep t) (go [] 0)
+  go [] 0
 
 let call_pipelined t ~client ~depth reqs =
   if depth <= 0 then invalid_arg "Rpc.call_pipelined: depth must be positive";
   check_client t client;
+  let slab = Real_substrate.slab t.sub in
   let ch = Real_substrate.reply_channel t.sub client in
+  let buf = t.client_scratch.(client) in
+  let cap = Array.length buf in
+  let request = Real_substrate.request t.sub in
+  let decode j =
+    let r = t.rep_codec.read slab j in
+    Slab.release slab j;
+    r
+  in
   (* Sliding window: keep up to [depth] requests outstanding; post in
-     span-claimed bursts, collect opportunistically in batches. *)
+     span-claimed bursts, collect opportunistically in batches.  The
+     client's scratch array serves both directions — bursts and collects
+     never overlap within the owning domain. *)
   let rec go pending npending out acc =
     if npending = 0 && out = 0 then List.rev acc
     else if npending > 0 && out < depth then begin
-      let k = min (depth - out) npending in
-      let burst, rest = take_drop k pending in
-      post_batch t ~client burst;
-      go rest (npending - k) (out + k) acc
-    end
-    else
-      let ms =
-        match Real_substrate.dequeue_many t.sub ch ~max:out with
-        | [] -> [ collect_msg t ~client ]
-        | ms -> ms
+      let k = min (min (depth - out) npending) cap in
+      let rec burst n pending =
+        if n >= k then pending
+        else
+          match pending with
+          | [] -> assert false (* npending counts the list *)
+          | r :: rest ->
+            let i = alloc_slot t in
+            Slab.set_client slab i client;
+            t.req_codec.write slab i r;
+            buf.(n) <- i;
+            burst (n + 1) rest
       in
-      go pending npending (out - List.length ms) (List.rev_append ms acc)
+      let pending = burst 0 pending in
+      push_batch t request ~target:P.Prims.Server buf ~pos:0 ~len:k;
+      go pending (npending - k) (out + k) acc
+    end
+    else begin
+      let k = Real_substrate.dequeue_many t.sub ch ~buf ~pos:0 ~max:(min out cap) in
+      if k = 0 then
+        go pending npending (out - 1) (decode (collect_msg t ~client) :: acc)
+      else begin
+        let rec add acc i =
+          if i >= k then acc else add (decode buf.(i) :: acc) (i + 1)
+        in
+        go pending npending (out - k) (add acc 0)
+      end
+    end
   in
   let n = List.length reqs in
   bump_sends t n;
-  List.map (project_rep t) (go reqs n 0 [])
+  go reqs n 0 []

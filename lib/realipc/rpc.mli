@@ -9,7 +9,13 @@
 
     A session has one request queue into the server and one reply channel
     per client, exactly like {!Ulipc.Session}.  Requests and replies are
-    arbitrary OCaml values. *)
+    arbitrary OCaml values, but they travel zero-copy: the queues carry
+    only {!Slab} slot indices, and a {!type-codec} pair marshals each
+    payload into a slot's flat fields.  The sender allocates and fills a
+    slot, the queue transfer hands its ownership over, the receiver
+    reads and releases it.  With an immediate-payload codec
+    ({!int_codec}) a steady-state round-trip on the ring transport
+    allocates {e nothing} on the minor heap. *)
 
 type waiting =
   | Spin  (** BSS: busy-wait with [Domain.cpu_relax], never block *)
@@ -31,12 +37,43 @@ type waiting =
           [cur = 0] the code path is BSW's consumer sequence, so idle
           channels pay nothing for the option to spin. *)
 
+(** {1 Codecs}
+
+    How a payload crosses the slot boundary: [write] marshals a value
+    into slot [i]'s flat fields, [read] recovers it.  Each direction of
+    a session uses exactly one codec, fixed at {!create} time — the
+    [('req, 'rep)] type parameters are what make the [Obj]-based default
+    safe, exactly as they did for the former dynamic [Univ] check. *)
+
+type 'a codec = {
+  write : Slab.t -> int -> 'a -> unit;
+  read : Slab.t -> int -> 'a;
+}
+
+val boxed_codec : unit -> 'a codec
+(** The default: the value rides the slot's boxed escape hatch
+    ([Slab.set_box]/[get_box]).  Works for every type; payloads that are
+    themselves heap values keep their usual allocation cost, immediates
+    travel free. *)
+
+val int_codec : int codec
+(** The slot's [data] field: fully unboxed, the zero-allocation
+    round-trip codec. *)
+
+val float_codec : float codec
+(** The slot's unboxed [arg] field.  (Reading through the codec seam
+    still boxes the returned float — use it to keep floats out of the
+    {e queues}, not to make a float round-trip allocation-free.) *)
+
 type ('req, 'rep) t
 
 val create :
   ?capacity:int ->
   ?transport:Real_substrate.transport ->
   ?trace:Trace_ring.t ->
+  ?slots:int ->
+  ?req_codec:'req codec ->
+  ?rep_codec:'rep codec ->
   nclients:int ->
   waiting ->
   ('req, 'rep) t
@@ -46,7 +83,10 @@ val create :
     see {!Real_substrate.transport}.  [trace] attaches a {!Trace_ring}
     sink recording timestamped enqueue/dequeue/block/wake/handoff events
     into per-domain bounded rings, drained after the run with
-    {!Trace_ring.events}.
+    {!Trace_ring.events}.  [slots] sizes the payload slab (default: can
+    never exhaust — see {!Real_substrate.create}).  [req_codec] /
+    [rep_codec] (default {!boxed_codec}) marshal the two directions'
+    payloads.
     @raise Invalid_argument if [nclients <= 0], if [capacity <= 0], or if
     a [Limited_spin] bound is negative. *)
 
@@ -57,15 +97,29 @@ val transport : ('req, 'rep) t -> Real_substrate.transport
 val trace : ('req, 'rep) t -> Trace_ring.t option
 (** The event-trace sink given at {!create} time, if any. *)
 
+val slab : ('req, 'rep) t -> Slab.t
+(** The session's payload slab.  For tests: at quiescence every slot has
+    been released, so [Slab.in_use_count] is 0. *)
+
 val send : ('req, 'rep) t -> client:int -> 'req -> 'rep
 (** Synchronous call from client [client] (0-based).  Clients must not
     share a client number concurrently.
     @raise Invalid_argument on a bad client number. *)
 
+val call : ('req, 'rep) t -> client:int -> 'req -> 'rep
+(** Alias of {!send} — one slot out, one slot back. *)
+
 val receive : ('req, 'rep) t -> int * 'req
-(** Server side: next request as [(client, payload)]. *)
+(** Server side: next request as [(client, payload)].  (The pair is the
+    one allocation this entails; {!serve} avoids it.) *)
 
 val reply : ('req, 'rep) t -> client:int -> 'rep -> unit
+
+val serve : ('req, 'rep) t -> (client:int -> 'req -> 'rep) -> unit
+(** One allocation-free server turn: receive a request, apply [f], and
+    send the reply {e in the request's slot} — the server owns the slot
+    between dequeue and reply-enqueue, so it is refilled in place and no
+    release/alloc pair (and no [receive] tuple) is paid. *)
 
 val post : ('req, 'rep) t -> client:int -> 'req -> unit
 (** Asynchronous send: enqueue and wake the server, do not wait.
@@ -77,9 +131,11 @@ val collect : ('req, 'rep) t -> client:int -> 'rep
 (** {1 Batched & pipelined fast path}
 
     Built on the substrate's span-claim batch operations
-    ({!Real_substrate.enqueue_many} / {!Real_substrate.dequeue_many}):
-    [k] messages move per atomic claim and the wake-up side coalesces to
-    at most one signal per batch ({!Rsem.v_n}). *)
+    ({!Real_substrate.enqueue_many} / {!Real_substrate.dequeue_many})
+    and, on the reply rings, Torquati's multipush
+    ({!Real_substrate.enqueue_local}): [k] slot indices move per atomic
+    claim, spans live in preallocated scratch arrays, and the wake-up
+    side coalesces to at most one signal per batch ({!Rsem.v_n}). *)
 
 val post_batch : ('req, 'rep) t -> client:int -> 'req list -> unit
 (** Enqueue the whole list (blocking on flow control as {!post} does)
@@ -100,20 +156,21 @@ val receive_batch : ('req, 'rep) t -> max:int -> (int * 'req) list
     @raise Invalid_argument if [max <= 0]. *)
 
 val reply_batch : ('req, 'rep) t -> (int * 'rep) list -> unit
-(** Send every [(client, reply)] pair; consecutive same-client runs
-    cost one span claim and at most one wake-up each.  Per-client FIFO
-    order follows list order.
+(** Send every [(client, reply)] pair; consecutive same-client runs ride
+    the reply ring's producer-local multipush buffer — one index publish
+    and at most one wake-up per run.  Per-client FIFO order follows list
+    order.
     @raise Invalid_argument on a bad client number (earlier runs in the
     list will already have been sent). *)
 
 val call_pipelined :
   ('req, 'rep) t -> client:int -> depth:int -> 'req list -> 'rep list
 (** Synchronous calls with up to [depth] requests outstanding: a sliding
-    window over [post_batch]/batch collection.  Returns the replies in
-    request order ([depth = 1] degenerates to sequential {!send}s).
-    Replies must preserve request order for this to pair correctly —
-    true of the echo servers here, as the session's reply channel is
-    FIFO per client.
+    window over span-claimed bursts and batch collection.  Returns the
+    replies in request order ([depth = 1] degenerates to sequential
+    {!send}s).  Replies must preserve request order for this to pair
+    correctly — true of the echo servers here, as the session's reply
+    channel is FIFO per client.
     @raise Invalid_argument if [depth <= 0] or on a bad client number. *)
 
 val counters : ('req, 'rep) t -> Ulipc.Counters.t

@@ -62,34 +62,33 @@ let park t =
   t.wakeups <- t.wakeups - 1;
   Mutex.unlock t.mutex
 
-let p t =
-  let rec fast spins =
-    let c = Atomic.get t.count in
-    if c > 0 then begin
-      if not (Atomic.compare_and_set t.count c (c - 1)) then fast spins
-    end
-    else if spins > 0 then begin
-      Domain.cpu_relax ();
-      fast (spins - 1)
-    end
-    else if Atomic.fetch_and_add t.count (-1) > 0 then
-      (* Credit appeared between the last read and the add: it is ours
-         (the add consumed it), no parking needed. *)
-      ()
-    else park t
-  in
-  fast t.spin
+(* Top-level recursion rather than a local [let rec]: a local loop
+   closure would capture [t] and be allocated on every P — these are the
+   block/wake primitives of the zero-allocation round-trip. *)
+let rec p_loop t spins =
+  let c = Atomic.get t.count in
+  if c > 0 then begin
+    if not (Atomic.compare_and_set t.count c (c - 1)) then p_loop t spins
+  end
+  else if spins > 0 then begin
+    Domain.cpu_relax ();
+    p_loop t (spins - 1)
+  end
+  else if Atomic.fetch_and_add t.count (-1) > 0 then
+    (* Credit appeared between the last read and the add: it is ours
+       (the add consumed it), no parking needed. *)
+    ()
+  else park t
 
-let try_p t =
-  (* CAS only on a positive count: never registers as a waiter, never
-     blocks, and cannot disturb the waiter accounting. *)
-  let rec go () =
-    let c = Atomic.get t.count in
-    if c <= 0 then false
-    else if Atomic.compare_and_set t.count c (c - 1) then true
-    else go ()
-  in
-  go ()
+let p t = p_loop t t.spin
+
+(* CAS only on a positive count: never registers as a waiter, never
+   blocks, and cannot disturb the waiter accounting. *)
+let rec try_p t =
+  let c = Atomic.get t.count in
+  if c <= 0 then false
+  else if Atomic.compare_and_set t.count c (c - 1) then true
+  else try_p t
 
 (* Wake [wake] parked waiters: bank the credits under the mutex, then
    issue one signal or one broadcast.  Signalling while holding the

@@ -1,0 +1,75 @@
+(** Preallocated, domain-safe message slab: fixed-size payload slots in
+    flat unboxed arrays, recycled through a lock-free Treiber free list.
+
+    The zero-copy message plane passes {e slot indices} through the
+    queues instead of boxed records: a producer allocates a slot, fills
+    its payload fields in place, and enqueues the index; the consumer
+    reads the fields and releases the slot.  No step allocates on the
+    OCaml heap, and no queue ever carries a heap pointer (unless the
+    session opts into the {!set_box} escape hatch) — the property a
+    future MAP_SHARED cross-process substrate requires.
+
+    This is the real-path sibling of the sim-only [Ulipc_shm.Pool],
+    which charges simulated costs and cannot be used on a hot path.
+
+    Thread safety: {!try_alloc}/{!alloc}/{!release} are lock-free and
+    safe from any number of domains (ABA-protected by a version-packed
+    head).  Payload accessors are unsynchronised plain loads/stores —
+    safe under the ownership discipline (exactly one domain owns a slot
+    between alloc and release; queue transfer hands ownership over with
+    release/acquire publication). *)
+
+type t
+
+val create : slots:int -> unit -> t
+(** A slab of [slots] fixed-size payload slots, all initially free.
+    @raise Invalid_argument if [slots <= 0] or [slots >= 2^24]. *)
+
+val slots : t -> int
+
+val nil : int
+(** [-1]: {!try_alloc}'s exhaustion sentinel; never a valid index. *)
+
+val try_alloc : t -> int
+(** Pop a free slot index, or {!nil} when the slab is exhausted.  The
+    allocation-free hot-path variant of {!alloc}.  Exhaustion is the
+    flow-control condition: every slot is in flight, so the caller backs
+    off exactly as it would for a full queue. *)
+
+val alloc : t -> int option
+(** Like {!try_alloc}, with an option for test convenience ([None] when
+    exhausted).  Allocates the [Some]. *)
+
+val release : t -> int -> unit
+(** Return a slot to the free list, clearing its boxed payload.
+    @raise Invalid_argument if the index is out of range or the slot is
+    not currently allocated (double release). *)
+
+val in_use_count : t -> int
+(** Racy scan of allocated slots; exact at quiescence.  For tests. *)
+
+(** {1 Payload fields}
+
+    Parallel flat arrays indexed by slot: four immediate ints, one
+    unboxed float, one boxed escape hatch.  The message plane reserves
+    [client] for routing (the requesting client's number); codecs own
+    the rest.  All accessors are plain array loads/stores and raise
+    [Invalid_argument] on an out-of-range index. *)
+
+val get_client : t -> int -> int
+val set_client : t -> int -> int -> unit
+val get_tag : t -> int -> int
+val set_tag : t -> int -> int -> unit
+val get_data : t -> int -> int
+val set_data : t -> int -> int -> unit
+val get_aux : t -> int -> int
+val set_aux : t -> int -> int -> unit
+val get_arg : t -> int -> float
+val set_arg : t -> int -> float -> unit
+
+val get_box : t -> int -> Obj.t
+(** The escape hatch for arbitrary boxed payloads (used by the default
+    {!Rpc} codec).  Cleared to an immediate on {!release} so the slab
+    never retains a retired payload. *)
+
+val set_box : t -> int -> Obj.t -> unit

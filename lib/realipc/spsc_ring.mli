@@ -1,57 +1,109 @@
-(** Bounded lock-free single-producer/single-consumer ring.
+(** Bounded lock-free single-producer/single-consumer ring over a flat
+    int array.
 
-    A preallocated array of slots with monotonically increasing head/tail
-    indices on separate cache-line-padded atomics ({!Padding}), plus the
-    cached-peer-index refinement: each side re-reads the other's index
-    only when its private snapshot says the ring looks full (producer) or
-    empty (consumer), so steady-state traffic never ping-pongs the index
-    lines.  No mutex, no per-message node — the per-operation cost is one
-    slot write and one atomic index store.
+    A preallocated [int array] of slots with monotonically increasing
+    head/tail indices on separate cache-line-padded atomics
+    ({!Padding}), plus the cached-peer-index refinement: each side
+    re-reads the other's index only when its private snapshot says the
+    ring looks full (producer) or empty (consumer), so steady-state
+    traffic never ping-pongs the index lines.
 
-    The session's reply channels are SPSC {e by construction} (the server
-    is the only producer, the owning client the only consumer), which is
-    what makes this the right transport for them.  Behaviour is undefined
-    if two domains produce, or two consume, concurrently — use
-    {!Mpsc_ring} or {!Tl_queue} there.
+    The ring carries {e non-negative immediate ints} — slab slot
+    indices on the message plane ({!Slab}) — so the per-operation cost
+    is one plain unboxed slot store and one atomic index store: no
+    mutex, no per-message node, no ['a option] box, no write barrier,
+    zero heap allocation.  [-1] is the dequeue-side empty sentinel;
+    enqueueing a negative value raises.
+
+    Two further Torquati (TR-10-20) refinements:
+
+    - {e multipush}: {!enqueue_local} accumulates values in a
+      producer-private buffer (at most [min 8 capacity]) and {!flush}
+      publishes the whole span with one atomic store — batch-grade
+      index traffic without a caller-assembled batch;
+    - {e temporal slipping}: flushed spans are written backward
+      (highest slot first), so the producer is done with the span's
+      cache lines before the publish lets the consumer walk them.
+
+    The session's reply channels are SPSC {e by construction} (the
+    server is the only producer, the owning client the only consumer),
+    which is what makes this the right transport for them.  Behaviour
+    is undefined if two domains produce, or two consume, concurrently —
+    use {!Mpsc_ring} or {!Tl_queue} there.
 
     Same observable semantics as {!Tl_queue}: FIFO, [enqueue] returns
     [false] exactly when [capacity] messages are in flight, [dequeue]
-    returns [None] when empty. *)
+    returns {!nil} when empty. *)
 
-type 'a t
+type t
 
-val create : capacity:int -> unit -> 'a t
+val nil : int
+(** [-1]: {!dequeue}'s empty sentinel; never a valid element. *)
+
+val create : capacity:int -> unit -> t
 (** The slot array is the capacity rounded up to a power of two, but the
     flow-control boundary is checked against [capacity] exactly.
     @raise Invalid_argument if [capacity <= 0]. *)
 
-val capacity : 'a t -> int
+val capacity : t -> int
 
-val enqueue : 'a t -> 'a -> bool
-(** [false] when the queue is full.  Producer side only. *)
+val enqueue : t -> int -> bool
+(** [false] when the queue is full.  Producer side only.  Values must be
+    non-negative.  Flushes any {!enqueue_local} leftovers first, so FIFO
+    order holds across mixed use ([false] then means the flush itself
+    found no room and nothing was accepted).
+    @raise Invalid_argument on a negative value. *)
 
-val dequeue : 'a t -> 'a option
-(** Consumer side only. *)
+val dequeue : t -> int
+(** The oldest value, or {!nil} when the ring is empty.  Consumer side
+    only.  Allocation-free. *)
 
-val enqueue_batch : 'a t -> 'a list -> int
-(** Enqueue a prefix of the list, claiming the whole span with a single
-    atomic [head] publish, and return how many values were accepted —
+(** {1 Multipush} *)
+
+val enqueue_local : t -> int -> bool
+(** Append to the producer-private buffer, auto-flushing when it holds
+    [min 8 capacity] values.  [true] means the value is accepted
+    (buffered or published — buffered values are invisible to the
+    consumer until a {!flush} succeeds, so publish before waking);
+    [false] means buffer and ring are both full: flush later and retry.
+    Producer side only.
+    @raise Invalid_argument on a negative value. *)
+
+val flush : t -> bool
+(** Publish every buffered value with one atomic index store, writing
+    the span backward (temporal slipping).  All or nothing: [false]
+    when the ring lacks room for the whole span, which stays buffered.
+    [true] when the buffer is (now) empty.  Producer side only. *)
+
+val pending_local : t -> int
+(** Buffered-but-unpublished value count.  Producer side only. *)
+
+(** {1 Batch operations} *)
+
+val enqueue_batch : t -> int array -> pos:int -> len:int -> int
+(** [enqueue_batch q vs ~pos ~len] enqueues a prefix of
+    [vs.(pos .. pos+len-1)], claiming the whole span with a single
+    atomic [head] publish, and returns how many values were accepted —
     observationally n single {!enqueue}s (same FIFO order, same exact
-    capacity boundary) at one shared-index store per batch instead of
-    one per message.  Never blocks; [0] when the ring is full.
-    Producer side only. *)
+    capacity boundary) at one shared-index store per batch.  The span
+    length is a parameter, not a list traversal.  Never blocks; [0]
+    when the ring is full (or when multipush leftovers could not be
+    flushed first).  Producer side only.
+    @raise Invalid_argument on a bad span or a negative value. *)
 
-val dequeue_batch : 'a t -> max:int -> 'a list
-(** Dequeue up to [max] values (FIFO order, possibly empty), releasing
-    the whole span with a single atomic [tail] store.  Consumer side
-    only.
-    @raise Invalid_argument if [max < 0]. *)
+val dequeue_batch : t -> int array -> pos:int -> max:int -> int
+(** [dequeue_batch q buf ~pos ~max] dequeues up to [max] values into
+    [buf.(pos ..)] (FIFO order), releasing the whole span with a single
+    atomic [tail] store, and returns the count.  Consumer side only.
+    Allocation-free.
+    @raise Invalid_argument on a bad span. *)
 
-val is_empty : 'a t -> bool
+val is_empty : t -> bool
 (** Lock-free hint, as used by polling loops: two atomic loads, [tail]
     before [head] so a concurrent dequeue can never make an occupied ring
-    look empty. *)
+    look empty.  Unflushed multipush values are not counted (they are
+    not yet published). *)
 
-val length : 'a t -> int
+val length : t -> int
 (** Racy but conservative snapshot of the element count: may over-report
     occupancy against a racing consumer, never negative. *)

@@ -1,12 +1,16 @@
 (* Per-domain bounded event rings behind one sink.
 
    Each domain's ring lives in domain-local storage keyed by the sink, so
-   [record] is entirely unsynchronised: an array store at [count mod
-   capacity] plus a counter bump.  The only lock in the module guards the
-   registry of rings, taken once per domain (on first record) and once
-   per drain.  Draining while writers are still running is memory-safe
-   but can see torn orderings; callers drain after Domain.join, exactly
-   like Histogram merges.
+   [record] is entirely unsynchronised: three plain int-array stores at
+   [count mod capacity] plus a counter bump.  The ring is FLAT — parallel
+   int arrays for timestamp (nanoseconds), kind tag and channel — so
+   recording allocates nothing: attaching a sink must not put minor-heap
+   traffic on the zero-allocation message plane it observes.  Boxed
+   Event.t records are built only at drain time.  The only lock in the
+   module guards the registry of rings, taken once per domain (on first
+   record) and once per drain.  Draining while writers are still running
+   is memory-safe but can see torn orderings; callers drain after
+   Domain.join, exactly like Histogram merges.
 
    The per-ring count doubles as the per-domain sequence number, and the
    ring drops oldest-first, so the retained window of any domain always
@@ -15,7 +19,13 @@
 
 module Event = Ulipc_observe.Event
 
-type ring = { actor : int; slots : Event.t array; mutable count : int }
+type ring = {
+  actor : int;
+  t_ns : int array;
+  kind : int array; (* Event.kind_tag codes *)
+  chan : int array;
+  mutable count : int;
+}
 
 type t = {
   ring_capacity : int;
@@ -23,9 +33,6 @@ type t = {
   rings : ring list ref; (* every domain's ring, shared with the DLS init *)
   key : ring Domain.DLS.key;
 }
-
-let dummy =
-  { Event.t_us = 0.0; actor = -1; seq = 0; chan = 0; kind = Event.Enqueue }
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then
@@ -37,7 +44,9 @@ let create ?(capacity = 4096) () =
         let r =
           {
             actor = (Domain.self () :> int);
-            slots = Array.make capacity dummy;
+            t_ns = Array.make capacity 0;
+            kind = Array.make capacity 0;
+            chan = Array.make capacity 0;
             count = 0;
           }
         in
@@ -50,15 +59,16 @@ let create ?(capacity = 4096) () =
 
 let capacity t = t.ring_capacity
 
-let record_at t kind ~t_us ~chan =
+let record_at t kind ~t_ns ~chan =
   let r = Domain.DLS.get t.key in
-  let seq = r.count in
-  r.slots.(seq mod t.ring_capacity) <-
-    { Event.t_us; actor = r.actor; seq; chan; kind };
+  let i = r.count mod t.ring_capacity in
+  r.t_ns.(i) <- t_ns;
+  r.kind.(i) <- Event.kind_tag kind;
+  r.chan.(i) <- chan;
   r.count <- r.count + 1
 
 let record t kind ~chan =
-  record_at t kind ~t_us:(Ulipc_observe.Clock.now_us ()) ~chan
+  record_at t kind ~t_ns:(Ulipc_observe.Clock.now_ns ()) ~chan
 
 let snapshot t =
   Mutex.lock t.mutex;
@@ -67,11 +77,22 @@ let snapshot t =
   rings
 
 (* Oldest-to-newest retained events of one ring: the full prefix while it
-   has not wrapped, the last [capacity] otherwise. *)
+   has not wrapped, the last [capacity] otherwise.  The boxed events are
+   built here, at drain time, with timestamps converted to the trace
+   schema's microseconds. *)
 let ring_events t r =
   let n = Stdlib.min r.count t.ring_capacity in
   let start = r.count - n in
-  List.init n (fun i -> r.slots.((start + i) mod t.ring_capacity))
+  List.init n (fun i ->
+      let seq = start + i in
+      let j = seq mod t.ring_capacity in
+      {
+        Event.t_us = float_of_int r.t_ns.(j) /. 1e3;
+        actor = r.actor;
+        seq;
+        chan = r.chan.(j);
+        kind = Event.kind_of_tag r.kind.(j);
+      })
 
 let events t =
   List.concat_map (ring_events t) (snapshot t) |> List.sort Event.compare

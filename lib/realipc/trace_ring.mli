@@ -1,17 +1,23 @@
 (** Bounded per-domain protocol event traces for the real backend.
 
     A sink hands every recording domain its own fixed-size ring (via
-    domain-local storage, registered on first use), so the hot path is a
-    plain array store with no synchronisation — when the ring is full the
-    oldest events are overwritten, keeping the last [capacity] events per
-    domain and counting the rest as dropped.  Drain with {!events} after
-    the traffic has quiesced (all recording domains joined).
+    domain-local storage, registered on first use), so the hot path is
+    three plain int-array stores with no synchronisation — and {e no
+    heap allocation}: the rings are flat parallel int arrays (timestamp
+    in nanoseconds, kind tag, channel), so attaching a sink does not put
+    minor-heap traffic on the zero-allocation message plane it observes.
+    When the ring is full the oldest events are overwritten, keeping the
+    last [capacity] events per domain and counting the rest as dropped.
+    Drain with {!events} after the traffic has quiesced (all recording
+    domains joined); boxed {!Ulipc_observe.Event.t} records are built
+    only then.
 
     Events use the unified {!Ulipc_observe.Event} schema: the actor is
-    [Domain.self], the timestamp is CLOCK_MONOTONIC microseconds
+    [Domain.self], the timestamp is CLOCK_MONOTONIC
     ({!Ulipc_observe.Clock} — immune to NTP steps, unlike the wall
-    clock), and each domain stamps a private sequence number so the
-    cross-domain merge is deterministic.
+    clock; recorded in integer nanoseconds, drained as the schema's
+    microseconds), and each domain stamps a private sequence number so
+    the cross-domain merge is deterministic.
 
     This is instrumentation on the substrate side of the
     [Ulipc.Substrate.S] seam, exactly like the counters sink: the
@@ -27,10 +33,10 @@ val create : ?capacity:int -> unit -> t
 val capacity : t -> int
 
 val record : t -> Ulipc_observe.Event.kind -> chan:int -> unit
-(** Append one event stamped [Clock.now_us ()] to the calling domain's
-    ring (lazily created). *)
+(** Append one event stamped [Clock.now_ns ()] to the calling domain's
+    ring (lazily created).  Allocation-free after the ring exists. *)
 
-val record_at : t -> Ulipc_observe.Event.kind -> t_us:float -> chan:int -> unit
+val record_at : t -> Ulipc_observe.Event.kind -> t_ns:int -> chan:int -> unit
 (** Like {!record} with a caller-supplied timestamp — for pre-operation
     stamps taken before the recorded effect was attempted, so the merged
     stream never orders an effect before its cause. *)

@@ -32,7 +32,7 @@ let write ~path ~quick ~micro ~real =
   let p fmt = Printf.fprintf oc fmt in
   let sep i n = if i = n - 1 then "" else "," in
   p "{\n";
-  p "  \"schema\": \"ulipc-bench-real/4\",\n";
+  p "  \"schema\": \"ulipc-bench-real/5\",\n";
   p "  \"quick\": %b,\n" quick;
   p "  \"micro_ns_per_op\": [\n";
   let n = List.length micro in
@@ -51,7 +51,8 @@ let write ~path ~quick ~micro ~real =
          \"depth\": %d, \"messages\": %d, \"throughput_msg_per_ms\": %s, \
          \"round_trip_us\": %s, \"latency_p50_us\": %s, \"latency_p99_us\": \
          %s, \"latency_max_us\": %s, \"wake_latency_p50_us\": %s, \
-         \"wake_latency_p99_us\": %s, \"utilization\": %s }%s\n"
+         \"wake_latency_p99_us\": %s, \"utilization\": %s, \
+         \"minor_words_per_op\": %s }%s\n"
         (json_escape transport)
         (json_escape (Ulipc.Protocol_kind.name m.Metrics.protocol))
         m.Metrics.nclients m.Metrics.depth m.Metrics.messages
@@ -63,6 +64,7 @@ let write ~path ~quick ~micro ~real =
         (json_float m.Metrics.wake_latency_p50_us)
         (json_float m.Metrics.wake_latency_p99_us)
         (json_float m.Metrics.utilization)
+        (json_float m.Metrics.minor_words_per_op)
         (sep i n))
     real;
   p "  ]\n";

@@ -236,6 +236,8 @@ let run_outcome cfg =
     depth = 1;
     wake_latency_p50_us;
     wake_latency_p99_us;
+    (* a simulated run has no real allocator behind it *)
+    minor_words_per_op = nan;
   }
   in
   { metrics; kernel; session; server; clients }

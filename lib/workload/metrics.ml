@@ -16,6 +16,7 @@ type t = {
   depth : int;
   wake_latency_p50_us : float;
   wake_latency_p99_us : float;
+  minor_words_per_op : float;
 }
 
 (* Real-domain runs have no simulated kernel behind them: usage, step and
@@ -30,8 +31,9 @@ let zero_usage =
   }
 
 let of_real ?latency ?(utilization = nan) ?(depth = 1)
-    ?(wake_latency_p50_us = nan) ?(wake_latency_p99_us = nan) ~machine
-    ~protocol ~nclients ~messages ~elapsed_s ~counters () =
+    ?(wake_latency_p50_us = nan) ?(wake_latency_p99_us = nan)
+    ?(minor_words_per_op = nan) ~machine ~protocol ~nclients ~messages
+    ~elapsed_s ~counters () =
   let elapsed = Ulipc_engine.Sim_time.us_f (elapsed_s *. 1.0e6) in
   {
     machine;
@@ -53,6 +55,7 @@ let of_real ?latency ?(utilization = nan) ?(depth = 1)
     depth;
     wake_latency_p50_us;
     wake_latency_p99_us;
+    minor_words_per_op;
   }
 
 let round_trip_us t =

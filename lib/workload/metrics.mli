@@ -34,6 +34,12 @@ type t = {
           event trace; [nan] when no trace was taken or no blocking
           wake-up occurred *)
   wake_latency_p99_us : float;
+  minor_words_per_op : float;
+      (** minor-heap words allocated per steady-state round-trip on the
+          issuing client's domain ([Gc.minor_words] delta over a calibrated
+          probe run, clamped at 0) — the zero-copy message plane's
+          regression gate.  [nan] for simulator runs and whenever the
+          probe was not taken. *)
 }
 
 val of_real :
@@ -42,6 +48,7 @@ val of_real :
   ?depth:int ->
   ?wake_latency_p50_us:float ->
   ?wake_latency_p99_us:float ->
+  ?minor_words_per_op:float ->
   machine:string ->
   protocol:Ulipc.Protocol_kind.t ->
   nclients:int ->

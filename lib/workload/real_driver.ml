@@ -41,6 +41,9 @@ let kind_of_waiting = function
   | Ulipc_real.Rpc.Handoff -> Ulipc.Protocol_kind.HANDOFF
   | Ulipc_real.Rpc.Adaptive cap -> Ulipc.Protocol_kind.ADAPT cap
 
+let probe_warmup = 32
+let probe_ops = 512
+
 let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ~nclients
     ~messages waiting =
   if depth <= 0 then invalid_arg "Real_driver.run: depth must be positive";
@@ -54,13 +57,27 @@ let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ~nclients
     | None -> Ulipc_real.Trace_ring.create ~capacity:65536 ()
   in
   let t : (int, int) Ulipc_real.Rpc.t =
-    Ulipc_real.Rpc.create ?transport ~trace ~nclients waiting
+    (* Immediate-int codecs: the echo payloads ride the slot's unboxed
+       data field, so the steady-state round-trip is the zero-allocation
+       path the probe below certifies. *)
+    Ulipc_real.Rpc.create ?transport ~trace ~req_codec:Ulipc_real.Rpc.int_codec
+      ~rep_codec:Ulipc_real.Rpc.int_codec ~nclients waiting
   in
+  (* Allocation probe: before the barrier releases the timed phase,
+     client 0 runs a short warm-up (faulting in its domain-local backoff
+     and trace state) and then [probe_ops] bare sends between two
+     [Gc.minor_words] readings.  minor_words is per-domain in OCaml 5,
+     so the delta is exactly the issuing client's allocation; the
+     calibration pair subtracts what the readings themselves charge.
+     Running pre-barrier keeps the probe traffic out of the measured
+     interval — the server just serves [probe_total] extra messages. *)
+  let probe_total = if depth = 1 then probe_warmup + probe_ops else 0 in
+  let minor_words_per_op = ref nan in
   (* Written by the server domain, read only after its join. *)
   let server_waiting_s = ref 0.0 in
   let server =
     Domain.spawn (fun () ->
-        let remaining = ref (nclients * messages) in
+        let remaining = ref ((nclients * messages) + probe_total) in
         let waiting_s = ref 0.0 in
         if depth = 1 then
           while !remaining > 0 do
@@ -87,6 +104,23 @@ let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ~nclients
     List.init nclients (fun c ->
         Domain.spawn (fun () ->
             let hist = Ulipc.Histogram.create "round-trip (us)" in
+            if c = 0 && probe_total > 0 then begin
+              for i = 1 to probe_warmup do
+                if Ulipc_real.Rpc.send t ~client:0 i <> i + 1 then
+                  failwith "Real_driver.run: echo mismatch"
+              done;
+              let calib =
+                let a = Gc.minor_words () in
+                Gc.minor_words () -. a
+              in
+              let w0 = Gc.minor_words () in
+              for i = 1 to probe_ops do
+                ignore (Ulipc_real.Rpc.send t ~client:0 i : int)
+              done;
+              let w1 = Gc.minor_words () in
+              minor_words_per_op :=
+                Float.max 0.0 ((w1 -. w0 -. calib) /. float_of_int probe_ops)
+            end;
             Atomic.incr ready;
             while not (Atomic.get go) do
               Domain.cpu_relax ()
@@ -155,7 +189,7 @@ let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ~nclients
       d.Ulipc_observe.Trace_analysis.p99_us )
   in
   Metrics.of_real ~latency ~utilization ~depth ~wake_latency_p50_us
-    ~wake_latency_p99_us ~machine
+    ~wake_latency_p99_us ~minor_words_per_op:!minor_words_per_op ~machine
     ~protocol:(kind_of_waiting waiting)
     ~nclients
     ~messages:(nclients * messages)

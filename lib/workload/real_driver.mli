@@ -10,6 +10,18 @@ val kind_of_waiting : Ulipc_real.Rpc.waiting -> Ulipc.Protocol_kind.t
 (** Spin ↦ BSS, Block ↦ BSW, Block_yield ↦ BSWY, Limited_spin n ↦ BSLS n,
     Handoff ↦ HANDOFF, Adaptive cap ↦ ADAPT cap. *)
 
+val probe_warmup : int
+(** Round-trips client 0 performs before the allocation probe to fault in
+    domain-local state (backoff, trace buffers).  Probe traffic runs
+    before the start barrier, so it is outside the measured interval but
+    {e inside} an attached trace — a sink sees
+    [2 * (probe_warmup + probe_ops)] extra enqueue/dequeue pairs at
+    [depth = 1] (the probe is skipped for pipelined runs). *)
+
+val probe_ops : int
+(** Round-trips between the two [Gc.minor_words] readings whose per-op
+    delta becomes the result's [minor_words_per_op]. *)
+
 val run :
   ?machine:string ->
   ?transport:Ulipc_real.Real_substrate.transport ->

@@ -169,8 +169,13 @@ let test_trace_through_real_run () =
     List.length
       (List.filter (fun e -> e.Ulipc_observe.Event.kind = k) events)
   in
-  (* Every request and every reply is one enqueue and one dequeue. *)
-  let total = 2 * nclients * messages in
+  (* Every request and every reply is one enqueue and one dequeue — the
+     driver's pre-barrier allocation probe included: probe round-trips
+     run outside the measured interval but inside the trace. *)
+  let total =
+    2 * ((nclients * messages) + Real_driver.probe_warmup
+       + Real_driver.probe_ops)
+  in
   Alcotest.(check int) "enqueue events" total
     (count Ulipc_observe.Event.Enqueue);
   Alcotest.(check int) "dequeue events" total
@@ -280,7 +285,7 @@ let test_bench_json_roundtrip () =
   Sys.remove path;
   let j = parse_json contents in
   (match member "schema" j with
-  | J.Str "ulipc-bench-real/4" -> ()
+  | J.Str "ulipc-bench-real/5" -> ()
   | _ -> Alcotest.fail "wrong schema");
   (match member "micro_ns_per_op" j with
   | J.Arr rows ->
@@ -331,7 +336,16 @@ let test_bench_json_roundtrip () =
         Alcotest.(check bool)
           (Printf.sprintf "wake latency ordered (%.1f/%.1f)" w50 w99)
           true
-          (0.0 <= w50 && w50 <= w99))
+          (0.0 <= w50 && w50 <= w99);
+        (* Schema 5: per-op minor-heap allocation probe.  Present and
+           non-negative on every row; the ring row must be exactly zero
+           — the tentpole property the CI gate holds the line on. *)
+        let mw = num "minor_words_per_op" in
+        Alcotest.(check bool)
+          (Printf.sprintf "minor_words_per_op non-negative (%.3f)" mw)
+          true (mw >= 0.0);
+        if member "transport" row = J.Str "ring" then
+          Alcotest.(check (float 0.0)) "ring row allocation-free" 0.0 mw)
       rows
   | _ -> Alcotest.fail "real_driver not an array"
 

@@ -90,9 +90,9 @@ let prop_tlq_model =
 
 (* ------------------------------------------------------------------ *)
 (* Spsc_ring: must be observationally identical to Tl_queue under one
-   producer and one consumer — FIFO, exact capacity boundary, None when
-   empty — including at non-power-of-two capacities, where the slot array
-   is bigger than the logical bound. *)
+   producer and one consumer — FIFO, exact capacity boundary, the nil
+   sentinel when empty — including at non-power-of-two capacities, where
+   the slot array is bigger than the logical bound. *)
 
 let test_spsc_fifo () =
   let q = Spsc_ring.create ~capacity:8 () in
@@ -101,9 +101,9 @@ let test_spsc_fifo () =
   let b = Spsc_ring.dequeue q in
   let c = Spsc_ring.dequeue q in
   let d = Spsc_ring.dequeue q in
-  Alcotest.(check (list (option int)))
-    "fifo then empty"
-    [ Some 1; Some 2; Some 3; None ]
+  Alcotest.(check (list int))
+    "fifo then nil"
+    [ 1; 2; 3; Spsc_ring.nil ]
     [ a; b; c; d ]
 
 let test_spsc_capacity () =
@@ -111,7 +111,7 @@ let test_spsc_capacity () =
   Alcotest.(check bool) "1st" true (Spsc_ring.enqueue q 1);
   Alcotest.(check bool) "2nd" true (Spsc_ring.enqueue q 2);
   Alcotest.(check bool) "3rd rejected" false (Spsc_ring.enqueue q 3);
-  ignore (Spsc_ring.dequeue q : int option);
+  ignore (Spsc_ring.dequeue q : int);
   Alcotest.(check bool) "room again" true (Spsc_ring.enqueue q 4);
   Alcotest.(check int) "length" 2 (Spsc_ring.length q)
 
@@ -126,14 +126,28 @@ let test_spsc_wraparound () =
     done;
     Alcotest.(check bool) "4th rejected" false (Spsc_ring.enqueue q 0);
     for i = 1 to 3 do
-      Alcotest.(check (option int))
+      Alcotest.(check int)
         "fifo across wrap"
-        (Some ((3 * lap) + i))
+        ((3 * lap) + i)
         (Spsc_ring.dequeue q)
     done;
-    Alcotest.(check (option int)) "empty again" None (Spsc_ring.dequeue q);
+    Alcotest.(check int) "empty again" Spsc_ring.nil (Spsc_ring.dequeue q);
     Alcotest.(check bool) "is_empty" true (Spsc_ring.is_empty q)
   done
+
+let test_spsc_rejects_negative_value () =
+  let q = Spsc_ring.create ~capacity:4 () in
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Spsc_ring.enqueue: negative value") (fun () ->
+      ignore (Spsc_ring.enqueue q (-3) : bool))
+
+(* The sentinel-returning dequeue against an option-returning model:
+   [nil] must appear exactly when the model is empty. *)
+let deq_matches_model dequeue nil q model =
+  let got = dequeue q in
+  match Queue.take_opt model with
+  | Some v -> got = v
+  | None -> got = nil
 
 let prop_spsc_model =
   QCheck.Test.make ~name:"Spsc_ring matches a FIFO model" ~count:200
@@ -148,7 +162,7 @@ let prop_spsc_model =
             let model_accepts = Queue.length model < 8 in
             if model_accepts then Queue.add v model;
             accepted = model_accepts
-          | None -> Spsc_ring.dequeue q = Queue.take_opt model)
+          | None -> deq_matches_model Spsc_ring.dequeue Spsc_ring.nil q model)
         program)
 
 let test_spsc_concurrent_transfer () =
@@ -167,11 +181,12 @@ let test_spsc_concurrent_transfer () =
     let next = ref 1 in
     let ok = ref true in
     while !next <= n do
-      match Spsc_ring.dequeue q with
-      | Some v ->
+      let v = Spsc_ring.dequeue q in
+      if v = Spsc_ring.nil then Domain.cpu_relax ()
+      else begin
         if v <> !next then ok := false;
         incr next
-      | None -> Domain.cpu_relax ()
+      end
     done;
     !ok
   in
@@ -184,7 +199,104 @@ let test_spsc_concurrent_transfer () =
 let test_spsc_rejects_nonpositive () =
   Alcotest.check_raises "zero capacity"
     (Invalid_argument "Spsc_ring.create: capacity must be positive") (fun () ->
-      ignore (Spsc_ring.create ~capacity:0 () : int Spsc_ring.t))
+      ignore (Spsc_ring.create ~capacity:0 () : Spsc_ring.t))
+
+(* Multipush (Torquati): locally buffered values are invisible until a
+   flush publishes them, publication is all-or-nothing, and FIFO order
+   holds across mixed local/plain use. *)
+
+let test_spsc_multipush_visibility () =
+  let q = Spsc_ring.create ~capacity:16 () in
+  Alcotest.(check bool) "buffered" true (Spsc_ring.enqueue_local q 1);
+  Alcotest.(check bool) "buffered" true (Spsc_ring.enqueue_local q 2);
+  Alcotest.(check int) "pending" 2 (Spsc_ring.pending_local q);
+  Alcotest.(check bool) "invisible before flush" true (Spsc_ring.is_empty q);
+  Alcotest.(check bool) "flush publishes" true (Spsc_ring.flush q);
+  Alcotest.(check int) "pending drained" 0 (Spsc_ring.pending_local q);
+  Alcotest.(check int) "first" 1 (Spsc_ring.dequeue q);
+  Alcotest.(check int) "second" 2 (Spsc_ring.dequeue q);
+  Alcotest.(check int) "empty" Spsc_ring.nil (Spsc_ring.dequeue q)
+
+let test_spsc_multipush_autoflush () =
+  (* The local buffer holds at most min 8 capacity: the 8th append must
+     publish the whole span on its own. *)
+  let q = Spsc_ring.create ~capacity:16 () in
+  for v = 1 to 8 do
+    Alcotest.(check bool) "accepted" true (Spsc_ring.enqueue_local q v)
+  done;
+  Alcotest.(check int) "auto-flushed" 0 (Spsc_ring.pending_local q);
+  Alcotest.(check int) "published" 8 (Spsc_ring.length q);
+  for v = 1 to 8 do
+    Alcotest.(check int) "fifo" v (Spsc_ring.dequeue q)
+  done
+
+let test_spsc_multipush_mixed_fifo () =
+  (* A plain enqueue must first flush leftovers so order is preserved. *)
+  let q = Spsc_ring.create ~capacity:16 () in
+  ignore (Spsc_ring.enqueue_local q 1 : bool);
+  ignore (Spsc_ring.enqueue_local q 2 : bool);
+  Alcotest.(check bool) "plain enqueue flushes first" true
+    (Spsc_ring.enqueue q 3);
+  (* bind in sequence: list literals evaluate right to left *)
+  let a = Spsc_ring.dequeue q in
+  let b = Spsc_ring.dequeue q in
+  let c = Spsc_ring.dequeue q in
+  Alcotest.(check (list int)) "fifo across mixed use" [ 1; 2; 3 ] [ a; b; c ]
+
+let test_spsc_multipush_full () =
+  (* All-or-nothing publication at the flow-control boundary. *)
+  let q = Spsc_ring.create ~capacity:3 () in
+  ignore (Spsc_ring.enqueue q 10 : bool);
+  ignore (Spsc_ring.enqueue q 11 : bool);
+  ignore (Spsc_ring.enqueue_local q 12 : bool);
+  ignore (Spsc_ring.enqueue_local q 13 : bool);
+  Alcotest.(check bool) "span of 2 does not fit in 1 slot" false
+    (Spsc_ring.flush q);
+  Alcotest.(check int) "span stays buffered" 2 (Spsc_ring.pending_local q);
+  Alcotest.(check int) "room appears" 10 (Spsc_ring.dequeue q);
+  Alcotest.(check bool) "now it fits" true (Spsc_ring.flush q);
+  (* bind in sequence: list literals evaluate right to left *)
+  let a = Spsc_ring.dequeue q in
+  let b = Spsc_ring.dequeue q in
+  let c = Spsc_ring.dequeue q in
+  Alcotest.(check (list int)) "fifo preserved" [ 11; 12; 13 ] [ a; b; c ]
+
+let test_spsc_multipush_concurrent_transfer () =
+  (* The multipush producer against a batch consumer: same exact-FIFO
+     guarantee as the plain transfer test. *)
+  let q = Spsc_ring.create ~capacity:16 () in
+  let n = 20_000 in
+  let producer () =
+    for i = 1 to n do
+      while not (Spsc_ring.enqueue_local q i) do
+        ignore (Spsc_ring.flush q : bool);
+        Domain.cpu_relax ()
+      done
+    done;
+    while not (Spsc_ring.flush q) do
+      Domain.cpu_relax ()
+    done
+  in
+  let consumer () =
+    let buf = Array.make 8 0 in
+    let next = ref 1 in
+    let ok = ref true in
+    while !next <= n do
+      let k = Spsc_ring.dequeue_batch q buf ~pos:0 ~max:8 in
+      if k = 0 then Domain.cpu_relax ()
+      else
+        for j = 0 to k - 1 do
+          if buf.(j) <> !next then ok := false;
+          incr next
+        done
+    done;
+    !ok
+  in
+  let dp = Domain.spawn producer in
+  let dc = Domain.spawn consumer in
+  Domain.join dp;
+  Alcotest.(check bool) "exact fifo sequence" true (Domain.join dc);
+  Alcotest.(check bool) "drained" true (Spsc_ring.is_empty q)
 
 (* ------------------------------------------------------------------ *)
 (* Mpsc_ring: Tl_queue semantics sequentially, and no loss, duplication
@@ -203,7 +315,7 @@ let prop_mpsc_model =
             let model_accepts = Queue.length model < 8 in
             if model_accepts then Queue.add v model;
             accepted = model_accepts
-          | None -> Mpsc_ring.dequeue q = Queue.take_opt model)
+          | None -> deq_matches_model Mpsc_ring.dequeue Mpsc_ring.nil q model)
         program)
 
 let test_mpsc_capacity () =
@@ -216,12 +328,12 @@ let test_mpsc_capacity () =
     done;
     Alcotest.(check bool) "4th rejected" false (Mpsc_ring.enqueue q 0);
     for i = 1 to 3 do
-      Alcotest.(check (option int))
+      Alcotest.(check int)
         "fifo across wrap"
-        (Some ((3 * lap) + i))
+        ((3 * lap) + i)
         (Mpsc_ring.dequeue q)
     done;
-    Alcotest.(check (option int)) "empty again" None (Mpsc_ring.dequeue q)
+    Alcotest.(check int) "empty again" Mpsc_ring.nil (Mpsc_ring.dequeue q)
   done
 
 let test_mpsc_concurrent_producers () =
@@ -239,11 +351,12 @@ let test_mpsc_concurrent_producers () =
   let consumer () =
     let remaining = ref (nproducers * per_producer) in
     while !remaining > 0 do
-      match Mpsc_ring.dequeue q with
-      | Some v ->
+      let v = Mpsc_ring.dequeue q in
+      if v = Mpsc_ring.nil then Domain.cpu_relax ()
+      else begin
         received := v :: !received;
         decr remaining
-      | None -> Domain.cpu_relax ()
+      end
     done
   in
   let producers = List.init nproducers (fun p -> Domain.spawn (producer (p + 1))) in
@@ -266,7 +379,7 @@ let test_mpsc_concurrent_producers () =
 let test_mpsc_rejects_nonpositive () =
   Alcotest.check_raises "zero capacity"
     (Invalid_argument "Mpsc_ring.create: capacity must be positive") (fun () ->
-      ignore (Mpsc_ring.create ~capacity:0 () : int Mpsc_ring.t))
+      ignore (Mpsc_ring.create ~capacity:0 () : Mpsc_ring.t))
 
 (* ------------------------------------------------------------------ *)
 (* Batch operations: on every transport, a batch must be observationally
@@ -310,32 +423,60 @@ let prop_batch_model name create enqueue_batch dequeue_batch =
             got = expect)
         program)
 
+(* The rings' batch seam is array spans; adapt it to the list shape the
+   generic model drives (and Tl_queue still exposes natively). *)
+let array_batch_ops enqueue_batch dequeue_batch =
+  let enq q vs =
+    let a = Array.of_list vs in
+    enqueue_batch q a ~pos:0 ~len:(Array.length a)
+  in
+  let deq q ~max =
+    let buf = Array.make (Stdlib.max max 1) Slab.nil in
+    let k = dequeue_batch q buf ~pos:0 ~max in
+    Array.to_list (Array.sub buf 0 k)
+  in
+  (enq, deq)
+
 let prop_tlq_batch_model =
   prop_batch_model "Tl_queue batch ops match n single ops" Tl_queue.create
     Tl_queue.enqueue_batch Tl_queue.dequeue_batch
 
 let prop_spsc_batch_model =
+  let enq, deq = array_batch_ops Spsc_ring.enqueue_batch Spsc_ring.dequeue_batch in
   prop_batch_model "Spsc_ring batch ops match n single ops" Spsc_ring.create
-    Spsc_ring.enqueue_batch Spsc_ring.dequeue_batch
+    enq deq
 
 let prop_mpsc_batch_model =
+  let enq, deq = array_batch_ops Mpsc_ring.enqueue_batch Mpsc_ring.dequeue_batch in
   prop_batch_model "Mpsc_ring batch ops match n single ops" Mpsc_ring.create
-    Mpsc_ring.enqueue_batch Mpsc_ring.dequeue_batch
+    enq deq
 
 let test_batch_validation () =
   let q = Spsc_ring.create ~capacity:4 () in
-  Alcotest.(check (list int)) "max 0" [] (Spsc_ring.dequeue_batch q ~max:0);
+  let buf = Array.make 10 0 in
+  Alcotest.(check int) "max 0" 0 (Spsc_ring.dequeue_batch q buf ~pos:0 ~max:0);
   Alcotest.check_raises "negative max"
     (Invalid_argument "Spsc_ring.dequeue_batch: negative max") (fun () ->
-      ignore (Spsc_ring.dequeue_batch q ~max:(-1) : int list));
-  Alcotest.(check int) "empty batch" 0 (Spsc_ring.enqueue_batch q []);
+      ignore (Spsc_ring.dequeue_batch q buf ~pos:0 ~max:(-1) : int));
+  Alcotest.check_raises "span past the buffer"
+    (Invalid_argument "Spsc_ring.dequeue_batch: bad span") (fun () ->
+      ignore (Spsc_ring.dequeue_batch q buf ~pos:8 ~max:5 : int));
+  Alcotest.check_raises "bad enqueue span"
+    (Invalid_argument "Spsc_ring.enqueue_batch: bad span") (fun () ->
+      ignore (Spsc_ring.enqueue_batch q buf ~pos:8 ~len:5 : int));
+  Alcotest.check_raises "negative value in span"
+    (Invalid_argument "Spsc_ring.enqueue_batch: negative value") (fun () ->
+      ignore (Spsc_ring.enqueue_batch q [| 1; -2 |] ~pos:0 ~len:2 : int));
+  Alcotest.(check int) "empty batch" 0 (Spsc_ring.enqueue_batch q [||] ~pos:0 ~len:0);
   (* Prefix semantics at the boundary: capacity 4, 2 occupied, a 5-batch
      accepts exactly 2. *)
-  Alcotest.(check int) "fill 2" 2 (Spsc_ring.enqueue_batch q [ 1; 2 ]);
+  Alcotest.(check int) "fill 2" 2 (Spsc_ring.enqueue_batch q [| 1; 2 |] ~pos:0 ~len:2);
   Alcotest.(check int) "prefix at boundary" 2
-    (Spsc_ring.enqueue_batch q [ 3; 4; 5; 6; 7 ]);
-  Alcotest.(check (list int)) "fifo across batches" [ 1; 2; 3; 4 ]
-    (Spsc_ring.dequeue_batch q ~max:10)
+    (Spsc_ring.enqueue_batch q [| 3; 4; 5; 6; 7 |] ~pos:0 ~len:5);
+  Alcotest.(check int) "fifo across batches" 4
+    (Spsc_ring.dequeue_batch q buf ~pos:0 ~max:10);
+  Alcotest.(check (list int)) "fifo contents" [ 1; 2; 3; 4 ]
+    (Array.to_list (Array.sub buf 0 4))
 
 (* Batch enqueues racing a concurrent consumer, on the MPSC ring: two
    producer domains each pushing batches of varying size, one consumer
@@ -347,26 +488,30 @@ let test_mpsc_batch_concurrent () =
   let nproducers = 2 in
   let per_producer = 3_000 in
   let producer p () =
+    let batch = Array.make 7 0 in
     let sent = ref 0 in
     while !sent < per_producer do
       let k = min (1 + (!sent mod 7)) (per_producer - !sent) in
-      let batch =
-        List.init k (fun i -> (p * 1_000_000) + !sent + i + 1)
-      in
-      let accepted = Mpsc_ring.enqueue_batch q batch in
+      for i = 0 to k - 1 do
+        batch.(i) <- (p * 1_000_000) + !sent + i + 1
+      done;
+      let accepted = Mpsc_ring.enqueue_batch q batch ~pos:0 ~len:k in
       if accepted = 0 then Domain.cpu_relax ();
       sent := !sent + accepted
     done
   in
   let received = ref [] in
   let consumer () =
+    let buf = Array.make 8 0 in
     let remaining = ref (nproducers * per_producer) in
     while !remaining > 0 do
-      match Mpsc_ring.dequeue_batch q ~max:8 with
-      | [] -> Domain.cpu_relax ()
-      | vs ->
-        received := List.rev_append vs !received;
-        remaining := !remaining - List.length vs
+      match Mpsc_ring.dequeue_batch q buf ~pos:0 ~max:8 with
+      | 0 -> Domain.cpu_relax ()
+      | k ->
+        for i = 0 to k - 1 do
+          received := buf.(i) :: !received
+        done;
+        remaining := !remaining - k
     done
   in
   let producers =
@@ -386,6 +531,121 @@ let test_mpsc_batch_concurrent () =
   for p = 1 to nproducers do
     Alcotest.(check bool) (Printf.sprintf "producer %d fifo" p) true (ordered p)
   done
+
+(* ------------------------------------------------------------------ *)
+(* Slab: the lock-free free-list behind the zero-copy message plane. *)
+
+(* Random alloc/release programs against a free-set model: try_alloc
+   succeeds exactly while the model says slots remain, never hands out a
+   slot the model believes allocated, and release returns it. *)
+let prop_slab_model =
+  QCheck.Test.make ~name:"Slab alloc/release matches a free-set model"
+    ~count:300
+    QCheck.(list (option (int_bound 20)))
+    (fun program ->
+      let slots = 6 in
+      let s = Slab.create ~slots () in
+      let held = ref [] in
+      List.for_all
+        (function
+          | Some pick -> (
+            (* Release one of the held slots, chosen by the generator. *)
+            match !held with
+            | [] -> true
+            | hs ->
+              let i = List.nth hs (pick mod List.length hs) in
+              Slab.release s i;
+              held := List.filter (fun j -> j <> i) hs;
+              true)
+          | None -> (
+            let i = Slab.try_alloc s in
+            if List.length !held >= slots then i = Slab.nil
+            else
+              i >= 0 && i < slots
+              && (not (List.mem i !held))
+              &&
+              (held := i :: !held;
+               true)))
+        program)
+
+let test_slab_exhaustion () =
+  let s = Slab.create ~slots:2 () in
+  let a = Slab.try_alloc s in
+  let b = Slab.try_alloc s in
+  Alcotest.(check bool) "two distinct slots" true
+    (a <> Slab.nil && b <> Slab.nil && a <> b);
+  Alcotest.(check int) "exhausted -> nil" Slab.nil (Slab.try_alloc s);
+  Alcotest.(check (option int)) "exhausted -> None" None (Slab.alloc s);
+  Alcotest.(check int) "both in use" 2 (Slab.in_use_count s);
+  Slab.release s a;
+  Alcotest.(check int) "released slot comes back" a (Slab.try_alloc s)
+
+let test_slab_double_release_rejected () =
+  let s = Slab.create ~slots:2 () in
+  let i = Slab.try_alloc s in
+  Slab.release s i;
+  Alcotest.check_raises "double release"
+    (Invalid_argument "Slab.release: slot is not allocated") (fun () ->
+      Slab.release s i);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Slab.release: index out of range") (fun () ->
+      Slab.release s 99);
+  Alcotest.check_raises "nil index"
+    (Invalid_argument "Slab.release: index out of range") (fun () ->
+      Slab.release s Slab.nil)
+
+let test_slab_payload_roundtrip () =
+  let s = Slab.create ~slots:4 () in
+  let i = Slab.try_alloc s in
+  Slab.set_client s i 3;
+  Slab.set_tag s i 7;
+  Slab.set_data s i 123456;
+  Slab.set_aux s i (-9);
+  Slab.set_arg s i 2.5;
+  Alcotest.(check int) "client" 3 (Slab.get_client s i);
+  Alcotest.(check int) "tag" 7 (Slab.get_tag s i);
+  Alcotest.(check int) "data" 123456 (Slab.get_data s i);
+  Alcotest.(check int) "aux" (-9) (Slab.get_aux s i);
+  Alcotest.(check (float 0.0)) "arg" 2.5 (Slab.get_arg s i)
+
+(* 4-domain stress: each domain brands every slot it allocates with a
+   value unique to (domain, iteration), spins briefly, and verifies the
+   brand before releasing.  If the free list ever hands the same slot to
+   two domains (ABA or a lost CAS), a brand check fails; the final
+   in_use_count confirms nothing leaked. *)
+let test_slab_no_aliasing_under_stress () =
+  let s = Slab.create ~slots:8 () in
+  let ndomains = 4 in
+  let iters = 20_000 in
+  let worker d () =
+    let ok = ref true in
+    for k = 1 to iters do
+      let i = Slab.try_alloc s in
+      if i <> Slab.nil then begin
+        let brand = (d * 100_000_000) + k in
+        Slab.set_data s i brand;
+        Slab.set_aux s i (lnot brand);
+        Domain.cpu_relax ();
+        if Slab.get_data s i <> brand || Slab.get_aux s i <> lnot brand then
+          ok := false;
+        Slab.release s i
+      end
+      else Domain.cpu_relax ()
+    done;
+    !ok
+  in
+  let domains = List.init ndomains (fun d -> Domain.spawn (worker (d + 1))) in
+  let oks = List.map Domain.join domains in
+  List.iteri
+    (fun d ok ->
+      Alcotest.(check bool) (Printf.sprintf "domain %d saw no aliasing" d) true ok)
+    oks;
+  Alcotest.(check int) "no leaked slots" 0 (Slab.in_use_count s)
+
+let test_slab_rejects_bad_sizes () =
+  Alcotest.check_raises "zero slots"
+    (Invalid_argument "Slab.create: slots must be positive") (fun () ->
+      ignore (Slab.create ~slots:0 () : Slab.t))
 
 (* ------------------------------------------------------------------ *)
 (* Rsem *)
@@ -596,10 +856,64 @@ let test_rpc_no_stale_wakeups transport () =
   (* The C.4 drain (Rsem.try_p after a successful second dequeue) must
      absorb every wake-up raced against a non-sleeping consumer: after a
      blocking exchange fully quiesces, no semaphore may hold residue —
-     on either transport. *)
+     on either transport.  Quiescence must also return every payload
+     slot: a slab leak means a send/receive/reply path dropped a slot
+     without releasing it. *)
   let t : (int, int) Rpc.t = Rpc.create ~transport ~nclients:2 Rpc.Block in
   echo_through t ~messages:300;
-  Alcotest.(check int) "no stale V residue" 0 (Rpc.wake_residue t)
+  Alcotest.(check int) "no stale V residue" 0 (Rpc.wake_residue t);
+  Alcotest.(check int) "no leaked slab slots" 0
+    (Slab.in_use_count (Rpc.slab t))
+
+let test_rpc_zero_alloc_steady_state () =
+  (* The tentpole property: with immediate-int codecs on the ring
+     transport, a steady-state synchronous round-trip allocates nothing
+     on the client's minor heap — indices through flat rings, payloads
+     in flat slab fields.  minor_words is per-domain in OCaml 5, so the
+     server's allocations (its domain spawn, its own warm-up) cannot
+     contaminate the reading; the calibration pair subtracts what the
+     Gc.minor_words calls themselves charge. *)
+  let t : (int, int) Rpc.t =
+    Rpc.create ~transport:Real_substrate.Ring ~req_codec:Rpc.int_codec
+      ~rep_codec:Rpc.int_codec ~nclients:1 Rpc.Block
+  in
+  let server =
+    Domain.spawn (fun () ->
+        (* Bind the handler once — a closure built inside the loop would
+           be allocated per serve turn (server-side, but keep the server
+           turn zero-allocation too). *)
+        let stop = ref false in
+        let handler ~client:_ v =
+          if v = -1 then stop := true;
+          v + 1
+        in
+        while not !stop do
+          Rpc.serve t handler
+        done)
+  in
+  (* Warm-up faults in the domain-local backoff state and any lazy
+     initialisation on both sides. *)
+  for i = 1 to 64 do
+    if Rpc.call t ~client:0 i <> i + 1 then Alcotest.fail "echo mismatch"
+  done;
+  let calib =
+    let a = Gc.minor_words () in
+    Gc.minor_words () -. a
+  in
+  let ops = 512 in
+  let w0 = Gc.minor_words () in
+  for i = 1 to ops do
+    ignore (Rpc.call t ~client:0 i : int)
+  done;
+  let w1 = Gc.minor_words () in
+  let per_op = (w1 -. w0 -. calib) /. float_of_int ops in
+  ignore (Rpc.call t ~client:0 (-1) : int);
+  Domain.join server;
+  Alcotest.(check (float 0.0))
+    (Printf.sprintf "0 minor words per round-trip (got %g)" per_op)
+    0.0 per_op;
+  Alcotest.(check int) "no leaked slab slots" 0
+    (Slab.in_use_count (Rpc.slab t))
 
 let test_rpc_counters () =
   let messages = 200 in
@@ -704,6 +1018,8 @@ let suites =
         Alcotest.test_case "capacity boundary" `Quick test_spsc_capacity;
         Alcotest.test_case "wraparound at capacity 3" `Quick
           test_spsc_wraparound;
+        Alcotest.test_case "rejects negative values" `Quick
+          test_spsc_rejects_negative_value;
         Alcotest.test_case "concurrent 1p/1c transfer" `Quick
           test_spsc_concurrent_transfer;
         Alcotest.test_case "rejects non-positive capacity" `Quick
@@ -712,6 +1028,30 @@ let suites =
         QCheck_alcotest.to_alcotest prop_spsc_batch_model;
         Alcotest.test_case "batch validation + prefix boundary" `Quick
           test_batch_validation;
+        Alcotest.test_case "multipush invisible until flush" `Quick
+          test_spsc_multipush_visibility;
+        Alcotest.test_case "multipush auto-flush at 8" `Quick
+          test_spsc_multipush_autoflush;
+        Alcotest.test_case "multipush mixed-use fifo" `Quick
+          test_spsc_multipush_mixed_fifo;
+        Alcotest.test_case "multipush all-or-nothing at full" `Quick
+          test_spsc_multipush_full;
+        Alcotest.test_case "multipush concurrent 1p/1c transfer" `Quick
+          test_spsc_multipush_concurrent_transfer;
+      ] );
+    ( "realipc.slab",
+      [
+        QCheck_alcotest.to_alcotest prop_slab_model;
+        Alcotest.test_case "exhaustion returns nil/None" `Quick
+          test_slab_exhaustion;
+        Alcotest.test_case "double release rejected" `Quick
+          test_slab_double_release_rejected;
+        Alcotest.test_case "payload field round-trip" `Quick
+          test_slab_payload_roundtrip;
+        Alcotest.test_case "4-domain no-aliasing stress" `Quick
+          test_slab_no_aliasing_under_stress;
+        Alcotest.test_case "rejects bad sizes" `Quick
+          test_slab_rejects_bad_sizes;
       ] );
     ( "realipc.mpsc_ring",
       [
@@ -780,5 +1120,7 @@ let suites =
           `Quick test_rpc_pipelined_differential;
         Alcotest.test_case "pipelined validation" `Quick
           test_rpc_pipelined_validation;
+        Alcotest.test_case "zero-alloc steady-state round-trip" `Quick
+          test_rpc_zero_alloc_steady_state;
       ] );
   ]
