@@ -2,7 +2,7 @@
 
      dune exec bench/compare.exe -- BASELINE.json CURRENT.json [--factor F]
 
-   Reads the micro_ns_per_op rows of both files (schema ulipc-bench-real/5,
+   Reads the micro_ns_per_op rows of both files (schema ulipc-bench-real/6,
    the exact line-per-row layout Bench_json.write emits — this is a
    purpose-built scanner, not a JSON parser) and fails with exit code 1 if
    any row present in both is more than F times slower in CURRENT than in
@@ -11,9 +11,25 @@
    baseline already sits at 1 µs or more are scheduler-bound (round-trips
    through sleep/wake on a time-shared core, where a single descheduled
    trial shows up as an 8-10x outlier), so they get 3F instead — still
-   far under the 75x of the original BSS pathology.  Rows missing on
-   either side, or null on either side, are reported but never fatal —
-   adding or renaming a benchmark must not break the gate. *)
+   far under the 75x of the original BSS pathology.
+
+   The real_driver rows gate too: every echo/sweep row is keyed by
+   (transport, protocol, nclients, nservers, depth) and its saturation
+   throughput (msg/ms) must not fall below baseline/3F — the whole row
+   class is scheduler-bound, hence the wide factor; what the gate exists
+   to catch is the order-of-magnitude cliff of a sharding or stealing
+   bug serialising the fleet.  Throughput on these rows depends on the
+   per-cell message budget (a 512-message quick cell is startup-
+   dominated where an 8192-message full cell is steady-state), so the
+   two sections must be gated against *like-mode* baselines: CI runs
+   this twice, `--micro-only` against the committed full-mode
+   BENCH_real.json and `--real-only` against the committed quick-mode
+   BENCH_quick.json.  Real rows whose baseline sits below 1 msg/ms are
+   reported but not gated (pure scheduler thrash — 100+ domains round-
+   robin on a shared runner; run-to-run spread there exceeds any
+   sane limit).  Rows missing on either side, or null on either side,
+   are reported but never fatal — adding or renaming a benchmark (or
+   widening the sweep grid) must not break the gate. *)
 
 let read_lines path =
   let ic = open_in path in
@@ -85,22 +101,65 @@ let micro_rows path =
         | _ -> None)
     (read_lines path)
 
+(* [(key, throughput_msg_per_ms option)] rows of the real_driver section,
+   keyed by everything that identifies a sweep cell.  Bench_json writes
+   one row per line, so the same line scanner applies. *)
+let real_rows path =
+  let in_real = ref false in
+  List.filter_map
+    (fun line ->
+      if !in_real && String.trim line = "]" then in_real := false;
+      if String.trim line = "\"real_driver\": [" then in_real := true;
+      if not !in_real then None
+      else
+        match
+          ( string_field line "transport",
+            string_field line "protocol",
+            float_field line "nclients",
+            float_field line "nservers",
+            float_field line "depth" )
+        with
+        | Some transport, Some protocol, Some nclients, Some nservers,
+          Some depth ->
+          let key =
+            Printf.sprintf "%s %s %dc %ds d%d" transport protocol
+              (int_of_float nclients) (int_of_float nservers)
+              (int_of_float depth)
+          in
+          Some (key, float_field line "throughput_msg_per_ms")
+        | Some transport, Some protocol, Some nclients, None, Some depth ->
+          (* schema /5 baselines predate the server pool: one server *)
+          let key =
+            Printf.sprintf "%s %s %dc 1s d%d" transport protocol
+              (int_of_float nclients) (int_of_float depth)
+          in
+          Some (key, float_field line "throughput_msg_per_ms")
+        | _ -> None)
+    (read_lines path)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let micro_on = ref true and real_on = ref true in
   let rec split_factor acc = function
     | "--factor" :: f :: rest -> (float_of_string f, List.rev_append acc rest)
+    | "--micro-only" :: rest ->
+      real_on := false;
+      split_factor acc rest
+    | "--real-only" :: rest ->
+      micro_on := false;
+      split_factor acc rest
     | a :: rest -> split_factor (a :: acc) rest
     | [] -> (3.0, List.rev acc)
   in
   let factor, paths = split_factor [] args in
   match paths with
   | [ baseline_path; current_path ] ->
-    let baseline = micro_rows baseline_path in
-    let current = micro_rows current_path in
-    if baseline = [] then (
+    let baseline = if !micro_on then micro_rows baseline_path else [] in
+    let current = if !micro_on then micro_rows current_path else [] in
+    if !micro_on && baseline = [] then (
       Printf.eprintf "compare: no micro rows in %s\n" baseline_path;
       exit 2);
-    if current = [] then (
+    if !micro_on && current = [] then (
       Printf.eprintf "compare: no micro rows in %s\n" current_path;
       exit 2);
     let regressions = ref 0 in
@@ -125,6 +184,43 @@ let () =
         if not (List.mem_assoc name baseline) then
           Printf.printf "  NEW       %s\n" name)
       current;
+    (* Saturation-throughput gate over the echo/sweep rows: throughput
+       is higher-better, so the failing direction is CURRENT falling
+       below BASELINE / limit.  Baselines under 1 msg/ms are reported
+       as NOISY but never gated. *)
+    let base_real = if !real_on then real_rows baseline_path else [] in
+    let cur_real = if !real_on then real_rows current_path else [] in
+    if !real_on && base_real = [] then (
+      Printf.eprintf "compare: no real_driver rows in %s\n" baseline_path;
+      exit 2);
+    let limit = factor *. 3.0 in
+    List.iter
+      (fun (key, base_tp) ->
+        match (base_tp, List.assoc_opt key cur_real) with
+        | None, _ -> ()
+        | Some tp, None ->
+          Printf.printf "  MISSING %-52s (baseline %.2f msg/ms)\n" key tp
+        | Some _, Some None ->
+          Printf.printf "  NULL      %s\n" key
+        | Some base_tp, Some (Some cur_tp) ->
+          let ratio = if cur_tp > 0.0 then base_tp /. cur_tp else infinity in
+          let flag =
+            if not (Float.is_finite base_tp) then "ok"
+            else if base_tp < 1.0 then "NOISY"
+            else if ratio > limit then (
+              incr regressions;
+              "REGRESSED")
+            else "ok"
+          in
+          Printf.printf
+            "  %-9s %-52s %10.2f -> %10.2f msg/ms  (x%.2f)\n" flag key
+            base_tp cur_tp ratio)
+      base_real;
+    List.iter
+      (fun (key, _) ->
+        if not (List.mem_assoc key base_real) then
+          Printf.printf "  NEW       %s\n" key)
+      cur_real;
     if !regressions > 0 then (
       Printf.printf "compare: %d row(s) regressed beyond %.1fx\n" !regressions
         factor;
@@ -132,6 +228,6 @@ let () =
     else Printf.printf "compare: no regression beyond %.1fx\n" factor
   | _ ->
     prerr_endline
-      "usage: compare BASELINE.json CURRENT.json [--factor F]   (default F = \
-       3.0)";
+      "usage: compare BASELINE.json CURRENT.json [--factor F] [--micro-only | \
+       --real-only]   (default F = 3.0)";
     exit 2

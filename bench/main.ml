@@ -421,6 +421,38 @@ let real_rows ~quick () =
           Ulipc_real.Rpc.[ Block; Adaptive 4096 ])
     transports
 
+(* The F2/F11-scale client-count sweep on the sharded server fleet (ring
+   transport): per-client throughput of the blocking protocols should
+   stay near-flat as the population grows — the paper's Figure 2 shape —
+   while limited spinning collapses once spinners outnumber processors,
+   the Figure 11 cliff (EXPERIMENTS.md records the observed collapse
+   point).  Full mode sweeps 2 → 512 logical clients against a 4-server
+   pool with a fixed total message budget, so every cell costs about the
+   same wall time; quick mode is the CI smoke — a small client sweep
+   crossed with pool sizes 1 and 4, enough to key rows by
+   (nclients, nservers) and exercise stealing without the long tail. *)
+let sweep_rows ~quick () =
+  let nclients_list = if quick then [ 2; 8; 32 ] else [ 2; 8; 32; 128; 512 ] in
+  let nservers_list = if quick then [ 1; 4 ] else [ 4 ] in
+  let budget = if quick then 512 else 8192 in
+  let protocols =
+    Ulipc_real.Rpc.[ Block; Block_yield; Limited_spin 50; Adaptive 4096 ]
+  in
+  List.concat_map
+    (fun nservers ->
+      List.concat_map
+        (fun nclients ->
+          let messages = max 4 (budget / nclients) in
+          List.map
+            (fun waiting ->
+              ( Ulipc_real.Real_substrate.Ring,
+                Real_driver.run
+                  ~machine:(transport_name Ulipc_real.Real_substrate.Ring)
+                  ~nservers ~nclients ~messages waiting ))
+            protocols)
+        nclients_list)
+    nservers_list
+
 let print_micro ~quick ~json () =
   Format.printf
     "=== Real-hardware micro-benchmarks (OCaml domains, Bechamel) ===@.";
@@ -440,6 +472,21 @@ let print_micro ~quick ~json () =
       Format.printf "%a@.%a@.@." Metrics.pp_row m Ulipc.Counters.pp
         m.Metrics.counters)
     real;
+  Format.printf
+    "--- client-count sweep on the sharded fleet (F2/F11 scale) ---@.";
+  let sweep = sweep_rows ~quick () in
+  List.iter
+    (fun (_, m) ->
+      let per_client =
+        m.Metrics.throughput_msg_per_ms /. float_of_int m.Metrics.nclients
+      in
+      Format.printf "%a  per-client %8.4f msg/ms  util %3.0f%%/%3.0f%%@."
+        Metrics.pp_row m per_client
+        (100.0 *. m.Metrics.utilization)
+        (100.0 *. m.Metrics.utilization_max))
+    sweep;
+  Format.printf "@.";
+  let real = real @ sweep in
   match json with
   | None -> ()
   | Some path ->

@@ -13,6 +13,10 @@ type t = {
   mutable server_spin_iterations : int;
   mutable server_spin_fallthroughs : int;
   mutable backoff_sleeps : int;
+  mutable steal_posts : int;
+  mutable steal_handoffs : int;
+  mutable steal_msgs : int;
+  mutable slab_hwm : int;
 }
 
 let create () =
@@ -31,6 +35,10 @@ let create () =
     server_spin_iterations = 0;
     server_spin_fallthroughs = 0;
     backoff_sleeps = 0;
+    steal_posts = 0;
+    steal_handoffs = 0;
+    steal_msgs = 0;
+    slab_hwm = 0;
   }
 
 let reset t =
@@ -47,7 +55,11 @@ let reset t =
   t.spin_fallthroughs <- 0;
   t.server_spin_iterations <- 0;
   t.server_spin_fallthroughs <- 0;
-  t.backoff_sleeps <- 0
+  t.backoff_sleeps <- 0;
+  t.steal_posts <- 0;
+  t.steal_handoffs <- 0;
+  t.steal_msgs <- 0;
+  t.slab_hwm <- 0
 
 let add dst src =
   dst.sends <- dst.sends + src.sends;
@@ -65,15 +77,23 @@ let add dst src =
     dst.server_spin_iterations + src.server_spin_iterations;
   dst.server_spin_fallthroughs <-
     dst.server_spin_fallthroughs + src.server_spin_fallthroughs;
-  dst.backoff_sleeps <- dst.backoff_sleeps + src.backoff_sleeps
+  dst.backoff_sleeps <- dst.backoff_sleeps + src.backoff_sleeps;
+  dst.steal_posts <- dst.steal_posts + src.steal_posts;
+  dst.steal_handoffs <- dst.steal_handoffs + src.steal_handoffs;
+  dst.steal_msgs <- dst.steal_msgs + src.steal_msgs;
+  (* a high-water mark, not a flow: merging two observations of the same
+     slab keeps the larger *)
+  dst.slab_hwm <- max dst.slab_hwm src.slab_hwm
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>sends=%d receives=%d replies=%d@,\
      blocks: client=%d server=%d  wakeups: client=%d server=%d@,\
      race-fix P=%d queue-full sleeps=%d backoff sleeps=%d@,\
-     client spin: iters=%d falls=%d  server spin: iters=%d falls=%d@]"
+     client spin: iters=%d falls=%d  server spin: iters=%d falls=%d@,\
+     steals: posts=%d handoffs=%d msgs=%d  slab hwm=%d@]"
     t.sends t.receives t.replies t.client_blocks t.server_blocks
     t.client_wakeups t.server_wakeups t.race_fix_p t.queue_full_sleeps
     t.backoff_sleeps t.spin_iterations t.spin_fallthroughs
-    t.server_spin_iterations t.server_spin_fallthroughs
+    t.server_spin_iterations t.server_spin_fallthroughs t.steal_posts
+    t.steal_handoffs t.steal_msgs t.slab_hwm

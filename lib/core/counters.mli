@@ -28,6 +28,16 @@ type t = {
       (** busy-wait steps that escalated past the bounded spin budget to
           a real (bounded exponential) sleep — the real backend's yield;
           always 0 on the simulator *)
+  mutable steal_posts : int;
+      (** steal tokens posted by idle servers on loaded siblings (real
+          backend, [nservers > 1] only) *)
+  mutable steal_handoffs : int;
+      (** tokens honoured: a victim drained a span of its backlog and
+          re-enqueued it on the thief's ring *)
+  mutable steal_msgs : int;  (** messages moved across shards by handoffs *)
+  mutable slab_hwm : int;
+      (** payload-slab in-use high-water mark observed over the run;
+          merged by [max], not by sum *)
 }
 
 val create : unit -> t

@@ -384,8 +384,12 @@ let pp_dist ppf d =
     Format.fprintf ppf "n=%d p50=%.2f p99=%.2f max=%.2f" d.n d.p50_us d.p99_us
       d.max_us
 
+(* Negative ids are the request shards, [-(k+1)] for shard [k] (shard 0
+   keeps the historical bare "request"); non-negative ids are reply
+   channels, one per client. *)
 let chan_name = function
   | -1 -> "request"
+  | n when n < 0 -> Printf.sprintf "request/%d" (-n - 1)
   | n -> Printf.sprintf "reply %d" n
 
 let pp ppf r =

@@ -11,15 +11,33 @@
    touches no heap: no message records, no option boxing, no queue
    nodes (on the ring transport).
 
+   The request plane is SHARDED: [nservers] request channels, each the
+   inbox of one server domain, with clients mapped to a home shard by a
+   static {!Shard_map} (round-robin by client id unless overridden).
+   At [nservers = 1] this degenerates to exactly the old single-queue
+   session.  Shard channels carry negative ids [-(k+1)] (so shard 0
+   keeps the old [-1], and every consumer-side role test is just
+   [chan_id < 0]); reply channels keep their client number.
+
+   Cross-shard rebalancing hangs off the per-shard STEAL TOKENS: an
+   idle server CAS-claims the token of a loaded sibling, and that
+   sibling — the only consumer its Mpsc_ring permits — hands a span of
+   its backlog over by draining and re-enqueueing onto the thief's
+   ring.  The token is the whole substrate-side mechanism (three
+   operations below); the orchestration lives in {!Rpc}.
+
    Two transports implement the queue primitives.  [Two_lock] is the
    paper's Michael & Scott two-lock queue (Tl_queue): safe for any mix of
    producers and consumers, but each operation pays a mutex pair, a
-   shared count and a heap node.  [Ring] exploits the session shape the
-   substrate signature already fixes: the shared request queue has many
-   producers and exactly one consumer (Mpsc_ring), and each reply channel
-   has exactly one producer — the server — and one consumer — the owning
-   client (Spsc_ring).  Both rings are lock-free, allocation-free per
-   message and keep their indices on padded cache lines.
+   shared count and a heap node.  [Ring] exploits the session shape:
+   each request shard has many producers and exactly one consumer
+   (Mpsc_ring), and each reply channel has one consumer — the owning
+   client.  At [nservers = 1] the reply producer is unique too (the
+   server), so replies ride {!Spsc_ring}; with a server *pool* any
+   server may answer a stolen request, so reply channels switch to
+   {!Mpsc_ring} (still single-consumer).  All rings are lock-free,
+   allocation-free per message and keep their indices on padded cache
+   lines.
 
    Instrumentation lives here, on the substrate side of the signature's
    counters seam, so the protocol core stays untouched: an optional
@@ -41,12 +59,16 @@ type channel = {
   queue : queue;
   awake : bool Atomic.t;
   sem : Rsem.t;
-  chan_id : int; (* -1 = shared request channel, n = reply channel n *)
+  chan_id : int; (* -(k+1) = request shard k, n >= 0 = reply channel n *)
 }
 
 type t = {
-  request_ch : channel;
+  requests : channel array; (* one per server shard *)
   replies : channel array;
+  shard_map : Shard_map.t;
+  steal : int Atomic.t array;
+      (* per-shard steal token: -1 = free, else the shard id of the idle
+         server asking this shard's owner for a span of its backlog *)
   slab : Slab.t;
   transport : transport;
   counters : Ulipc.Counters.t;
@@ -60,29 +82,48 @@ let no_msg = Slab.nil (* -1: an index no slab ever hands out *)
 let make_channel ~chan_id queue =
   { queue; awake = Atomic.make true; sem = Rsem.create 0; chan_id }
 
-let create ?(transport = Ring) ?trace ?slots ~capacity ~nclients () =
-  let request_queue =
+let create ?(transport = Ring) ?trace ?slots ?(nservers = 1) ?shard_assign
+    ~capacity ~nclients () =
+  if nservers <= 0 then
+    invalid_arg "Real_substrate.create: nservers must be positive";
+  let shard_map =
+    Shard_map.create ?assign:shard_assign ~nclients ~nshards:nservers ()
+  in
+  let request_queue () =
     match transport with
     | Two_lock -> Q_two_lock (Tl_queue.create ~capacity ())
     | Ring -> Q_mpsc (Mpsc_ring.create ~capacity ())
   in
+  (* A lone server is the unique producer of every reply channel, so the
+     SPSC ring applies; a pool is not — a stolen request is answered by
+     the thief, so reply channels get a second (… nth) producer and must
+     ride the MPSC ring.  Still one consumer: the owning client. *)
   let reply_queue () =
     match transport with
     | Two_lock -> Q_two_lock (Tl_queue.create ~capacity ())
-    | Ring -> Q_spsc (Spsc_ring.create ~capacity ())
+    | Ring ->
+      if nservers = 1 then Q_spsc (Spsc_ring.create ~capacity ())
+      else Q_mpsc (Mpsc_ring.create ~capacity ())
   in
   (* Default slab sizing: every channel full plus one in-flight slot per
-     endpoint can never exhaust it, so the protocols' flow control (the
-     bounded queues) is what callers observe, not slab pressure. *)
+     endpoint (client or server) can never exhaust it, so the protocols'
+     flow control (the bounded queues) is what callers observe, not slab
+     pressure.  The channel count grows with the fleet — [nservers]
+     request shards plus [nclients] reply channels — hence the explicit
+     dependence on both. *)
   let slots =
     match slots with
     | Some n -> n
-    | None -> (nclients + 1) * (capacity + 1)
+    | None -> (nclients + nservers) * (capacity + 1)
   in
   {
-    request_ch = make_channel ~chan_id:(-1) request_queue;
+    requests =
+      Array.init nservers (fun k ->
+          make_channel ~chan_id:(-(k + 1)) (request_queue ()));
     replies =
       Array.init nclients (fun i -> make_channel ~chan_id:i (reply_queue ()));
+    shard_map;
+    steal = Array.init nservers (fun _ -> Atomic.make (-1));
     slab = Slab.create ~slots ();
     transport;
     counters = Ulipc.Counters.create ();
@@ -92,13 +133,54 @@ let create ?(transport = Ring) ?trace ?slots ~capacity ~nclients () =
 let transport t = t.transport
 let trace t = t.trace
 let slab t = t.slab
-let request t = t.request_ch
+
+(* Substrate.S sees a single request channel: the protocol core is only
+   ever handed shard channels explicitly by Rpc's sharded dispatch, and
+   the [S.request] calls inside the core's Bss/Bsw/... modules are
+   reached only on the [nservers = 1] fast path, where shard 0 IS the
+   session's one request queue. *)
+let request t = t.requests.(0)
 let nclients t = Array.length t.replies
+let nshards t = Array.length t.requests
+let shard_map t = t.shard_map
+let shard_of_client t client = Shard_map.shard t.shard_map client
+
+let request_shard t k =
+  if k < 0 || k >= Array.length t.requests then
+    invalid_arg (Printf.sprintf "Real_substrate.request_shard: no shard %d" k);
+  t.requests.(k)
 
 let reply_channel t n =
   if n < 0 || n >= Array.length t.replies then
     invalid_arg (Printf.sprintf "Rpc.reply_channel: no channel %d" n);
   t.replies.(n)
+
+let queue_length = function
+  | Q_two_lock q -> Tl_queue.length q
+  | Q_spsc q -> Spsc_ring.length q
+  | Q_mpsc q -> Mpsc_ring.length q
+
+let request_depth t k = queue_length t.requests.(k).queue
+
+(* Steal token: one CAS word per shard.  [steal_claim] is the thief's
+   side (post my shard id on a loaded victim, exactly one thief at a
+   time); [steal_take] is the victim's side (consume the token before
+   servicing it, so a token is honoured at most once); [steal_retract]
+   lets a thief withdraw a request its own ring has since made moot —
+   CAS, not set, because the victim may be taking it concurrently.
+   Either CAS failing is benign: the token was already consumed. *)
+let steal_claim t ~victim ~thief =
+  Atomic.compare_and_set t.steal.(victim) (-1) thief
+
+let steal_take t ~shard =
+  let tok = t.steal.(shard) in
+  let thief = Atomic.get tok in
+  if thief >= 0 && Atomic.compare_and_set tok thief (-1) then thief else -1
+
+let steal_retract t ~victim ~thief =
+  ignore (Atomic.compare_and_set t.steal.(victim) thief (-1) : bool)
+
+let steal_pending t ~shard = Atomic.get t.steal.(shard)
 
 let emit t ch kind =
   match t.trace with
@@ -119,11 +201,12 @@ let pre_stamp t =
   match t.trace with None -> 0 | Some _ -> Ulipc_observe.Clock.now_ns ()
 
 (* Every queue operation reports to the calling domain's backoff state:
-   success ends the waiting episode, failure tags the wait's role (the
+   success ends the waiting episode, failure tags the wait's role (a
    request channel's consumer spins long, everyone else escalates to
-   sleeping quickly — see Backoff).  The tag is what lets the stateless
-   [busy_wait] hint pick the right spin budget without widening the
-   Substrate.S seam. *)
+   sleeping quickly — see Backoff).  Request shards are exactly the
+   negative chan_ids.  The tag is what lets the stateless [busy_wait]
+   hint pick the right spin budget without widening the Substrate.S
+   seam. *)
 
 let enqueue t ch m =
   let t_ns = pre_stamp t in
@@ -152,7 +235,7 @@ let dequeue t ch =
     Backoff.progress (Backoff.get ());
     emit t ch Ulipc_observe.Event.Dequeue
   end
-  else Backoff.note_role (Backoff.get ()) ~server_side:(ch.chan_id = -1);
+  else Backoff.note_role (Backoff.get ()) ~server_side:(ch.chan_id < 0);
   m
 
 (* Multipush seam (Torquati): [enqueue_local] parks the index in the
@@ -161,7 +244,8 @@ let dequeue t ch =
    index with one head store.  Callers must flush before waking the
    consumer, or the wake-up races a message it cannot yet see.  On the
    other queue kinds the pair degrades to plain enqueue / no-op, so the
-   batched plane in Rpc is transport-oblivious. *)
+   batched plane in Rpc is transport-oblivious (pooled sessions, whose
+   reply channels are MPSC, simply lose the multipush shortcut). *)
 
 let enqueue_local t ch m =
   match ch.queue with
@@ -228,7 +312,7 @@ let dequeue_many t ch ~buf ~pos ~max =
     done
   end
   else if max > 0 then
-    Backoff.note_role (Backoff.get ()) ~server_side:(ch.chan_id = -1);
+    Backoff.note_role (Backoff.get ()) ~server_side:(ch.chan_id < 0);
   k
 
 let queue_is_empty _ ch =
@@ -284,11 +368,11 @@ let poll _ _ = Domain.cpu_relax ()
 let yield _ = Domain.cpu_relax ()
 
 let handoff_server t =
-  emit t t.request_ch Ulipc_observe.Event.Handoff;
+  emit t t.requests.(0) Ulipc_observe.Event.Handoff;
   Domain.cpu_relax ()
 
 let handoff_any t =
-  emit t t.request_ch Ulipc_observe.Event.Handoff;
+  emit t t.requests.(0) Ulipc_observe.Event.Handoff;
   Domain.cpu_relax ()
 
 let flow_sleep t = if Backoff.wait (Backoff.get ()) then slept t
@@ -296,7 +380,7 @@ let note_spin_exhausted t ch = emit t ch Ulipc_observe.Event.Spin_exhaust
 let counters t = t.counters
 
 let wake_residue t =
-  Array.fold_left
-    (fun acc ch -> acc + Rsem.value ch.sem)
-    (Rsem.value t.request_ch.sem)
-    t.replies
+  let req =
+    Array.fold_left (fun acc ch -> acc + Rsem.value ch.sem) 0 t.requests
+  in
+  Array.fold_left (fun acc ch -> acc + Rsem.value ch.sem) req t.replies

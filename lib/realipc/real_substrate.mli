@@ -11,7 +11,15 @@
     allocates nothing on the minor heap.  The single
     [Ulipc.Protocol_core.Make (Real_substrate)] application in {!Rpc}
     still serves sessions of every request/reply type, via codecs that
-    marshal typed payloads into slot fields. *)
+    marshal typed payloads into slot fields.
+
+    The request plane is {e sharded}: [nservers] request channels, one
+    per server domain, with clients statically mapped to a home shard by
+    a {!Shard_map} (round-robin by client id unless overridden).  At
+    [nservers = 1] this is exactly the old single-queue session.
+    Cross-shard rebalancing rides the per-shard steal tokens below; the
+    orchestration (when to claim, how a victim hands a span over) lives
+    in {!Rpc}. *)
 
 type transport =
   | Two_lock
@@ -19,12 +27,13 @@ type transport =
           queue.  Safe for any producer/consumer mix; each operation pays
           a mutex pair and a heap node. *)
   | Ring
-      (** Lock-free rings shaped to the session: {!Mpsc_ring} for the
-          shared request queue (many clients, one server) and
-          {!Spsc_ring} for each reply channel (the server is its only
-          producer, the owning client its only consumer).  The default:
-          no locks, no per-message allocation, padded index cache
-          lines. *)
+      (** Lock-free rings shaped to the session: {!Mpsc_ring} for each
+          request shard (many clients, one server) and for the reply
+          channels of a pooled session (any server may answer a stolen
+          request; the owning client is still the only consumer);
+          {!Spsc_ring} for reply channels when [nservers = 1] (the lone
+          server is then the unique producer).  The default: no locks,
+          no per-message allocation, padded index cache lines. *)
 
 val transport_name : transport -> string
 (** ["two-lock"] / ["ring"], for report rows and JSON. *)
@@ -39,21 +48,26 @@ val create :
   ?transport:transport ->
   ?trace:Trace_ring.t ->
   ?slots:int ->
+  ?nservers:int ->
+  ?shard_assign:(int -> int) ->
   capacity:int ->
   nclients:int ->
   unit ->
   t
-(** One request channel plus [nclients] reply channels, each bounded by
-    [capacity], one payload {!Slab} of [slots] slots (default
-    [(nclients + 1) * (capacity + 1)]: every channel full plus one
-    in-flight slot per endpoint can never exhaust it), and a fresh
-    {!Ulipc.Counters} sink.  [transport] (default {!Ring}) selects the
-    queue implementation under every channel.  [trace] attaches an
-    event-trace sink: every successful enqueue/dequeue, every semaphore
-    block/wake and every handoff hint is recorded with a timestamp into
-    the calling domain's bounded ring — instrumentation on the substrate
-    side of the [Substrate.S] seam, like the counters, so the protocol
-    core is untouched. *)
+(** [nservers] request shard channels (default 1) plus [nclients] reply
+    channels, each bounded by [capacity], one payload {!Slab} of [slots]
+    slots (default [(nclients + nservers) * (capacity + 1)]: every
+    channel full plus one in-flight slot per endpoint can never exhaust
+    it), and a fresh {!Ulipc.Counters} sink.  [shard_assign] overrides
+    the round-robin client→shard map (see {!Shard_map.create}).
+    [transport] (default {!Ring}) selects the queue implementation under
+    every channel.  [trace] attaches an event-trace sink: every
+    successful enqueue/dequeue, every semaphore block/wake and every
+    handoff hint is recorded with a timestamp into the calling domain's
+    bounded ring — instrumentation on the substrate side of the
+    [Substrate.S] seam, like the counters, so the protocol core is
+    untouched.  Shard [k]'s channel id is [-(k+1)] (shard 0 keeps the
+    historical [-1]); reply channel [n] keeps id [n]. *)
 
 val transport : t -> transport
 
@@ -71,6 +85,53 @@ val wake_residue : t -> int
 (** Sum of all channel semaphore counts: surplus wake-ups left pending.
     With the test-and-set discipline and the non-blocking drain this is 0
     at quiescence. *)
+
+(** {1 Sharded request plane} *)
+
+val nshards : t -> int
+(** Number of request shards — the [nservers] of {!create}. *)
+
+val shard_map : t -> Shard_map.t
+
+val shard_of_client : t -> int -> int
+(** Home shard of a client's requests: one array load. *)
+
+val request_shard : t -> int -> channel
+(** Shard [k]'s request channel.  [request_shard t 0 == request t].
+    @raise Invalid_argument on a bad shard number. *)
+
+val request_depth : t -> int -> int
+(** Occupancy snapshot of shard [k]'s request queue — how the steal
+    orchestration picks its victim.  Conservative under concurrency
+    (see {!Mpsc_ring.length}). *)
+
+(** {2 Steal tokens}
+
+    One CAS word per shard, [-1] when free.  A server with nothing to do
+    posts its shard id on a loaded sibling ({!steal_claim}); the
+    sibling — its ring's only legal consumer — consumes the token
+    ({!steal_take}), drains a span of its backlog and re-enqueues it on
+    the thief's ring.  At most one thief per victim at a time, and a
+    token is honoured at most once.  All three operations are benign
+    under races: a failed CAS just means the token was already taken. *)
+
+val steal_claim : t -> victim:int -> thief:int -> bool
+(** Post [thief]'s shard id on [victim]'s token; [false] if some token
+    is already posted there. *)
+
+val steal_take : t -> shard:int -> int
+(** Consume the token posted on [shard] (the caller must be its owning
+    server): the thief's shard id, or [-1] if none was posted. *)
+
+val steal_retract : t -> victim:int -> thief:int -> unit
+(** Withdraw a claim [thief] posted on [victim], if still pending — a
+    thief whose own ring has since filled no longer wants the handoff.
+    No-op if the victim already took it (the span will just arrive; the
+    thief's consumer loop handles it like any other traffic). *)
+
+val steal_pending : t -> shard:int -> int
+(** The thief id currently posted on [shard], or [-1]; for the owning
+    server's fast-path check and for tests. *)
 
 (** {1 Batch data path}
 

@@ -2,12 +2,32 @@
 
    This module contains NO protocol logic of its own: it instantiates the
    substrate-parametric core (Ulipc.Protocol_core.Make) over the
-   real-domains substrate and routes each call to the protocol selected at
-   create time.  The producer steps P.1–P.3, the consumer sequence
-   C.1–C.5, the raced-wake-up drain and the poll loops are the very same
-   code the simulator runs.
+   real-domains substrate and composes each call from the core's shared
+   primitives (P.Prims) — the producer steps P.1–P.3, the consumer
+   sequence C.1–C.5, the raced-wake-up drain and the poll loops are the
+   very same code the simulator runs.  The composition (rather than the
+   core's fixed Bss/Bsw/... entry points) is what lets the request plane
+   be SHARDED without widening the Substrate.S seam: a client's send
+   targets its home shard's channel, a server's receive drains its own
+   shard's channel, and at [nservers = 1] every composition reduces to
+   the core module bodies verbatim.
 
-   What this module does own is the slot lifecycle of the zero-copy
+   Cross-shard rebalancing is handoff-based stealing.  Mpsc_ring has
+   exactly one legal consumer, so an idle server cannot dequeue from a
+   sibling's ring; instead it posts a steal token (one CAS word per
+   shard) on the deepest loaded sibling and goes through its normal
+   blocking sequence.  The victim — checking its token once per receive
+   — honours it by draining a span of its own backlog (dequeue_many, its
+   right as the ring's consumer) and re-enqueueing the span on the
+   thief's ring (enqueue_many; any domain may produce), then waking the
+   thief like any other producer would.  Slot indices move between rings
+   for free: the payload slab is shared, so a steal copies ints, never
+   messages.  Whatever the thief's ring cannot accept stays in the
+   victim's private stash, consumed before its own ring — a message
+   leaves its home ring at most once and can never be lost or
+   duplicated.
+
+   What this module also owns is the slot lifecycle of the zero-copy
    message plane.  The queues carry slab slot indices (Real_substrate's
    [msg = int]); a codec pair marshals the session's typed payloads into
    a slot's flat fields.  Ownership of a slot follows the message: the
@@ -47,27 +67,44 @@ let boxed_codec () =
 let int_codec = { write = Slab.set_data; read = Slab.get_data }
 let float_codec = { write = Slab.set_arg; read = Slab.get_arg }
 
+(* Per-server mutable state, owned exclusively by that server's domain
+   (the scratch buffers and the stash are single-writer by the same
+   convention that makes the Mpsc_ring consumer unique). *)
+type server_state = {
+  scratch : int array; (* span buffer for batch drains *)
+  steal_buf : int array; (* span buffer for honouring a steal token *)
+  stash : int array;
+      (* handoff leftovers the thief's ring could not accept: consumed
+         before the own ring, so stealing can never lose a message *)
+  mutable stash_pos : int;
+  mutable stash_len : int;
+  mutable posted_on : int;
+      (* the victim shard this server currently has a steal token posted
+         on, -1 if none — so a server never posts two claims at once and
+         can retract after its own traffic resumes *)
+}
+
 type ('req, 'rep) t = {
   waiting : waiting;
   sub : Real_substrate.t;
   adapt : int Atomic.t array;
-      (* per-channel adaptive MAX_SPIN: slot 0 is the request channel
-         (read/written by the server only), slot [i+1] reply channel [i]
-         (its owning client only) — Atomic for cross-domain publication,
-         never contended. *)
+      (* per-channel adaptive MAX_SPIN: slot [k < nservers] is request
+         shard [k] (read/written by its server only), slot
+         [nservers + i] reply channel [i] (its owning client only) —
+         Atomic for cross-domain publication, never contended. *)
   req_codec : 'req codec;
   rep_codec : 'rep codec;
-  server_scratch : int array;
-      (* span buffer for the server's batch drains; server domain only *)
+  servers : server_state array;
   client_scratch : int array array;
       (* span buffer per client, for its bursts and batch collects;
          owned by the client domain of that number *)
 }
 
 let create ?(capacity = 64) ?transport ?trace ?slots ?req_codec ?rep_codec
-    ~nclients waiting =
+    ?(nservers = 1) ?shard_assign ~nclients waiting =
   if nclients <= 0 then invalid_arg "Rpc.create: nclients must be positive";
   if capacity <= 0 then invalid_arg "Rpc.create: capacity must be positive";
+  if nservers <= 0 then invalid_arg "Rpc.create: nservers must be positive";
   (match waiting with
   | Limited_spin max_spin when max_spin < 0 ->
     invalid_arg "Rpc.create: max_spin must be non-negative"
@@ -93,23 +130,39 @@ let create ?(capacity = 64) ?transport ?trace ?slots ?req_codec ?rep_codec
   in
   {
     waiting;
-    sub = Real_substrate.create ?transport ?trace ?slots ~capacity ~nclients ();
-    adapt = Array.init (nclients + 1) (fun _ -> Atomic.make 0);
+    sub =
+      Real_substrate.create ?transport ?trace ?slots ~nservers ?shard_assign
+        ~capacity ~nclients ();
+    adapt = Array.init (nservers + nclients) (fun _ -> Atomic.make 0);
     req_codec;
     rep_codec;
-    server_scratch = Array.make capacity 0;
+    servers =
+      Array.init nservers (fun _ ->
+          {
+            scratch = Array.make capacity 0;
+            steal_buf = Array.make capacity 0;
+            stash = Array.make capacity 0;
+            stash_pos = 0;
+            stash_len = 0;
+            posted_on = -1;
+          });
     client_scratch = Array.init nclients (fun _ -> Array.make capacity 0);
   }
 
 let nclients t = Real_substrate.nclients t.sub
+let nservers t = Real_substrate.nshards t.sub
 let transport t = Real_substrate.transport t.sub
 let trace t = Real_substrate.trace t.sub
 let slab t = Real_substrate.slab t.sub
 let counters t = Real_substrate.counters t.sub
 let wake_residue t = Real_substrate.wake_residue t.sub
+let shard_of_client t client = Real_substrate.shard_of_client t.sub client
 
 let check_client t client =
   ignore (Real_substrate.reply_channel t.sub client : Real_substrate.channel)
+
+let check_server t server =
+  ignore (Real_substrate.request_shard t.sub server : Real_substrate.channel)
 
 let ctrs t = Real_substrate.counters t.sub
 
@@ -131,22 +184,36 @@ let bump_full_sleep t =
 
 (* Slab exhaustion is flow control, one layer under the full-queue case:
    every slot is riding a queue or held by a busy peer, so the sender
-   backs off exactly as it would for a full queue.  Unreachable with the
-   default slab sizing (every queue full plus one slot per endpoint fits)
-   — only a deliberately small [slots] hits this. *)
-let rec alloc_slot t =
-  (* Top-level recursion: a local retry closure would allocate per call
-     on the otherwise allocation-free send path (no flambda). *)
-  let i = Slab.try_alloc (Real_substrate.slab t.sub) in
+   backs off exactly as it would for a full queue — but only for a
+   bounded number of episodes.  Unreachable with the default slab sizing
+   (every queue full plus one slot per endpoint fits); an undersized
+   explicit [~slots] on a fleet-scale session would otherwise hang every
+   producer forever, which is why the bound turns persistent exhaustion
+   into a clear error instead. *)
+let alloc_retry_limit = 10_000
+
+let rec alloc_slot_retry t retries =
+  let slab = Real_substrate.slab t.sub in
+  let i = Slab.try_alloc slab in
   if i >= 0 then i
+  else if retries >= alloc_retry_limit then
+    failwith
+      (Printf.sprintf
+         "Rpc: payload slab exhausted (%d of %d slots in use after %d \
+          back-offs): the session's ~slots is too small for this client \
+          count and depth — size it at least (nclients + nservers) * \
+          (capacity + 1), or omit ~slots for that default"
+         (Slab.in_use_count slab) (Slab.slots slab) retries)
   else begin
     (match t.waiting with
     | Spin -> P.Prims.busy_wait t.sub
     | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
       bump_full_sleep t;
       Real_substrate.flow_sleep t.sub);
-    alloc_slot t
+    alloc_slot_retry t (retries + 1)
   end
+
+let alloc_slot t = alloc_slot_retry t 0
 
 (* Adaptive BSLS: the BSLS code path with a per-channel MAX_SPIN that
    tracks the observed spin-success rate.  A spin episode that ends with
@@ -195,55 +262,238 @@ let adaptive_dequeue t ch ~slot ~cap ~side =
     P.Prims.blocking_dequeue t.sub ch ~side ~on_empty:P.Prims.Hint_busy_wait ()
   end
 
-(* The raw index planes: protocol dispatch over slot indices.  The
-   typed layer below them is nothing but alloc/fill before and
-   read/release after. *)
+(* ------------------------------------------------------------------ *)
+(* Steal orchestration.                                                *)
+(* ------------------------------------------------------------------ *)
 
+(* A shard is worth stealing from only if a span survives the handoff
+   round-trip: below two messages the victim would hand over its entire
+   backlog and the pair would just ping-pong single messages. *)
+let steal_min = 2
+
+(* Thief side: my ring is empty, so post a claim on the deepest loaded
+   sibling and then block as usual — the handoff arrives on MY ring, so
+   the normal producer wake-up protocol covers the delivery and there is
+   no second wait primitive to get wrong.  At most one outstanding claim
+   per server ([posted_on]); claims on an already-claimed victim simply
+   fail (one thief per victim at a time). *)
+let try_post_steal t ~server =
+  let sub = t.sub in
+  let n = Real_substrate.nshards sub in
+  let st = t.servers.(server) in
+  if n > 1 && st.posted_on < 0 then begin
+    let best = ref (-1) and best_depth = ref (steal_min - 1) in
+    for k = 0 to n - 1 do
+      if k <> server then begin
+        let d = Real_substrate.request_depth sub k in
+        if d > !best_depth then begin
+          best := k;
+          best_depth := d
+        end
+      end
+    done;
+    if !best >= 0 && Real_substrate.steal_claim sub ~victim:!best ~thief:server
+    then begin
+      st.posted_on <- !best;
+      let c = ctrs t in
+      c.Ulipc.Counters.steal_posts <- c.Ulipc.Counters.steal_posts + 1
+    end
+  end
+
+(* After a successful receive the thief no longer needs the claim.  The
+   retract CAS may lose to the victim taking the token concurrently —
+   then the span is already on its way and the thief's next receive
+   consumes it like any other traffic. *)
+let retract_steal t ~server =
+  let st = t.servers.(server) in
+  if st.posted_on >= 0 then begin
+    Real_substrate.steal_retract t.sub ~victim:st.posted_on ~thief:server;
+    st.posted_on <- -1
+  end
+
+(* Victim side: called once per receive, before draining the own ring.
+   Honouring a token = drain half my backlog (span-claimed dequeue_many:
+   I am this ring's only consumer) and re-enqueue it on the thief's ring
+   (enqueue_many: anyone may produce), then wake the thief exactly as a
+   client producer would.  Only runs when the stash is empty, so the
+   leftover span always fits ([steal_buf] and [stash] share the ring
+   capacity bound). *)
+let service_steal t ~server =
+  let sub = t.sub in
+  if
+    Real_substrate.nshards sub > 1
+    && Real_substrate.steal_pending sub ~shard:server >= 0
+    && Real_substrate.request_depth sub server >= steal_min
+  then begin
+    let thief = Real_substrate.steal_take sub ~shard:server in
+    if thief >= 0 && thief <> server then begin
+      let st = t.servers.(server) in
+      let own = Real_substrate.request_shard sub server in
+      let depth = Real_substrate.request_depth sub server in
+      let want = min (Array.length st.steal_buf) (max 1 (depth / 2)) in
+      let k =
+        Real_substrate.dequeue_many sub own ~buf:st.steal_buf ~pos:0 ~max:want
+      in
+      if k > 0 then begin
+        let thief_ch = Real_substrate.request_shard sub thief in
+        let a =
+          Real_substrate.enqueue_many sub thief_ch st.steal_buf ~pos:0 ~len:k
+        in
+        if a > 0 then begin
+          ignore
+            (P.Prims.wake_consumer sub thief_ch ~target:P.Prims.Server : bool);
+          let c = ctrs t in
+          c.Ulipc.Counters.steal_handoffs <-
+            c.Ulipc.Counters.steal_handoffs + 1;
+          c.Ulipc.Counters.steal_msgs <- c.Ulipc.Counters.steal_msgs + a
+        end;
+        if a < k then begin
+          (* The thief's ring filled mid-handoff (its own clients raced
+             us): keep the tail ourselves.  Dequeued means owned — these
+             must not be re-enqueued on our ring behind newer traffic,
+             or per-shard FIFO would invert; the stash preserves their
+             position at the head of our backlog. *)
+          Array.blit st.steal_buf a st.stash 0 (k - a);
+          st.stash_pos <- 0;
+          st.stash_len <- k - a
+        end
+      end
+    end
+  end
+
+let pop_stash st =
+  if st.stash_pos < st.stash_len then begin
+    let m = st.stash.(st.stash_pos) in
+    st.stash_pos <- st.stash_pos + 1;
+    if st.stash_pos = st.stash_len then begin
+      st.stash_pos <- 0;
+      st.stash_len <- 0
+    end;
+    m
+  end
+  else Real_substrate.no_msg
+
+(* ------------------------------------------------------------------ *)
+(* The raw index planes: protocol dispatch over slot indices.  The     *)
+(* typed layer below them is nothing but alloc/fill before and         *)
+(* read/release after.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Client send: the core's Bss/Bsw/Bswy/Bsls/Handoff send bodies with
+   the client's HOME SHARD channel in place of the session-global
+   [S.request].  Composed from the same Prims, so the producer steps and
+   the consumer sequence are still written exactly once (in the core) —
+   at [nservers = 1] this is the core module body, line for line. *)
 let send_msg t ~client m =
-  match t.waiting with
-  | Spin -> P.Bss.send t.sub ~client m
-  | Block -> P.Bsw.send t.sub ~client m
-  | Block_yield -> P.Bswy.send t.sub ~client m
-  | Limited_spin max_spin -> P.Bsls.send t.sub ~client ~max_spin m
-  | Handoff -> P.Handoff.send t.sub ~client m
-  | Adaptive cap ->
-    let request = Real_substrate.request t.sub in
-    let reply_ch = Real_substrate.reply_channel t.sub client in
-    P.Prims.flow_enqueue t.sub request m;
-    let (_ : bool) =
-      P.Prims.wake_consumer t.sub request ~target:P.Prims.Server
-    in
-    let ans =
-      adaptive_dequeue t reply_ch ~slot:t.adapt.(client + 1) ~cap
-        ~side:P.Prims.Client
-    in
-    bump_sends t 1;
-    ans
+  let sub = t.sub in
+  let req_ch = Real_substrate.request_shard sub (shard_of_client t client) in
+  let reply_ch = Real_substrate.reply_channel sub client in
+  let ans =
+    match t.waiting with
+    | Spin ->
+      P.Prims.spin_enqueue sub req_ch m;
+      P.Prims.spinning_dequeue sub reply_ch
+    | Block ->
+      P.Prims.flow_enqueue sub req_ch m;
+      let (_ : bool) = P.Prims.wake_consumer sub req_ch ~target:P.Prims.Server in
+      P.Prims.blocking_dequeue sub reply_ch ~side:P.Prims.Client ()
+    | Block_yield ->
+      P.Prims.flow_enqueue sub req_ch m;
+      if P.Prims.wake_consumer sub req_ch ~target:P.Prims.Server then
+        (* We really did wake the server: let it run (Figure 7). *)
+        Real_substrate.busy_wait sub;
+      P.Prims.blocking_dequeue sub reply_ch ~side:P.Prims.Client
+        ~on_empty:P.Prims.Hint_busy_wait ()
+    | Limited_spin max_spin ->
+      P.Prims.flow_enqueue sub req_ch m;
+      let (_ : bool) = P.Prims.wake_consumer sub req_ch ~target:P.Prims.Server in
+      P.Prims.limited_spin sub reply_ch ~side:P.Prims.Client ~max_spin;
+      P.Prims.blocking_dequeue sub reply_ch ~side:P.Prims.Client
+        ~on_empty:P.Prims.Hint_busy_wait ()
+    | Handoff ->
+      P.Prims.flow_enqueue sub req_ch m;
+      if P.Prims.wake_consumer sub req_ch ~target:P.Prims.Server then
+        Real_substrate.handoff_server sub;
+      P.Prims.blocking_dequeue sub reply_ch ~side:P.Prims.Client
+        ~on_empty:P.Prims.Hint_handoff_server ()
+    | Adaptive cap ->
+      P.Prims.flow_enqueue sub req_ch m;
+      let (_ : bool) = P.Prims.wake_consumer sub req_ch ~target:P.Prims.Server in
+      adaptive_dequeue t reply_ch
+        ~slot:t.adapt.(nservers t + client)
+        ~cap ~side:P.Prims.Client
+  in
+  bump_sends t 1;
+  ans
 
-let receive_msg t =
-  match t.waiting with
-  | Spin -> P.Bss.receive t.sub
-  | Block -> P.Bsw.receive t.sub
-  | Block_yield -> P.Bswy.receive t.sub
-  | Limited_spin max_spin -> P.Bsls.receive t.sub ~max_spin
-  | Handoff -> P.Handoff.receive t.sub
-  | Adaptive cap ->
-    let m =
-      adaptive_dequeue t
-        (Real_substrate.request t.sub)
-        ~slot:t.adapt.(0) ~cap ~side:P.Prims.Server
-    in
+(* Server receive on its own shard: stash first (stolen-handoff
+   leftovers are the oldest messages this server owns), then one
+   token-service pass, then the waiting-mode consumer sequence on the
+   own ring — posting a steal claim on the deepest sibling first
+   whenever the own ring is already empty (the claim costs one CAS and
+   is retracted after the next successful receive). *)
+let receive_msg t ~server =
+  let st = t.servers.(server) in
+  let m = pop_stash st in
+  if m != Real_substrate.no_msg then begin
     bump_receives t 1;
     m
+  end
+  else begin
+    service_steal t ~server;
+    let sub = t.sub in
+    let ch = Real_substrate.request_shard sub server in
+    if Real_substrate.queue_is_empty sub ch then try_post_steal t ~server;
+    let m =
+      match t.waiting with
+      | Spin -> P.Prims.spinning_dequeue sub ch
+      | Block -> P.Prims.blocking_dequeue sub ch ~side:P.Prims.Server ()
+      | Block_yield ->
+        let m = Real_substrate.dequeue sub ch in
+        if m != Real_substrate.no_msg then
+          (* Requests pending: keep processing rather than give up the
+             CPU — this is what lets the server batch under multiple
+             clients. *)
+          m
+        else begin
+          Real_substrate.yield sub;
+          (* let the clients run *)
+          P.Prims.blocking_dequeue sub ch ~side:P.Prims.Server ()
+        end
+      | Limited_spin max_spin ->
+        P.Prims.limited_spin sub ch ~side:P.Prims.Server ~max_spin;
+        P.Prims.blocking_dequeue sub ch ~side:P.Prims.Server ()
+      | Handoff ->
+        let m = Real_substrate.dequeue sub ch in
+        if m != Real_substrate.no_msg then m
+        else begin
+          Real_substrate.handoff_any sub;
+          (* let the clients run *)
+          P.Prims.blocking_dequeue sub ch ~side:P.Prims.Server ()
+        end
+      | Adaptive cap ->
+        adaptive_dequeue t ch ~slot:t.adapt.(server) ~cap ~side:P.Prims.Server
+    in
+    retract_steal t ~server;
+    bump_receives t 1;
+    m
+  end
 
+(* Replies: one producer path for every waiting mode (the core's reply
+   bodies only differ in Bss's unthrottled enqueue).  Any server may
+   reply to any client — after a steal the thief answers on a reply
+   channel whose "home" server never saw the request, which is exactly
+   why pooled ring sessions use MPSC reply rings. *)
 let reply_msg t ~client m =
-  match t.waiting with
-  | Spin -> P.Bss.reply t.sub ~client m
-  | Block -> P.Bsw.reply t.sub ~client m
-  | Block_yield -> P.Bswy.reply t.sub ~client m
-  (* BSLS, Handoff and Adaptive replies are the plain BSW producer steps. *)
-  | Limited_spin _ | Adaptive _ -> P.Bsls.reply t.sub ~client m
-  | Handoff -> P.Handoff.reply t.sub ~client m
+  let sub = t.sub in
+  let ch = Real_substrate.reply_channel sub client in
+  (match t.waiting with
+  | Spin -> P.Prims.spin_enqueue sub ch m
+  | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
+    P.Prims.flow_enqueue sub ch m;
+    let (_ : bool) = P.Prims.wake_consumer sub ch ~target:P.Prims.Client in
+    ());
+  bump_replies t 1
 
 let send t ~client req =
   check_client t client;
@@ -258,9 +508,10 @@ let send t ~client req =
 
 let call = send
 
-let receive t =
+let receive ?(server = 0) t =
+  check_server t server;
   let slab = Real_substrate.slab t.sub in
-  let i = receive_msg t in
+  let i = receive_msg t ~server in
   let client = Slab.get_client slab i in
   let req = t.req_codec.read slab i in
   Slab.release slab i;
@@ -273,9 +524,10 @@ let reply t ~client rep =
   t.rep_codec.write slab j rep;
   reply_msg t ~client j
 
-let serve t f =
+let serve ?(server = 0) t f =
+  check_server t server;
   let slab = Real_substrate.slab t.sub in
-  let i = receive_msg t in
+  let i = receive_msg t ~server in
   let client = Slab.get_client slab i in
   let rep = f ~client (t.req_codec.read slab i) in
   (* The request slot becomes the reply slot: the server owns it between
@@ -288,18 +540,20 @@ let serve t f =
 (* The asynchronous halves, composed from the same shared primitives the
    synchronous protocols use (cf. Ulipc.Async on the simulator side). *)
 
-let post t ~client req =
+let post ?shard t ~client req =
   check_client t client;
+  let sh = match shard with Some s -> s | None -> shard_of_client t client in
+  check_server t sh;
   let slab = Real_substrate.slab t.sub in
   let i = alloc_slot t in
   Slab.set_client slab i client;
   t.req_codec.write slab i req;
-  let request = Real_substrate.request t.sub in
+  let req_ch = Real_substrate.request_shard t.sub sh in
   match t.waiting with
-  | Spin -> P.Prims.spin_enqueue t.sub request i
+  | Spin -> P.Prims.spin_enqueue t.sub req_ch i
   | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
-    P.Prims.flow_enqueue t.sub request i;
-    ignore (P.Prims.wake_consumer t.sub request ~target:P.Prims.Server : bool)
+    P.Prims.flow_enqueue t.sub req_ch i;
+    ignore (P.Prims.wake_consumer t.sub req_ch ~target:P.Prims.Server : bool)
 
 let collect_msg t ~client =
   let ch = Real_substrate.reply_channel t.sub client in
@@ -314,7 +568,9 @@ let collect_msg t ~client =
     P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client
       ~on_empty:P.Prims.Hint_busy_wait ()
   | Adaptive cap ->
-    adaptive_dequeue t ch ~slot:t.adapt.(client + 1) ~cap ~side:P.Prims.Client
+    adaptive_dequeue t ch
+      ~slot:t.adapt.(nservers t + client)
+      ~cap ~side:P.Prims.Client
 
 let collect t ~client =
   let slab = Real_substrate.slab t.sub in
@@ -371,7 +627,9 @@ let post_batch t ~client reqs =
   let slab = Real_substrate.slab t.sub in
   let buf = t.client_scratch.(client) in
   let cap = Array.length buf in
-  let request = Real_substrate.request t.sub in
+  let request =
+    Real_substrate.request_shard t.sub (shard_of_client t client)
+  in
   let rec chunks = function
     | [] -> ()
     | reqs ->
@@ -390,24 +648,44 @@ let post_batch t ~client reqs =
   in
   chunks reqs
 
-let receive_batch t ~max =
+let receive_batch ?(server = 0) t ~max =
   if max <= 0 then invalid_arg "Rpc.receive_batch: max must be positive";
+  check_server t server;
   let slab = Real_substrate.slab t.sub in
+  let st = t.servers.(server) in
   let take i =
     let client = Slab.get_client slab i in
     let req = t.req_codec.read slab i in
     Slab.release slab i;
     (client, req)
   in
-  let first = take (receive_msg t) in
+  let first = take (receive_msg t ~server) in
   if max = 1 then [ first ]
   else begin
-    let buf = t.server_scratch in
+    let buf = st.scratch in
+    (* Drain the stash before the ring: stolen-handoff leftovers are the
+       oldest messages this server owns. *)
+    let n_stash = ref 0 in
+    let want = min (max - 1) (Array.length buf) in
+    while
+      !n_stash < want
+      &&
+      let m = pop_stash st in
+      if m != Real_substrate.no_msg then begin
+        buf.(!n_stash) <- m;
+        incr n_stash;
+        true
+      end
+      else false
+    do
+      ()
+    done;
     let k =
-      Real_substrate.dequeue_many t.sub
-        (Real_substrate.request t.sub)
-        ~buf ~pos:0
-        ~max:(min (max - 1) (Array.length buf))
+      !n_stash
+      + Real_substrate.dequeue_many t.sub
+          (Real_substrate.request_shard t.sub server)
+          ~buf ~pos:!n_stash
+          ~max:(want - !n_stash)
     in
     bump_receives t k;
     let rec build i acc =
@@ -422,7 +700,9 @@ let receive_batch t ~max =
    with one head store, followed by one coalesced wake-up.  If buffer
    and ring both fill mid-run, only the consumer can make room, so the
    producer publishes what it can, wakes, and backs off (the same
-   no-deferred-wake rule as [push_batch]). *)
+   no-deferred-wake rule as [push_batch]).  On pooled sessions the reply
+   rings are MPSC and enqueue_local degrades to plain enqueue — correct,
+   just without the private-buffer shortcut. *)
 let rec push_local t ch ~target m =
   if not (Real_substrate.enqueue_local t.sub ch m) then begin
     ignore (Real_substrate.flush_local t.sub ch : bool);
@@ -520,7 +800,9 @@ let call_pipelined t ~client ~depth reqs =
   let ch = Real_substrate.reply_channel t.sub client in
   let buf = t.client_scratch.(client) in
   let cap = Array.length buf in
-  let request = Real_substrate.request t.sub in
+  let request =
+    Real_substrate.request_shard t.sub (shard_of_client t client)
+  in
   let decode j =
     let r = t.rep_codec.read slab j in
     Slab.release slab j;

@@ -3,19 +3,32 @@
     Domains within one process stand in for processes sharing a memory
     segment: the queue structure, the awake-flag discipline and the race
     repairs are {e literally} the simulated protocols — this module is
-    nothing but [Ulipc.Protocol_core.Make] applied to the real-domains
-    substrate ({!Real_substrate}), so the producer steps P.1–P.3 and the
-    consumer sequence C.1–C.5 exist in the codebase exactly once.
+    [Ulipc.Protocol_core.Make] applied to the real-domains substrate
+    ({!Real_substrate}), with every entry point composed from the core's
+    shared primitives, so the producer steps P.1–P.3 and the consumer
+    sequence C.1–C.5 exist in the codebase exactly once.
 
-    A session has one request queue into the server and one reply channel
-    per client, exactly like {!Ulipc.Session}.  Requests and replies are
-    arbitrary OCaml values, but they travel zero-copy: the queues carry
-    only {!Slab} slot indices, and a {!type-codec} pair marshals each
-    payload into a slot's flat fields.  The sender allocates and fills a
-    slot, the queue transfer hands its ownership over, the receiver
-    reads and releases it.  With an immediate-payload codec
-    ({!int_codec}) a steady-state round-trip on the ring transport
-    allocates {e nothing} on the minor heap. *)
+    A session has [nservers] request shards (one per server domain,
+    default 1 — then exactly the classic one-queue session) and one
+    reply channel per client, the client→shard map being static
+    round-robin affinity ({!Shard_map}).  Load imbalance between shards
+    is smoothed by {e handoff-based stealing}: an idle server CAS-posts
+    a steal token on the deepest loaded sibling, and that sibling — the
+    only legal consumer of its MPSC ring — hands half its backlog over
+    by draining and re-enqueueing a span onto the idle server's ring.
+    Messages are slab slot indices, so a steal moves ints between rings,
+    never payloads; no message is ever lost, duplicated, or consumed by
+    two servers (the token is consumed exactly once, and dequeued
+    overflow waits in the victim's private stash).
+
+    Requests and replies are arbitrary OCaml values, but they travel
+    zero-copy: the queues carry only {!Slab} slot indices, and a
+    {!type-codec} pair marshals each payload into a slot's flat fields.
+    The sender allocates and fills a slot, the queue transfer hands its
+    ownership over, the receiver reads and releases it.  With an
+    immediate-payload codec ({!int_codec}) a steady-state round-trip on
+    the ring transport allocates {e nothing} on the minor heap — at any
+    [nservers]. *)
 
 type waiting =
   | Spin  (** BSS: busy-wait with [Domain.cpu_relax], never block *)
@@ -74,6 +87,8 @@ val create :
   ?slots:int ->
   ?req_codec:'req codec ->
   ?rep_codec:'rep codec ->
+  ?nservers:int ->
+  ?shard_assign:(int -> int) ->
   nclients:int ->
   waiting ->
   ('req, 'rep) t
@@ -83,14 +98,30 @@ val create :
     see {!Real_substrate.transport}.  [trace] attaches a {!Trace_ring}
     sink recording timestamped enqueue/dequeue/block/wake/handoff events
     into per-domain bounded rings, drained after the run with
-    {!Trace_ring.events}.  [slots] sizes the payload slab (default: can
-    never exhaust — see {!Real_substrate.create}).  [req_codec] /
-    [rep_codec] (default {!boxed_codec}) marshal the two directions'
-    payloads.
-    @raise Invalid_argument if [nclients <= 0], if [capacity <= 0], or if
-    a [Limited_spin] bound is negative. *)
+    {!Trace_ring.events}.  [slots] sizes the payload slab (default:
+    derived from [(nclients, nservers, capacity)] so it can never
+    exhaust — see {!Real_substrate.create}; an explicit undersized
+    [slots] fails a sender with a clear [Failure] after bounded
+    back-off rather than hanging).  [req_codec] / [rep_codec] (default
+    {!boxed_codec}) marshal the two directions' payloads.
+
+    [nservers] (default 1) shards the request plane: server domain [k]
+    must pass [~server:k] to {!receive}/{!serve}/{!receive_batch}, and
+    clients are mapped to shards round-robin by client id unless
+    [shard_assign] overrides the map (tests pin all clients to one
+    shard to force stealing).
+    @raise Invalid_argument if [nclients <= 0], [capacity <= 0],
+    [nservers <= 0], if a [Limited_spin] bound is negative, or if
+    [shard_assign] maps a client outside [0 .. nservers-1]. *)
 
 val nclients : ('req, 'rep) t -> int
+
+val nservers : ('req, 'rep) t -> int
+(** Number of request shards / server domains the session was built
+    for. *)
+
+val shard_of_client : ('req, 'rep) t -> int -> int
+(** The home shard of a client's requests (one array load). *)
 
 val transport : ('req, 'rep) t -> Real_substrate.transport
 
@@ -99,31 +130,40 @@ val trace : ('req, 'rep) t -> Trace_ring.t option
 
 val slab : ('req, 'rep) t -> Slab.t
 (** The session's payload slab.  For tests: at quiescence every slot has
-    been released, so [Slab.in_use_count] is 0. *)
+    been released, so [Slab.in_use_count] is 0; [Slab.high_water] tells
+    how close the run came to the configured [slots]. *)
 
 val send : ('req, 'rep) t -> client:int -> 'req -> 'rep
-(** Synchronous call from client [client] (0-based).  Clients must not
-    share a client number concurrently.
+(** Synchronous call from client [client] (0-based), via its home
+    shard.  Clients must not share a client number concurrently.
     @raise Invalid_argument on a bad client number. *)
 
 val call : ('req, 'rep) t -> client:int -> 'req -> 'rep
 (** Alias of {!send} — one slot out, one slot back. *)
 
-val receive : ('req, 'rep) t -> int * 'req
-(** Server side: next request as [(client, payload)].  (The pair is the
-    one allocation this entails; {!serve} avoids it.) *)
+val receive : ?server:int -> ('req, 'rep) t -> int * 'req
+(** Server side: next request on shard [server] (default 0) as
+    [(client, payload)].  Only shard [server]'s own server domain may
+    call this — it is the MPSC ring's single consumer.  Also services
+    pending steal tokens and, when its own shard is empty, posts one on
+    the deepest loaded sibling.  (The pair is the one allocation this
+    entails; {!serve} avoids it.)
+    @raise Invalid_argument on a bad server number. *)
 
 val reply : ('req, 'rep) t -> client:int -> 'rep -> unit
 
-val serve : ('req, 'rep) t -> (client:int -> 'req -> 'rep) -> unit
-(** One allocation-free server turn: receive a request, apply [f], and
-    send the reply {e in the request's slot} — the server owns the slot
-    between dequeue and reply-enqueue, so it is refilled in place and no
-    release/alloc pair (and no [receive] tuple) is paid. *)
+val serve : ?server:int -> ('req, 'rep) t -> (client:int -> 'req -> 'rep) -> unit
+(** One allocation-free server turn on shard [server] (default 0):
+    receive a request, apply [f], and send the reply {e in the request's
+    slot} — the server owns the slot between dequeue and reply-enqueue,
+    so it is refilled in place and no release/alloc pair (and no
+    [receive] tuple) is paid. *)
 
-val post : ('req, 'rep) t -> client:int -> 'req -> unit
-(** Asynchronous send: enqueue and wake the server, do not wait.
-    @raise Invalid_argument on a bad client number. *)
+val post : ?shard:int -> ('req, 'rep) t -> client:int -> 'req -> unit
+(** Asynchronous send: enqueue on the client's home shard (or [shard]
+    if given — shutdown fan-out uses this to target every server) and
+    wake that server, do not wait.
+    @raise Invalid_argument on a bad client or shard number. *)
 
 val collect : ('req, 'rep) t -> client:int -> 'rep
 (** Wait for the next reply to this client (pairs with {!post}). *)
@@ -132,15 +172,17 @@ val collect : ('req, 'rep) t -> client:int -> 'rep
 
     Built on the substrate's span-claim batch operations
     ({!Real_substrate.enqueue_many} / {!Real_substrate.dequeue_many})
-    and, on the reply rings, Torquati's multipush
-    ({!Real_substrate.enqueue_local}): [k] slot indices move per atomic
-    claim, spans live in preallocated scratch arrays, and the wake-up
-    side coalesces to at most one signal per batch ({!Rsem.v_n}). *)
+    and, on the reply rings of single-server sessions, Torquati's
+    multipush ({!Real_substrate.enqueue_local}): [k] slot indices move
+    per atomic claim, spans live in preallocated scratch arrays, and the
+    wake-up side coalesces to at most one signal per batch
+    ({!Rsem.v_n}). *)
 
 val post_batch : ('req, 'rep) t -> client:int -> 'req list -> unit
-(** Enqueue the whole list (blocking on flow control as {!post} does)
-    with one span claim and at most one consumer wake-up per claim —
-    normally exactly one for the whole batch.
+(** Enqueue the whole list on the client's home shard (blocking on flow
+    control as {!post} does) with one span claim and at most one
+    consumer wake-up per claim — normally exactly one for the whole
+    batch.
     @raise Invalid_argument on a bad client number. *)
 
 val collect_batch : ('req, 'rep) t -> client:int -> n:int -> 'rep list
@@ -149,11 +191,13 @@ val collect_batch : ('req, 'rep) t -> client:int -> n:int -> 'rep list
     session's mode only when the channel runs dry.
     @raise Invalid_argument if [n < 0] or on a bad client number. *)
 
-val receive_batch : ('req, 'rep) t -> max:int -> (int * 'req) list
-(** Server side: wait for the next request per the session's waiting
-    mode, then drain up to [max - 1] further already-queued requests
-    with one span claim.  Always returns at least one request.
-    @raise Invalid_argument if [max <= 0]. *)
+val receive_batch : ?server:int -> ('req, 'rep) t -> max:int -> (int * 'req) list
+(** Server side: wait for the next request on shard [server] (default 0)
+    per the session's waiting mode, then drain up to [max - 1] further
+    already-queued requests (stolen-handoff leftovers first, then the
+    shard's ring) with one span claim.  Always returns at least one
+    request.
+    @raise Invalid_argument if [max <= 0] or on a bad server number. *)
 
 val reply_batch : ('req, 'rep) t -> (int * 'rep) list -> unit
 (** Send every [(client, reply)] pair; consecutive same-client runs ride
@@ -169,16 +213,20 @@ val call_pipelined :
     window over span-claimed bursts and batch collection.  Returns the
     replies in request order ([depth = 1] degenerates to sequential
     {!send}s).  Replies must preserve request order for this to pair
-    correctly — true of the echo servers here, as the session's reply
-    channel is FIFO per client.
+    correctly — true of single-server echo sessions, whose reply channel
+    is FIFO per client; on a pooled session ([nservers > 1]) stealing
+    may reorder a client's in-flight requests, so pair replies by
+    content, not position, there.
     @raise Invalid_argument if [depth <= 0] or on a bad client number. *)
 
 val counters : ('req, 'rep) t -> Ulipc.Counters.t
 (** The protocol-event counters the shared core maintains — the same
     fields the simulator reports (sends, receives, wake-ups, spin
-    fall-throughs, race fixes, ...).  Incremented without atomicity from
-    several domains: totals are exact only for fields written by a single
-    domain (e.g. server-side receive counts), otherwise lower bounds. *)
+    fall-throughs, race fixes, ...), plus the steal-protocol fields
+    ([steal_posts]/[steal_handoffs]/[steal_msgs]).  Incremented without
+    atomicity from several domains: totals are exact only for fields
+    written by a single domain (e.g. per-victim handoff counts),
+    otherwise lower bounds. *)
 
 val wake_residue : ('req, 'rep) t -> int
 (** Sum of all channel semaphore counts; surplus wake-ups left pending.

@@ -33,6 +33,17 @@ type t = {
   mutex : Mutex.t;
   nonzero : Condition.t;
   mutable wakeups : int; (* banked credits for parked waiters *)
+  mutable waiters : int;
+      (* waiters actually parked on [nonzero] (inside the mutex), as
+         opposed to the negative [count], which also counts waiters
+         still on their way to the mutex.  This is what lets V direct
+         its wake-ups: signal exactly [credits] times when fewer credits
+         than sleepers arrive, broadcast only when every sleeper gets
+         one, and skip the condvar entirely when nobody is parked yet —
+         a parking waiter re-checks [wakeups] under the mutex before
+         waiting, so a banked credit is never missed.  First step toward
+         Dice & Kogan's waiting-array semaphore: the wake is aimed at
+         the population that needs it, never the whole herd. *)
 }
 
 let default_spin =
@@ -49,6 +60,7 @@ let create ?(spin = default_spin) count =
     mutex = Mutex.create ();
     nonzero = Condition.create ();
     wakeups = 0;
+    waiters = 0;
   }
 
 (* Park: wait for a banked credit.  The waiter is already accounted for
@@ -56,9 +68,11 @@ let create ?(spin = default_spin) count =
    banking a wakeup; we may only consume exactly one. *)
 let park t =
   Mutex.lock t.mutex;
+  t.waiters <- t.waiters + 1;
   while t.wakeups = 0 do
     Condition.wait t.nonzero t.mutex
   done;
+  t.waiters <- t.waiters - 1;
   t.wakeups <- t.wakeups - 1;
   Mutex.unlock t.mutex
 
@@ -91,14 +105,28 @@ let rec try_p t =
   else try_p t
 
 (* Wake [wake] parked waiters: bank the credits under the mutex, then
-   issue one signal or one broadcast.  Signalling while holding the
-   mutex keeps the banked credit and its wake atomic with respect to a
-   parking waiter. *)
+   wake DIRECTED — exactly one signal per credit while credits are
+   scarcer than sleepers (each signal moves one waiter off the condvar;
+   waking more would be a thundering herd in which [parked - wake]
+   domains contend for the mutex only to re-sleep), one broadcast when
+   every sleeper has a credit waiting (then n signals and one broadcast
+   wake the same population and the broadcast is one call), and NO
+   condvar operation at all when nobody is parked yet — the banked
+   credit is found by the parking waiter's own [wakeups] re-check under
+   the mutex, so the syscall-shaped call is skipped exactly in the
+   V-overtakes-P race where it could wake no one.  Signalling while
+   holding the mutex keeps the banked credit and its wake atomic with
+   respect to a parking waiter. *)
 let wake_parked t wake =
   Mutex.lock t.mutex;
   t.wakeups <- t.wakeups + wake;
-  if wake = 1 then Condition.signal t.nonzero
-  else Condition.broadcast t.nonzero;
+  let parked = t.waiters in
+  if parked > 0 then
+    if wake >= parked then Condition.broadcast t.nonzero
+    else
+      for _ = 1 to wake do
+        Condition.signal t.nonzero
+      done;
   Mutex.unlock t.mutex
 
 let v t =
@@ -113,3 +141,7 @@ let v_n t n =
   end
 
 let value t = max 0 (Atomic.get t.count)
+
+(* Unsynchronized read of a mutex-guarded field: a snapshot for reports
+   and tests, exact only at quiescence. *)
+let waiters t = t.waiters

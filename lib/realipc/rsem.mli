@@ -8,7 +8,16 @@
     Mutex/Condition pair — after a bounded spin — and only a V that
     observes a parked waiter takes the mutex to bank its wake-up.
     Counting semantics matter: the sleep/wake-up protocols rely on a V
-    posted before the P remaining pending (§3, Interleaving 1). *)
+    posted before the P remaining pending (§3, Interleaving 1).
+
+    Wake-ups are {e directed}: the semaphore tracks how many waiters are
+    actually parked, grants scarcer-than-sleepers credits with exactly
+    one [Condition.signal] per credit, reserves [broadcast] for the case
+    where every sleeper has a credit, and issues no condvar call at all
+    when no one is parked (the banked credit is found by the parking
+    waiter's own re-check).  As the fleet grows this keeps a contended V
+    from waking the whole herd — cf. Dice & Kogan's waiting-array
+    semaphore. *)
 
 type t
 
@@ -31,16 +40,22 @@ val try_p : t -> bool
     used speculatively.  Never registers as a waiter. *)
 
 val v : t -> unit
-(** Up: increment and wake one waiter.  Uncontended (no waiter): one
-    atomic add, no lock, no signal. *)
+(** Up: increment and wake one waiter — one [signal], never a broadcast.
+    Uncontended (no waiter): one atomic add, no lock, no signal. *)
 
 val v_n : t -> int -> unit
-(** [v_n t n] publishes [n] credits with one atomic add and at most one
-    signal/broadcast — the wake-coalescing primitive batched replies
-    use, where [n] separate {!v} calls would pay up to [n] lock/signal
-    rounds.  [v_n t 1] is {!v}; [v_n t 0] is a no-op.
+(** [v_n t n] publishes [n] credits with one atomic add and a directed
+    wake: [min n parked] signals when sleepers outnumber the credits,
+    one broadcast when they do not — the wake-coalescing primitive
+    batched replies use, where [n] separate {!v} calls would pay up to
+    [n] lock rounds.  [v_n t 1] is {!v}; [v_n t 0] is a no-op.
     @raise Invalid_argument on a negative [n]. *)
 
 val value : t -> int
 (** Racy snapshot of the credit count (0 while waiters are parked), for
     tests and residue accounting. *)
+
+val waiters : t -> int
+(** Racy snapshot of the number of waiters currently parked inside the
+    semaphore (not counting those still spinning toward it); exact at
+    quiescence.  For tests and reports. *)

@@ -41,6 +41,8 @@ let nil = -1
 
 type t = {
   head : int Atomic.t; (* packed (version, index); the only shared word *)
+  live : int Atomic.t; (* slots currently allocated, exact *)
+  hwm : int Atomic.t; (* high-water mark of [live], CAS-maxed *)
   next : int array; (* free-list links, encoded like the head's index *)
   in_use : bool array;
   client : int array;
@@ -58,6 +60,8 @@ let create ~slots () =
     invalid_arg "Slab.create: too many slots for the packed free-list head";
   {
     head = Padding.copy_padded (Atomic.make 0) (* version 0, index 0 *);
+    live = Padding.copy_padded (Atomic.make 0);
+    hwm = Padding.copy_padded (Atomic.make 0);
     next = Array.init slots (fun i -> if i = slots - 1 then enc_nil else i + 1);
     in_use = Array.make slots false;
     client = Array.make slots 0;
@@ -71,6 +75,13 @@ let create ~slots () =
 
 let slots t = t.n
 
+(* CAS-max, racing with concurrent allocs: losing a race only matters if
+   the winner published a *larger* value, in which case ours is moot.
+   The common steady-state case — [v <= hwm] — is one read, no CAS. *)
+let rec note_hwm t v =
+  let h = Atomic.get t.hwm in
+  if v > h && not (Atomic.compare_and_set t.hwm h v) then note_hwm t v
+
 let rec try_alloc t =
   let h = Atomic.get t.head in
   let i = h land idx_mask in
@@ -82,6 +93,7 @@ let rec try_alloc t =
     let h' = ((h lsr idx_bits) + 1) lsl idx_bits lor nxt in
     if Atomic.compare_and_set t.head h h' then begin
       t.in_use.(i) <- true;
+      note_hwm t (1 + Atomic.fetch_and_add t.live 1);
       i
     end
     else try_alloc t
@@ -108,14 +120,11 @@ let release t i =
      immediately, and a late store here would corrupt its slot. *)
   t.in_use.(i) <- false;
   t.box.(i) <- Obj.repr 0;
+  ignore (Atomic.fetch_and_add t.live (-1) : int);
   push_free t i
 
-let in_use_count t =
-  let c = ref 0 in
-  for i = 0 to t.n - 1 do
-    if t.in_use.(i) then incr c
-  done;
-  !c
+let in_use_count t = Atomic.get t.live
+let high_water t = Atomic.get t.hwm
 
 (* Payload accessors: plain bounds-checked array cells.  All immediate
    (or unboxed-float) stores except [set_box], which pays one write

@@ -46,7 +46,14 @@ val release : t -> int -> unit
     not currently allocated (double release). *)
 
 val in_use_count : t -> int
-(** Racy scan of allocated slots; exact at quiescence.  For tests. *)
+(** Slots currently allocated (one atomic load — a counter, not a scan);
+    exact at quiescence, a snapshot under concurrency.  For tests and
+    the exhaustion diagnostics in {!Rpc}. *)
+
+val high_water : t -> int
+(** The largest {!in_use_count} the slab has ever reached: how close the
+    run came to exhaustion.  Reported in [Counters.slab_hwm] by the
+    drivers so fleet-sized runs can verify their slab headroom. *)
 
 (** {1 Payload fields}
 

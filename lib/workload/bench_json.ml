@@ -32,7 +32,7 @@ let write ~path ~quick ~micro ~real =
   let p fmt = Printf.fprintf oc fmt in
   let sep i n = if i = n - 1 then "" else "," in
   p "{\n";
-  p "  \"schema\": \"ulipc-bench-real/5\",\n";
+  p "  \"schema\": \"ulipc-bench-real/6\",\n";
   p "  \"quick\": %b,\n" quick;
   p "  \"micro_ns_per_op\": [\n";
   let n = List.length micro in
@@ -48,14 +48,16 @@ let write ~path ~quick ~micro ~real =
     (fun i (transport, m) ->
       p
         "    { \"transport\": \"%s\", \"protocol\": \"%s\", \"nclients\": %d, \
-         \"depth\": %d, \"messages\": %d, \"throughput_msg_per_ms\": %s, \
-         \"round_trip_us\": %s, \"latency_p50_us\": %s, \"latency_p99_us\": \
-         %s, \"latency_max_us\": %s, \"wake_latency_p50_us\": %s, \
-         \"wake_latency_p99_us\": %s, \"utilization\": %s, \
+         \"nservers\": %d, \"depth\": %d, \"messages\": %d, \
+         \"throughput_msg_per_ms\": %s, \"round_trip_us\": %s, \
+         \"latency_p50_us\": %s, \"latency_p99_us\": %s, \"latency_max_us\": \
+         %s, \"wake_latency_p50_us\": %s, \"wake_latency_p99_us\": %s, \
+         \"utilization\": %s, \"utilization_max\": %s, \
          \"minor_words_per_op\": %s }%s\n"
         (json_escape transport)
         (json_escape (Ulipc.Protocol_kind.name m.Metrics.protocol))
-        m.Metrics.nclients m.Metrics.depth m.Metrics.messages
+        m.Metrics.nclients m.Metrics.nservers m.Metrics.depth
+        m.Metrics.messages
         (json_float m.Metrics.throughput_msg_per_ms)
         (json_float (Metrics.round_trip_us m))
         (json_float_opt (Metrics.latency_percentile m 50.0))
@@ -64,6 +66,7 @@ let write ~path ~quick ~micro ~real =
         (json_float m.Metrics.wake_latency_p50_us)
         (json_float m.Metrics.wake_latency_p99_us)
         (json_float m.Metrics.utilization)
+        (json_float m.Metrics.utilization_max)
         (json_float m.Metrics.minor_words_per_op)
         (sep i n))
     real;

@@ -222,6 +222,7 @@ let run_outcome cfg =
     Metrics.machine = machine.Ulipc_machines.Machine.name;
     protocol = cfg.kind;
     nclients = cfg.nclients;
+    nservers = 1;
     messages;
     elapsed;
     throughput_msg_per_ms = throughput;
@@ -233,6 +234,7 @@ let run_outcome cfg =
     sim_steps = Kernel.steps_executed kernel;
     total_yields;
     utilization = Kernel.utilization kernel;
+    utilization_max = Kernel.utilization kernel;
     depth = 1;
     wake_latency_p50_us;
     wake_latency_p99_us;

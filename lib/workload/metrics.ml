@@ -2,6 +2,7 @@ type t = {
   machine : string;
   protocol : Ulipc.Protocol_kind.t;
   nclients : int;
+  nservers : int;
   messages : int;
   elapsed : Ulipc_engine.Sim_time.t;
   throughput_msg_per_ms : float;
@@ -13,6 +14,7 @@ type t = {
   sim_steps : int;
   total_yields : int;
   utilization : float;
+  utilization_max : float;
   depth : int;
   wake_latency_p50_us : float;
   wake_latency_p99_us : float;
@@ -30,15 +32,21 @@ let zero_usage =
     syscalls = 0;
   }
 
-let of_real ?latency ?(utilization = nan) ?(depth = 1)
-    ?(wake_latency_p50_us = nan) ?(wake_latency_p99_us = nan)
-    ?(minor_words_per_op = nan) ~machine ~protocol ~nclients ~messages
-    ~elapsed_s ~counters () =
+let of_real ?latency ?(utilization = nan) ?(utilization_max = nan)
+    ?(depth = 1) ?(nservers = 1) ?(wake_latency_p50_us = nan)
+    ?(wake_latency_p99_us = nan) ?(minor_words_per_op = nan) ~machine
+    ~protocol ~nclients ~messages ~elapsed_s ~counters () =
   let elapsed = Ulipc_engine.Sim_time.us_f (elapsed_s *. 1.0e6) in
+  (* A single server's pool maximum IS its mean — callers only need to
+     pass utilization_max for genuine pools. *)
+  let utilization_max =
+    if Float.is_nan utilization_max then utilization else utilization_max
+  in
   {
     machine;
     protocol;
     nclients;
+    nservers;
     messages;
     elapsed;
     throughput_msg_per_ms =
@@ -52,6 +60,7 @@ let of_real ?latency ?(utilization = nan) ?(depth = 1)
     sim_steps = 0;
     total_yields = 0;
     utilization;
+    utilization_max;
     depth;
     wake_latency_p50_us;
     wake_latency_p99_us;
@@ -97,10 +106,10 @@ let pp ppf t =
     (100.0 *. t.utilization) Ulipc.Counters.pp t.counters
 
 let pp_row ppf t =
-  Format.fprintf ppf "%-10s %-11s %2d d%-2d %8.2f msg/ms  rt %8.1f us"
+  Format.fprintf ppf "%-10s %-11s %4dc %2ds d%-2d %8.2f msg/ms  rt %8.1f us"
     t.machine
     (Ulipc.Protocol_kind.name t.protocol)
-    t.nclients t.depth t.throughput_msg_per_ms (round_trip_us t);
+    t.nclients t.nservers t.depth t.throughput_msg_per_ms (round_trip_us t);
   match t.latency_us with
   | Some h when Ulipc.Histogram.count h > 0 ->
     Format.fprintf ppf "  p50 %8.1f  p99 %8.1f  max %8.1f us"

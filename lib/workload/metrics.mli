@@ -4,6 +4,9 @@ type t = {
   machine : string;
   protocol : Ulipc.Protocol_kind.t;
   nclients : int;
+  nservers : int;
+      (** server domains (request shards) the run used; the simulator and
+          single-server real runs report 1 *)
   messages : int;  (** echo requests processed (excludes connects/disconnects) *)
   elapsed : Ulipc_engine.Sim_time.t;
       (** §2.2's measurement window: from the barrier release (first
@@ -24,7 +27,12 @@ type t = {
       (** machine utilization over the whole run, in [0, 1]; the cost
           busy-waiting pays.  Simulator runs report busy time / (ncpus ×
           elapsed); real runs report server service time (request in
-          hand to reply enqueued) over wall clock *)
+          hand to reply enqueued) over wall clock — for a pool, the mean
+          over all server domains *)
+  utilization_max : float;
+      (** the busiest single server's utilization; equals [utilization]
+          when [nservers = 1].  The spread between the two is the
+          imbalance the steal protocol did not (or could not) smooth *)
   depth : int;
       (** pipelining depth: requests a client keeps outstanding at once
           (1 = synchronous send/receive/reply) *)
@@ -45,7 +53,9 @@ type t = {
 val of_real :
   ?latency:Ulipc.Histogram.t ->
   ?utilization:float ->
+  ?utilization_max:float ->
   ?depth:int ->
+  ?nservers:int ->
   ?wake_latency_p50_us:float ->
   ?wake_latency_p99_us:float ->
   ?minor_words_per_op:float ->
@@ -61,8 +71,10 @@ val of_real :
     the same record the simulator produces, so both report through one
     set of printers.  [elapsed_s] is wall-clock seconds; [latency] is the
     merged per-call round-trip histogram (µs); [utilization] (default
-    [nan]) is the server's measured busy fraction; [depth] (default 1)
-    the pipelining depth the clients ran at.  Fields only a simulated
+    [nan]) is the server pool's mean measured busy fraction and
+    [utilization_max] (default: [utilization]) the busiest server's;
+    [depth] (default 1) the pipelining depth the clients ran at;
+    [nservers] (default 1) the server-pool size.  Fields only a simulated
     kernel can account (usage, sim steps, yields) are zero. *)
 
 val round_trip_us : t -> float

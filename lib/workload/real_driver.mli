@@ -27,15 +27,17 @@ val run :
   ?transport:Ulipc_real.Real_substrate.transport ->
   ?trace:Ulipc_real.Trace_ring.t ->
   ?depth:int ->
+  ?nservers:int ->
   nclients:int ->
   messages:int ->
   Ulipc_real.Rpc.waiting ->
   Metrics.t
-(** [run ~nclients ~messages waiting] spawns one server domain and
-    [nclients] client domains, each performing [messages] echo calls;
-    returns the wall-clock metrics.  [machine] labels the row (default
-    ["domains"]); [transport] selects the queue transport (default ring —
-    see {!Ulipc_real.Real_substrate.transport}); [trace] attaches a
+(** [run ~nclients ~messages waiting] spawns a pool of [nservers] server
+    domains (default 1) behind the sharded request plane and [nclients]
+    logical clients, each performing [messages] echo calls; returns the
+    wall-clock metrics.  [machine] labels the row (default ["domains"]);
+    [transport] selects the queue transport (default ring — see
+    {!Ulipc_real.Real_substrate.transport}); [trace] attaches a
     per-domain event-trace sink to the session (drained by the caller
     after the run).  When [trace] is omitted the driver attaches its own
     sink; either way the trace is analysed after the joins
@@ -43,13 +45,23 @@ val run :
     p50/p99 fill the result's [wake_latency_p50_us]/[wake_latency_p99_us]
     (nan for protocols that never block, e.g. BSS).
 
+    Logical clients are folded onto at most ~96 real domains (OCaml caps
+    a process at 128): a domain hosting several clients posts one
+    request per hosted client and collects all the replies before the
+    next round, so each logical client still has exactly one call
+    outstanding and the recorded round duration is its observed
+    round-trip.  Servers are stopped by per-shard poison requests posted
+    after the measured interval, since with stealing no pool member can
+    count its share of the traffic in advance.
+
     [depth] (default 1) is the pipelining depth.  At 1 every call is a
     synchronous {!Ulipc_real.Rpc.send} and the server answers one request
     at a time.  Above 1 each client keeps up to [depth] requests
     outstanding ({!Ulipc_real.Rpc.call_pipelined}, issued in bursts of
     [depth]) and the server uses the batched receive/reply path — one
     span claim and at most one wake-up per batch.  The result's [depth]
-    field records the value.
+    field records the value.  Pipelining pairs replies positionally, so
+    [depth > 1] requires [nservers = 1].
 
     The measured interval excludes domain start-up and tear-down: clients
     park on a start barrier after spawning, the clock starts when the
@@ -59,6 +71,9 @@ val run :
     round-trip histogram — per-message means for bursts — so
     {!Metrics.latency_percentile} works for real rows exactly as for
     simulated ones.  The result's [utilization] is measured: 1 minus the
-    fraction of the interval the server spent waiting inside receive,
-    clamped to [0, 1].
-    @raise Invalid_argument if [depth <= 0]. *)
+    fraction of the interval each server spent waiting inside receive,
+    clamped to [0, 1] per server — the pool mean, with the busiest
+    server in [utilization_max].  The result's counters carry the slab's
+    high-water mark ([slab_hwm]) and the steal-protocol totals.
+    @raise Invalid_argument if [depth <= 0], or if [depth > 1] with
+    [nservers > 1]. *)

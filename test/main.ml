@@ -1,4 +1,4 @@
 (* Aggregate all library test suites into one alcotest binary. *)
 let () =
   Alcotest.run "ulipc"
-    (List.concat [ Test_engine.suites; Test_os.suites; Test_shm.suites; Test_core.suites; Test_realipc.suites; Test_differential.suites; Test_workload.suites; Test_policies.suites; Test_observability.suites; Test_trace_analysis.suites ])
+    (List.concat [ Test_engine.suites; Test_os.suites; Test_shm.suites; Test_core.suites; Test_realipc.suites; Test_sharded.suites; Test_differential.suites; Test_workload.suites; Test_policies.suites; Test_observability.suites; Test_trace_analysis.suites ])

@@ -171,10 +171,13 @@ let test_trace_through_real_run () =
   in
   (* Every request and every reply is one enqueue and one dequeue — the
      driver's pre-barrier allocation probe included: probe round-trips
-     run outside the measured interval but inside the trace. *)
+     run outside the measured interval but inside the trace.  The
+     shutdown poison (one per shard, never replied to) adds a final
+     enqueue/dequeue pair of its own. *)
   let total =
     2 * ((nclients * messages) + Real_driver.probe_warmup
        + Real_driver.probe_ops)
+    + 1
   in
   Alcotest.(check int) "enqueue events" total
     (count Ulipc_observe.Event.Enqueue);
@@ -285,7 +288,7 @@ let test_bench_json_roundtrip () =
   Sys.remove path;
   let j = parse_json contents in
   (match member "schema" j with
-  | J.Str "ulipc-bench-real/5" -> ()
+  | J.Str "ulipc-bench-real/6" -> ()
   | _ -> Alcotest.fail "wrong schema");
   (match member "micro_ns_per_op" j with
   | J.Arr rows ->
@@ -328,6 +331,16 @@ let test_bench_json_roundtrip () =
           (Printf.sprintf "utilization in [0,1] (%.3f)" u)
           true
           (u >= 0.0 && u <= 1.0);
+        (* Schema 6: (nclients, nservers)-keyed rows and the pool's
+           busiest-server utilization alongside the mean. *)
+        (match member "nservers" row with
+        | J.Num n -> Alcotest.(check (float 0.0)) "nservers" 1.0 n
+        | _ -> Alcotest.fail "nservers is not a number");
+        let umax = num "utilization_max" in
+        Alcotest.(check bool)
+          (Printf.sprintf "utilization_max in [mean, 1] (%.3f)" umax)
+          true
+          (umax >= u && umax <= 1.0);
         (* Schema 4: wake-latency percentiles recovered from the trace.
            The rows are BSW (a blocking protocol), so they must be
            non-null, non-negative and ordered. *)
