@@ -22,14 +22,23 @@
    per-cell message budget (a 512-message quick cell is startup-
    dominated where an 8192-message full cell is steady-state), so the
    two sections must be gated against *like-mode* baselines: CI runs
-   this twice, `--micro-only` against the committed full-mode
+   this per-section, `--micro-only` against the committed full-mode
    BENCH_real.json and `--real-only` against the committed quick-mode
    BENCH_quick.json.  Real rows whose baseline sits below 1 msg/ms are
    reported but not gated (pure scheduler thrash — 100+ domains round-
    robin on a shared runner; run-to-run spread there exceeds any
    sane limit).  Rows missing on either side, or null on either side,
    are reported but never fatal — adding or renaming a benchmark (or
-   widening the sweep grid) must not break the gate. *)
+   widening the sweep grid) must not break the gate.
+
+   The sem_wake_latency rows (schema /7) gate the waiting-array
+   semaphore's directed wake path: per waiter population, the p99
+   V->woken-waiter-runs latency must not exceed 3F times baseline —
+   the micro gate's scheduler-bound tier, because every sample crosses
+   a sleep/wake through the OS scheduler.  `--wake-only` selects just
+   this section; like the real rows it needs a like-mode baseline
+   (quick vs quick), and a trace violation in the current file is
+   itself fatal — a lost wake-up is a bug, not noise. *)
 
 let read_lines path =
   let ic = open_in path in
@@ -137,16 +146,40 @@ let real_rows path =
         | _ -> None)
     (read_lines path)
 
+(* [(waiters, (p99_us option, violations))] rows of the sem_wake_latency
+   section. *)
+let sem_rows path =
+  let in_sem = ref false in
+  List.filter_map
+    (fun line ->
+      if !in_sem && String.trim line = "]," then in_sem := false;
+      if String.trim line = "\"sem_wake_latency\": [" then in_sem := true;
+      if not !in_sem then None
+      else
+        match (float_field line "waiters", float_field line "violations") with
+        | Some waiters, Some violations ->
+          Some
+            ( int_of_float waiters,
+              (float_field line "p99_us", int_of_float violations) )
+        | _ -> None)
+    (read_lines path)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let micro_on = ref true and real_on = ref true in
+  let micro_on = ref true and real_on = ref true and wake_on = ref true in
   let rec split_factor acc = function
     | "--factor" :: f :: rest -> (float_of_string f, List.rev_append acc rest)
     | "--micro-only" :: rest ->
       real_on := false;
+      wake_on := false;
       split_factor acc rest
     | "--real-only" :: rest ->
       micro_on := false;
+      wake_on := false;
+      split_factor acc rest
+    | "--wake-only" :: rest ->
+      micro_on := false;
+      real_on := false;
       split_factor acc rest
     | a :: rest -> split_factor (a :: acc) rest
     | [] -> (3.0, List.rev acc)
@@ -221,6 +254,47 @@ let () =
         if not (List.mem_assoc key base_real) then
           Printf.printf "  NEW       %s\n" key)
       cur_real;
+    (* Directed-wake-latency gate: p99 is lower-better like the micro
+       rows, and every sample crosses the OS scheduler, so the limit is
+       the micro gate's scheduler-bound tier (3F).  A trace violation
+       in the current file fails outright: the causal analysis found a
+       lost or misdirected wake-up. *)
+    let base_sem = if !wake_on then sem_rows baseline_path else [] in
+    let cur_sem = if !wake_on then sem_rows current_path else [] in
+    if !wake_on && base_sem = [] then (
+      Printf.eprintf "compare: no sem_wake_latency rows in %s\n" baseline_path;
+      exit 2);
+    if !wake_on && cur_sem = [] then (
+      Printf.eprintf "compare: no sem_wake_latency rows in %s\n" current_path;
+      exit 2);
+    let limit = factor *. 3.0 in
+    List.iter
+      (fun (waiters, (base_p99, _)) ->
+        let key = Printf.sprintf "sem wake p99, %d waiters" waiters in
+        match (base_p99, List.assoc_opt waiters cur_sem) with
+        | None, _ -> ()
+        | Some p99, None ->
+          Printf.printf "  MISSING %-52s (baseline %.2f us)\n" key p99
+        | Some _, Some (None, _) -> Printf.printf "  NULL      %s\n" key
+        | Some base_p99, Some (Some cur_p99, cur_viol) ->
+          let ratio = if base_p99 > 0.0 then cur_p99 /. base_p99 else nan in
+          let flag =
+            if cur_viol > 0 then (
+              incr regressions;
+              "VIOLATED")
+            else if Float.is_finite ratio && ratio > limit then (
+              incr regressions;
+              "REGRESSED")
+            else "ok"
+          in
+          Printf.printf "  %-9s %-52s %10.2f -> %10.2f us  (x%.2f)\n" flag key
+            base_p99 cur_p99 ratio)
+      base_sem;
+    List.iter
+      (fun (waiters, _) ->
+        if not (List.mem_assoc waiters base_sem) then
+          Printf.printf "  NEW       sem wake p99, %d waiters\n" waiters)
+      cur_sem;
     if !regressions > 0 then (
       Printf.printf "compare: %d row(s) regressed beyond %.1fx\n" !regressions
         factor;
@@ -229,5 +303,5 @@ let () =
   | _ ->
     prerr_endline
       "usage: compare BASELINE.json CURRENT.json [--factor F] [--micro-only | \
-       --real-only]   (default F = 3.0)";
+       --real-only | --wake-only]   (default F = 3.0)";
     exit 2

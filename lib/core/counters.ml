@@ -17,6 +17,8 @@ type t = {
   mutable steal_handoffs : int;
   mutable steal_msgs : int;
   mutable slab_hwm : int;
+  mutable sem_parks : int;
+  mutable sem_grants : int;
 }
 
 let create () =
@@ -39,6 +41,8 @@ let create () =
     steal_handoffs = 0;
     steal_msgs = 0;
     slab_hwm = 0;
+    sem_parks = 0;
+    sem_grants = 0;
   }
 
 let reset t =
@@ -59,7 +63,9 @@ let reset t =
   t.steal_posts <- 0;
   t.steal_handoffs <- 0;
   t.steal_msgs <- 0;
-  t.slab_hwm <- 0
+  t.slab_hwm <- 0;
+  t.sem_parks <- 0;
+  t.sem_grants <- 0
 
 let add dst src =
   dst.sends <- dst.sends + src.sends;
@@ -83,7 +89,9 @@ let add dst src =
   dst.steal_msgs <- dst.steal_msgs + src.steal_msgs;
   (* a high-water mark, not a flow: merging two observations of the same
      slab keeps the larger *)
-  dst.slab_hwm <- max dst.slab_hwm src.slab_hwm
+  dst.slab_hwm <- max dst.slab_hwm src.slab_hwm;
+  dst.sem_parks <- dst.sem_parks + src.sem_parks;
+  dst.sem_grants <- dst.sem_grants + src.sem_grants
 
 let pp ppf t =
   Format.fprintf ppf
@@ -91,9 +99,10 @@ let pp ppf t =
      blocks: client=%d server=%d  wakeups: client=%d server=%d@,\
      race-fix P=%d queue-full sleeps=%d backoff sleeps=%d@,\
      client spin: iters=%d falls=%d  server spin: iters=%d falls=%d@,\
-     steals: posts=%d handoffs=%d msgs=%d  slab hwm=%d@]"
+     steals: posts=%d handoffs=%d msgs=%d  slab hwm=%d@,\
+     sem: parks=%d grants=%d@]"
     t.sends t.receives t.replies t.client_blocks t.server_blocks
     t.client_wakeups t.server_wakeups t.race_fix_p t.queue_full_sleeps
     t.backoff_sleeps t.spin_iterations t.spin_fallthroughs
     t.server_spin_iterations t.server_spin_fallthroughs t.steal_posts
-    t.steal_handoffs t.steal_msgs t.slab_hwm
+    t.steal_handoffs t.steal_msgs t.slab_hwm t.sem_parks t.sem_grants

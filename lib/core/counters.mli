@@ -38,6 +38,14 @@ type t = {
   mutable slab_hwm : int;
       (** payload-slab in-use high-water mark observed over the run;
           merged by [max], not by sum *)
+  mutable sem_parks : int;
+      (** semaphore slow-path entries: P's that claimed a waiting-array
+          ticket and parked (real backend; harvested post-run from the
+          per-channel semaphores) *)
+  mutable sem_grants : int;
+      (** credits V's delivered into waiting-array slots — directed
+          wake-ups aimed at one parked waiter each; [sem_parks] minus
+          [sem_grants] is the population still parked *)
 }
 
 val create : unit -> t

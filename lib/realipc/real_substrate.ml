@@ -384,3 +384,19 @@ let wake_residue t =
     Array.fold_left (fun acc ch -> acc + Rsem.value ch.sem) 0 t.requests
   in
   Array.fold_left (fun acc ch -> acc + Rsem.value ch.sem) req t.replies
+
+(* Post-run harvest (the slab high-water pattern): total the
+   waiting-array traffic of every channel semaphore into the session
+   counters.  Parks and grants are monotone per semaphore, so summing
+   at quiescence is exact. *)
+let harvest_sem_counters t =
+  let parks = ref 0 and grants = ref 0 in
+  let tally ch =
+    parks := !parks + Rsem.parks ch.sem;
+    grants := !grants + Rsem.grants ch.sem
+  in
+  Array.iter tally t.requests;
+  Array.iter tally t.replies;
+  let c = t.counters in
+  c.Ulipc.Counters.sem_parks <- !parks;
+  c.Ulipc.Counters.sem_grants <- !grants

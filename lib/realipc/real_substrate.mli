@@ -86,6 +86,12 @@ val wake_residue : t -> int
     With the test-and-set discipline and the non-blocking drain this is 0
     at quiescence. *)
 
+val harvest_sem_counters : t -> unit
+(** Total every channel semaphore's waiting-array traffic (cumulative
+    parks and directed grants) into the session counters' [sem_parks]
+    and [sem_grants] — call at quiescence, the slab high-water
+    pattern. *)
+
 (** {1 Sharded request plane} *)
 
 val nshards : t -> int

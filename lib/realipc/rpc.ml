@@ -116,11 +116,20 @@ let create ?(capacity = 64) ?transport ?trace ?slots ?req_codec ?rep_codec
      own uniprocessor rule (§2.1: yield, never spin).  Clamp the adaptive
      cap to 0 there: the controller then runs BSW's exact consumer path
      (one extra queue-occupancy load) instead of re-learning futility per
-     channel. *)
+     channel.  BSLS gets the same clamp: traces showed every BSLS(50)
+     spin on a uniprocessor burning its full budget *inside the peer's
+     already-signalled wake path* (spin exhausts ~= blocks, EXPERIMENTS
+     "anomaly 1"), so a clamped budget of 0 skips the poll loop entirely
+     and the path is BSW plus the busy-wait hint.  The driver still
+     reports the protocol under its requested name — the clamp changes
+     the budget actually spent, not the protocol asked for. *)
   let waiting =
-    match waiting with
-    | Adaptive _ when Domain.recommended_domain_count () <= 1 -> Adaptive 0
-    | w -> w
+    if Domain.recommended_domain_count () > 1 then waiting
+    else
+      match waiting with
+      | Adaptive _ -> Adaptive 0
+      | Limited_spin _ -> Limited_spin 0
+      | w -> w
   in
   let req_codec =
     match req_codec with Some c -> c | None -> boxed_codec ()
@@ -156,6 +165,7 @@ let trace t = Real_substrate.trace t.sub
 let slab t = Real_substrate.slab t.sub
 let counters t = Real_substrate.counters t.sub
 let wake_residue t = Real_substrate.wake_residue t.sub
+let harvest_sem_counters t = Real_substrate.harvest_sem_counters t.sub
 let shard_of_client t client = Real_substrate.shard_of_client t.sub client
 
 let check_client t client =
@@ -218,8 +228,9 @@ let alloc_slot t = alloc_slot_retry t 0
 (* Adaptive BSLS: the BSLS code path with a per-channel MAX_SPIN that
    tracks the observed spin-success rate.  A spin episode that ends with
    a visible message (hit) grows the budget multiplicatively,
-   [cur <- min cap (2*cur + 8)]; an exhausted spin (miss) halves it.  The
-   +8 additive kick lets a budget of 0 restart: at [cur = 0] a
+   [cur <- min cap (2*cur + 8)]; an exhausted spin (miss) halves it, and
+   a miss at or below the kick size drops it straight to 0.  The +8
+   additive kick lets a budget of 0 restart: at [cur = 0] a
    queue-occupancy load stands in for the spin, so an arriving message
    still reads as a hit.  At [cap = 0] no budget can ever grow — the
    controller is skipped entirely and the path is exactly BSW's
@@ -258,7 +269,17 @@ let adaptive_dequeue t ch ~slot ~cap ~side =
       end
     in
     if productive then Atomic.set slot (min cap ((2 * cur) + 8))
-    else Atomic.set slot (cur / 2);
+    else
+      (* A miss at or below the additive kick collapses straight to 0
+         rather than decaying 8 -> 4 -> 2 -> 1 -> 0: the decay tail is
+         four more missed episodes, each paying two clock reads and its
+         leftover polls, before the channel returns to the blocking
+         path — and every spurious hit restarts it.  With the collapse
+         one miss undoes one kick, so the budget is non-zero only while
+         hits actually recur and ADAPT's floor is provably BSW: at
+         [cur = 0] the only per-message overhead is the one
+         queue-occupancy probe. *)
+      Atomic.set slot (if cur <= 8 then 0 else cur / 2);
     P.Prims.blocking_dequeue t.sub ch ~side ~on_empty:P.Prims.Hint_busy_wait ()
   end
 
@@ -407,7 +428,11 @@ let send_msg t ~client m =
     | Limited_spin max_spin ->
       P.Prims.flow_enqueue sub req_ch m;
       let (_ : bool) = P.Prims.wake_consumer sub req_ch ~target:P.Prims.Server in
-      P.Prims.limited_spin sub reply_ch ~side:P.Prims.Client ~max_spin;
+      (* A clamped (or explicit) budget of 0 skips the spin entirely:
+         invoking the loop would still charge a fall-through per empty
+         check, and never-spin must cost nothing next to BSW. *)
+      if max_spin > 0 then
+        P.Prims.limited_spin sub reply_ch ~side:P.Prims.Client ~max_spin;
       P.Prims.blocking_dequeue sub reply_ch ~side:P.Prims.Client
         ~on_empty:P.Prims.Hint_busy_wait ()
     | Handoff ->
@@ -461,7 +486,8 @@ let receive_msg t ~server =
           P.Prims.blocking_dequeue sub ch ~side:P.Prims.Server ()
         end
       | Limited_spin max_spin ->
-        P.Prims.limited_spin sub ch ~side:P.Prims.Server ~max_spin;
+        if max_spin > 0 then
+          P.Prims.limited_spin sub ch ~side:P.Prims.Server ~max_spin;
         P.Prims.blocking_dequeue sub ch ~side:P.Prims.Server ()
       | Handoff ->
         let m = Real_substrate.dequeue sub ch in
@@ -564,7 +590,8 @@ let collect_msg t ~client =
     P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client
       ~on_empty:P.Prims.Hint_busy_wait ()
   | Limited_spin max_spin ->
-    P.Prims.limited_spin t.sub ch ~side:P.Prims.Client ~max_spin;
+    if max_spin > 0 then
+      P.Prims.limited_spin t.sub ch ~side:P.Prims.Client ~max_spin;
     P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client
       ~on_empty:P.Prims.Hint_busy_wait ()
   | Adaptive cap ->

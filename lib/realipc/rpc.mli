@@ -232,3 +232,9 @@ val wake_residue : ('req, 'rep) t -> int
 (** Sum of all channel semaphore counts; surplus wake-ups left pending.
     For tests — the C.4 [Rsem.try_p] drain keeps this at 0 once all
     traffic has quiesced. *)
+
+val harvest_sem_counters : ('req, 'rep) t -> unit
+(** Fold every channel semaphore's cumulative waiting-array parks and
+    directed grants into {!counters} ([sem_parks]/[sem_grants]).  Call
+    at quiescence (all domains joined), like the slab high-water
+    harvest. *)

@@ -2,23 +2,46 @@
    a futex-based semaphore takes without raw futex access): [count] holds
    the semaphore value when non-negative and minus the number of waiters
    when negative, so the uncontended V and P are one atomic
-   read-modify-write each and never touch the mutex — the property the
+   read-modify-write each and never touch a lock — the property the
    paper's argument needs, since every block/wake otherwise re-imports
    the kernel-crossing cost the user-level queues removed.
 
-   Slow path: a P that drives [count] negative parks on the
-   Mutex/Condition pair, but only for a *banked* credit: the V that
-   observes a negative count takes the mutex, increments [wakeups] and
-   signals.  Banking the credit (rather than signalling into the void)
-   closes the race where the V fires between the waiter's fetch-and-add
-   and its Condition.wait — the waiter finds [wakeups] already positive
-   and never sleeps.  The futex analogue is the kernel's wait-queue
-   count; the correctness argument is Interleaving 1 of §3 unchanged.
+   Slow path: a WAITING ARRAY (Dice & Kogan, "Semaphores Augmented with
+   a Waiting Array").  A P that drives [count] negative claims a ticket
+   from [p_ticket] (one fetch-and-add) and parks on the ticket's slot —
+   a cache-padded Mutex/Condition/counter triple at index
+   [ticket mod slots].  A V that observes a negative count claims the
+   matching grant ticket from [v_ticket] and delivers the credit
+   straight into that slot: per-slot [granted] is the banked-credit
+   counter, and the waiter holding ticket [k] sleeps until
+   [granted >= k/slots + 1] — the slot has seen one credit for every
+   earlier generation that parked there, plus its own.  Banking the
+   credit in the slot (rather than signalling into the void) closes the
+   race where the V fires between the waiter's fetch-and-add and its
+   Condition.wait: the waiter re-checks [granted] under the slot mutex
+   before sleeping and finds the credit already published.
 
-   [v_n] publishes n credits with ONE atomic add and at most ONE
-   signal/broadcast, the wake-coalescing entry point for batched
-   replies: n V operations would take the mutex up to n times and issue
-   up to n wakes.
+   What the array buys over the previous single Mutex/Condition bank:
+
+   - The V path takes no global lock.  Each credit touches exactly one
+     slot's mutex, so concurrent V's aimed at different waiters do not
+     serialise against each other — and never against the whole parked
+     population.
+   - Each wake is DIRECTED at one waiter.  A signal on a slot whose one
+     sleeper holds the matching ticket moves exactly that waiter; no
+     herd wakes to re-check a shared predicate.  Only when more waiters
+     than slots park concurrently does a slot hold sleepers of several
+     generations, and only then does the grant broadcast (a signal
+     could wake the wrong generation, which would re-sleep while the
+     right one slept on) — the counted, bounded degradation mode.
+   - FIFO tickets make the semaphore starvation-free: grant [g] can
+     only release the waiter holding park ticket [g], so waiters are
+     served in the exact order they committed to park (the
+     claim/release shape of Chalmers & Pedersen's fair protocol).
+
+   [v_n] still publishes n credits with ONE atomic add on [count] and
+   one on [v_ticket]; the n slot deliveries each take only their own
+   slot's lock — the wake-coalescing entry point for batched replies.
 
    A bounded spin in [p] before parking covers the multiprocessor case
    where the matching V is microseconds away; on a uniprocessor
@@ -26,24 +49,31 @@
    the poster, so the default spin bound is 0 there — the paper's §2.1
    busy-wait-vs-yield distinction applied to the semaphore itself. *)
 
+type slot = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable granted : int; (* credits delivered to this slot, monotone *)
+  mutable sleeping : int; (* waiters inside Condition.wait right now *)
+  mutable waits : int; (* cumulative parks on this slot (observability) *)
+  mutable broadcasts : int;
+      (* grants that had to broadcast because sleepers of more than one
+         generation shared the slot (population > array size) *)
+}
+
 type t = {
   count : int Atomic.t;
       (* >= 0: semaphore value; < 0: number of waiters parked or parking *)
   spin : int; (* fast-path retries before parking *)
-  mutex : Mutex.t;
-  nonzero : Condition.t;
-  mutable wakeups : int; (* banked credits for parked waiters *)
-  mutable waiters : int;
-      (* waiters actually parked on [nonzero] (inside the mutex), as
-         opposed to the negative [count], which also counts waiters
-         still on their way to the mutex.  This is what lets V direct
-         its wake-ups: signal exactly [credits] times when fewer credits
-         than sleepers arrive, broadcast only when every sleeper gets
-         one, and skip the condvar entirely when nobody is parked yet —
-         a parking waiter re-checks [wakeups] under the mutex before
-         waiting, so a banked credit is never missed.  First step toward
-         Dice & Kogan's waiting-array semaphore: the wake is aimed at
-         the population that needs it, never the whole herd. *)
+  p_ticket : int Atomic.t; (* FIFO park-ticket dispenser *)
+  v_ticket : int Atomic.t; (* FIFO grant-ticket dispenser *)
+  parked : int Atomic.t;
+      (* waiters currently committed to the array: incremented after the
+         park ticket is claimed, decremented when the waiter leaves its
+         slot.  An atomic, not a lock-guarded field, so tests and
+         observers never act on a torn read. *)
+  mask : int; (* slots - 1; the array length is a power of two *)
+  shift : int; (* log2 slots: ticket -> generation *)
+  slots : slot array;
 }
 
 let default_spin =
@@ -51,30 +81,80 @@ let default_spin =
   let cores = Domain.recommended_domain_count () in
   if cores <= 1 then 0 else 64
 
-let create ?(spin = default_spin) count =
+let default_slots = 8
+
+let make_slot () =
+  Padding.copy_padded
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      granted = 0;
+      sleeping = 0;
+      waits = 0;
+      broadcasts = 0;
+    }
+
+let create ?(spin = default_spin) ?(slots = default_slots) count =
   if count < 0 then invalid_arg "Rsem.create: negative initial count";
   if spin < 0 then invalid_arg "Rsem.create: negative spin bound";
+  if slots < 1 then invalid_arg "Rsem.create: slots must be positive";
+  (* Round the waiter-population hint up to a power of two so the
+     ticket->slot map is a mask and ticket->generation a shift. *)
+  let size = ref 1 and shift = ref 0 in
+  while !size < slots do
+    size := !size * 2;
+    incr shift
+  done;
   {
     count = Padding.copy_padded (Atomic.make count);
     spin;
-    mutex = Mutex.create ();
-    nonzero = Condition.create ();
-    wakeups = 0;
-    waiters = 0;
+    p_ticket = Padding.copy_padded (Atomic.make 0);
+    v_ticket = Padding.copy_padded (Atomic.make 0);
+    parked = Padding.copy_padded (Atomic.make 0);
+    mask = !size - 1;
+    shift = !shift;
+    slots = Array.init !size (fun _ -> make_slot ());
   }
 
-(* Park: wait for a banked credit.  The waiter is already accounted for
-   in the negative [count], so the V that will serve it is committed to
-   banking a wakeup; we may only consume exactly one. *)
+(* Park: claim the next ticket and wait for the matching grant.  The
+   waiter is already accounted for in the negative [count], so the V
+   that will serve it is committed to granting this ticket's slot; the
+   while-loop guard makes both the V-overtakes-P race (credit already
+   in [granted]) and a broadcast-woken wrong-generation sleeper
+   harmless. *)
 let park t =
-  Mutex.lock t.mutex;
-  t.waiters <- t.waiters + 1;
-  while t.wakeups = 0 do
-    Condition.wait t.nonzero t.mutex
+  let k = Atomic.fetch_and_add t.p_ticket 1 in
+  let s = t.slots.(k land t.mask) in
+  let need = (k lsr t.shift) + 1 in
+  Atomic.incr t.parked;
+  Mutex.lock s.mutex;
+  s.waits <- s.waits + 1;
+  while s.granted < need do
+    s.sleeping <- s.sleeping + 1;
+    Condition.wait s.cond s.mutex;
+    s.sleeping <- s.sleeping - 1
   done;
-  t.waiters <- t.waiters - 1;
-  t.wakeups <- t.wakeups - 1;
-  Mutex.unlock t.mutex
+  Mutex.unlock s.mutex;
+  Atomic.decr t.parked
+
+(* Deliver one credit into the slot of grant ticket [k].  Touches only
+   that slot's mutex — the V path never takes a semaphore-wide lock.
+   One sleeper gets one directed signal; zero sleepers means the parking
+   waiter is still on its way and will find [granted] already
+   sufficient (no condvar call at all — the V-overtakes-P race); more
+   than one sleeper means generations share the slot and only a
+   broadcast is sound, since a signal could pick a later generation
+   that would re-sleep while the granted one slept on. *)
+let grant t k =
+  let s = t.slots.(k land t.mask) in
+  Mutex.lock s.mutex;
+  s.granted <- s.granted + 1;
+  if s.sleeping > 1 then begin
+    s.broadcasts <- s.broadcasts + 1;
+    Condition.broadcast s.cond
+  end
+  else if s.sleeping = 1 then Condition.signal s.cond;
+  Mutex.unlock s.mutex
 
 (* Top-level recursion rather than a local [let rec]: a local loop
    closure would capture [t] and be allocated on every P — these are the
@@ -104,30 +184,16 @@ let rec try_p t =
   else if Atomic.compare_and_set t.count c (c - 1) then true
   else try_p t
 
-(* Wake [wake] parked waiters: bank the credits under the mutex, then
-   wake DIRECTED — exactly one signal per credit while credits are
-   scarcer than sleepers (each signal moves one waiter off the condvar;
-   waking more would be a thundering herd in which [parked - wake]
-   domains contend for the mutex only to re-sleep), one broadcast when
-   every sleeper has a credit waiting (then n signals and one broadcast
-   wake the same population and the broadcast is one call), and NO
-   condvar operation at all when nobody is parked yet — the banked
-   credit is found by the parking waiter's own [wakeups] re-check under
-   the mutex, so the syscall-shaped call is skipped exactly in the
-   V-overtakes-P race where it could wake no one.  Signalling while
-   holding the mutex keeps the banked credit and its wake atomic with
-   respect to a parking waiter. *)
+(* Wake [wake] parked waiters: claim a contiguous run of grant tickets
+   with one fetch-and-add, then deliver each credit into its slot.
+   Ticket arithmetic is the whole fairness argument — grant [g] can
+   only release park ticket [g], the oldest committed waiter not yet
+   served. *)
 let wake_parked t wake =
-  Mutex.lock t.mutex;
-  t.wakeups <- t.wakeups + wake;
-  let parked = t.waiters in
-  if parked > 0 then
-    if wake >= parked then Condition.broadcast t.nonzero
-    else
-      for _ = 1 to wake do
-        Condition.signal t.nonzero
-      done;
-  Mutex.unlock t.mutex
+  let base = Atomic.fetch_and_add t.v_ticket wake in
+  for i = 0 to wake - 1 do
+    grant t (base + i)
+  done
 
 let v t =
   let old = Atomic.fetch_and_add t.count 1 in
@@ -141,7 +207,26 @@ let v_n t n =
   end
 
 let value t = max 0 (Atomic.get t.count)
+let parked t = Atomic.get t.parked
+let waiters t = parked t
+let parks t = Atomic.get t.p_ticket
+let grants t = Atomic.get t.v_ticket
+let array_size t = Array.length t.slots
 
-(* Unsynchronized read of a mutex-guarded field: a snapshot for reports
-   and tests, exact only at quiescence. *)
-let waiters t = t.waiters
+let slot_waits t =
+  Array.map
+    (fun s ->
+      Mutex.lock s.mutex;
+      let w = s.waits in
+      Mutex.unlock s.mutex;
+      w)
+    t.slots
+
+let shared_slot_broadcasts t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.mutex;
+      let b = s.broadcasts in
+      Mutex.unlock s.mutex;
+      acc + b)
+    0 t.slots

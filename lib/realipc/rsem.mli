@@ -1,32 +1,38 @@
-(** Counting semaphore with an atomic fast path.
+(** Counting semaphore with an atomic fast path and a waiting-array
+    slow path.
 
     The portable stand-in for the System V semaphores the paper blocks
     on, built the way a futex-based semaphore is: the count lives in one
     [Atomic.t] (negative values record waiters), so uncontended {!v} and
-    {!p} are a single atomic read-modify-write and never take the mutex.
-    Only a P that actually finds no credit parks on the internal
-    Mutex/Condition pair — after a bounded spin — and only a V that
-    observes a parked waiter takes the mutex to bank its wake-up.
+    {!p} are a single atomic read-modify-write and never take a lock.
     Counting semantics matter: the sleep/wake-up protocols rely on a V
     posted before the P remaining pending (§3, Interleaving 1).
 
-    Wake-ups are {e directed}: the semaphore tracks how many waiters are
-    actually parked, grants scarcer-than-sleepers credits with exactly
-    one [Condition.signal] per credit, reserves [broadcast] for the case
-    where every sleeper has a credit, and issues no condvar call at all
-    when no one is parked (the banked credit is found by the parking
-    waiter's own re-check).  As the fleet grows this keeps a contended V
-    from waking the whole herd — cf. Dice & Kogan's waiting-array
-    semaphore. *)
+    The contended path is a waiting array (Dice & Kogan, "Semaphores
+    Augmented with a Waiting Array"): a parking P claims a FIFO ticket
+    and sleeps on the ticket's private cache-padded slot (its own
+    Mutex/Condition pair); a V that owes a wake claims the matching
+    grant ticket and writes the credit straight into that slot.  So the
+    V path takes {e no} semaphore-wide lock, every wake is directed at
+    exactly the waiter it releases, and ticket order makes the
+    semaphore starvation-free — grant [g] can only release park ticket
+    [g], the oldest waiter not yet served.  Only when parked waiters
+    outnumber the array's slots do generations share a slot and grants
+    degrade to (counted) per-slot broadcasts. *)
 
 type t
 
-val create : ?spin:int -> int -> t
+val create : ?spin:int -> ?slots:int -> int -> t
 (** [create count] with the given initial count.  [spin] bounds the
     fast-path retries a {!p} performs before parking; the default is a
     small bound on multiprocessors and [0] on a uniprocessor, where
-    spinning can only delay the poster.
-    @raise Invalid_argument on a negative initial count or spin bound. *)
+    spinning can only delay the poster.  [slots] is a hint for the
+    expected concurrently-parked population (rounded up to a power of
+    two, default 8): with at most [slots] waiters parked at once every
+    wake is a directed single signal, beyond that slots are shared and
+    grants broadcast per slot.
+    @raise Invalid_argument on a negative initial count or spin bound,
+      or a non-positive [slots]. *)
 
 val p : t -> unit
 (** Down: block while the count is zero, then decrement.  Uncontended
@@ -40,22 +46,50 @@ val try_p : t -> bool
     used speculatively.  Never registers as a waiter. *)
 
 val v : t -> unit
-(** Up: increment and wake one waiter — one [signal], never a broadcast.
-    Uncontended (no waiter): one atomic add, no lock, no signal. *)
+(** Up: increment and wake one waiter — a single directed signal into
+    the oldest claimed slot, never a broadcast (unless that slot is
+    shared).  Uncontended (no waiter): one atomic add, no lock, no
+    signal. *)
 
 val v_n : t -> int -> unit
-(** [v_n t n] publishes [n] credits with one atomic add and a directed
-    wake: [min n parked] signals when sleepers outnumber the credits,
-    one broadcast when they do not — the wake-coalescing primitive
-    batched replies use, where [n] separate {!v} calls would pay up to
-    [n] lock rounds.  [v_n t 1] is {!v}; [v_n t 0] is a no-op.
+(** [v_n t n] publishes [n] credits with one atomic add and at most
+    [min n waiters] directed per-slot wakes — the wake-coalescing
+    primitive batched replies use, where [n] separate {!v} calls would
+    pay [n] count updates.  [v_n t 1] is {!v}; [v_n t 0] is a no-op.
     @raise Invalid_argument on a negative [n]. *)
 
 val value : t -> int
 (** Racy snapshot of the credit count (0 while waiters are parked), for
     tests and residue accounting. *)
 
+val parked : t -> int
+(** Number of waiters currently committed to the waiting array (ticket
+    claimed, not yet released).  Read from a dedicated [Atomic.t], so
+    the value is never a torn read — it is exact at quiescence and at
+    any instant a consistent count of committed waiters. *)
+
 val waiters : t -> int
-(** Racy snapshot of the number of waiters currently parked inside the
-    semaphore (not counting those still spinning toward it); exact at
-    quiescence.  For tests and reports. *)
+(** Alias for {!parked}, kept for the PR-7 directed-wake call sites. *)
+
+val parks : t -> int
+(** Cumulative slow-path entries: how many P's ever claimed a park
+    ticket (monotone).  With {!grants} this exposes the waiting-array
+    traffic to the counters seam. *)
+
+val grants : t -> int
+(** Cumulative credits delivered into the waiting array by V's
+    (monotone); [parks t - grants t] never exceeds the population still
+    parked. *)
+
+val array_size : t -> int
+(** The waiting array's slot count (the rounded-up [slots] hint). *)
+
+val slot_waits : t -> int array
+(** Per-slot cumulative park counts, each read under its slot's mutex:
+    the occupancy histogram of the waiting array (flat when the FIFO
+    tickets rotate through the array, as they should). *)
+
+val shared_slot_broadcasts : t -> int
+(** How many grants found sleepers of more than one generation sharing
+    the slot and had to broadcast — 0 whenever the concurrently-parked
+    population stays within {!array_size}. *)

@@ -27,12 +27,12 @@ let json_float f =
 
 let json_float_opt = function None -> "null" | Some f -> json_float f
 
-let write ~path ~quick ~micro ~real =
+let write ~path ~quick ~micro ?(sem = []) ~real () =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   let sep i n = if i = n - 1 then "" else "," in
   p "{\n";
-  p "  \"schema\": \"ulipc-bench-real/6\",\n";
+  p "  \"schema\": \"ulipc-bench-real/7\",\n";
   p "  \"quick\": %b,\n" quick;
   p "  \"micro_ns_per_op\": [\n";
   let n = List.length micro in
@@ -41,6 +41,22 @@ let write ~path ~quick ~micro ~real =
       p "    { \"name\": \"%s\", \"ns_per_op\": %s }%s\n" (json_escape name)
         (json_float ns) (sep i n))
     micro;
+  p "  ],\n";
+  p "  \"sem_wake_latency\": [\n";
+  let n = List.length sem in
+  List.iteri
+    (fun i (r : Sem_bench.result) ->
+      p
+        "    { \"waiters\": %d, \"reps\": %d, \"samples\": %d, \"p50_us\": \
+         %s, \"p99_us\": %s, \"max_us\": %s, \"violations\": %d, \
+         \"broadcasts\": %d }%s\n"
+        r.Sem_bench.waiters r.Sem_bench.reps
+        (Array.length r.Sem_bench.samples)
+        (json_float r.Sem_bench.p50_us)
+        (json_float r.Sem_bench.p99_us)
+        (json_float r.Sem_bench.max_us)
+        r.Sem_bench.violations r.Sem_bench.broadcasts (sep i n))
+    sem;
   p "  ],\n";
   p "  \"real_driver\": [\n";
   let n = List.length real in

@@ -15,9 +15,13 @@ val write :
   path:string ->
   quick:bool ->
   micro:(string * float) list ->
+  ?sem:Sem_bench.result list ->
   real:(string * Metrics.t) list ->
+  unit ->
   unit
-(** Write schema [ulipc-bench-real/4]: the Bechamel ns/op rows and the
+(** Write schema [ulipc-bench-real/7]: the Bechamel ns/op rows, the
+    semaphore directed-wake-latency sweep ([sem], default empty — one
+    row per waiter population from {!Sem_bench.wake_latency}), and the
     real-driver echo rows ([(transport name, metrics)]), the latter with
     a [depth] pipelining column, a measured [utilization],
     [latency_p50_us]/[latency_p99_us]/[latency_max_us] fields from the

@@ -276,6 +276,7 @@ let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ?(nservers = 1)
   let counters = Ulipc_real.Rpc.counters t in
   counters.Ulipc.Counters.slab_hwm <-
     Ulipc_real.Slab.high_water (Ulipc_real.Rpc.slab t);
+  Ulipc_real.Rpc.harvest_sem_counters t;
   (* All recording domains are joined: the drain is race-free. *)
   let wake_latency_p50_us, wake_latency_p99_us =
     let report =

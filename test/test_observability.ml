@@ -282,14 +282,29 @@ let test_bench_json_roundtrip () =
   let micro =
     [ ("spsc pair", 25.1); ("nan row", nan); ("inf row", infinity) ]
   in
+  (* Schema 7: the semaphore directed-wake-latency sweep rides along. *)
+  let sem =
+    [ Ulipc_workload.Sem_bench.wake_latency ~target_samples:16 ~waiters:2 () ]
+  in
   let path = Filename.temp_file "bench_real" ".json" in
-  Bench_json.write ~path ~quick:true ~micro ~real;
+  Bench_json.write ~path ~quick:true ~micro ~sem ~real ();
   let contents = In_channel.with_open_text path In_channel.input_all in
   Sys.remove path;
   let j = parse_json contents in
   (match member "schema" j with
-  | J.Str "ulipc-bench-real/6" -> ()
+  | J.Str "ulipc-bench-real/7" -> ()
   | _ -> Alcotest.fail "wrong schema");
+  (match member "sem_wake_latency" j with
+  | J.Arr [ row ] ->
+    (match
+       (member "waiters" row, member "p99_us" row, member "violations" row)
+     with
+    | J.Num w, J.Num p99, J.Num v ->
+      Alcotest.(check (float 0.0)) "sem row waiters" 2.0 w;
+      Alcotest.(check bool) "sem row p99 positive" true (p99 > 0.0);
+      Alcotest.(check (float 0.0)) "sem row clean trace" 0.0 v
+    | _ -> Alcotest.fail "sem row fields not numbers")
+  | _ -> Alcotest.fail "sem_wake_latency not a one-row array");
   (match member "micro_ns_per_op" j with
   | J.Arr rows ->
     let ns name =

@@ -359,19 +359,29 @@ let test_rsem_directed_wake () =
    assertions are lenient — zero invariant violations, every wake paired,
    and a loose absolute p99 roof — so the test gates against pathologies
    (lost wake-ups hang the join; a thundering-herd wake path shows up as
-   a runaway p99), not against scheduler noise. *)
+   a runaway p99), not against scheduler noise.
+
+   Parking is serialised (waiter [i] stamps its Block only once [i]
+   waiters are already committed): the analysis pairs wakes with blocks
+   in timestamp order while the waiting array serves park *tickets* in
+   claim order, and a park storm can commit tickets in a different
+   order than the Block stamps — a mispairing the trace would report as
+   a wake-without-dequeue even though the semaphore behaved.  Serial
+   parking pins stamp order to ticket order so the causal pairing is
+   exact. *)
 let test_rsem_wake_latency n () =
   let trace = Trace_ring.create ~capacity:8192 () in
   let chan = 1 in
-  let s = Rsem.create 0 in
+  let s = Rsem.create ~slots:n 0 in
   let waiters =
-    List.init n (fun _ ->
+    List.init n (fun i ->
         Domain.spawn (fun () ->
+            await "my turn to park" (fun () -> Rsem.parked s = i);
             Trace_ring.record trace Ulipc_observe.Event.Block ~chan;
             Rsem.p s;
             Trace_ring.record trace Ulipc_observe.Event.Dequeue ~chan))
   in
-  await "all waiters parked" (fun () -> Rsem.waiters s = n);
+  await "all waiters parked" (fun () -> Rsem.parked s = n);
   (* Half the credits one V at a time, the rest as one directed v_n. *)
   let half = n / 2 in
   for _ = 1 to half do
@@ -406,6 +416,136 @@ let test_rsem_wake_latency n () =
     (Float.is_finite report.wake_latency.p99_us
     && report.wake_latency.p99_us < 2_000_000.0)
 
+(* The 512-waiter extension of the sweep above.  512 parked entities
+   exceed what real domains can provide, so this point runs on
+   systhreads through the Sem_bench harness — same causal pipeline
+   (serialised parking, one directed credit per wake, full violation
+   checking), scaled past the domain cap. *)
+let test_sem_bench_512 () =
+  let r =
+    Ulipc_workload.Sem_bench.wake_latency ~target_samples:512 ~waiters:512 ()
+  in
+  Alcotest.(check int) "zero violations" 0
+    r.Ulipc_workload.Sem_bench.violations;
+  Alcotest.(check int) "one sample per waiter" 512
+    (Array.length r.Ulipc_workload.Sem_bench.samples);
+  Alcotest.(check int) "every waiter got a private slot" 0
+    r.Ulipc_workload.Sem_bench.broadcasts;
+  Alcotest.(check bool)
+    (Printf.sprintf "wake-latency p99 bounded (%.1f us)"
+       r.Ulipc_workload.Sem_bench.p99_us)
+    true
+    (Float.is_finite r.Ulipc_workload.Sem_bench.p99_us
+    && r.Ulipc_workload.Sem_bench.p99_us < 2_000_000.0)
+
+(* Waiting-array observability: the cumulative dispensers and per-slot
+   counters that harvest_sem_counters folds into the session totals. *)
+let test_rsem_observability () =
+  let n = 3 in
+  let s = Rsem.create ~slots:4 0 in
+  Alcotest.(check int) "array rounded to a power of two" 4 (Rsem.array_size s);
+  let waiters =
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            await "my turn to park" (fun () -> Rsem.parked s = i);
+            Rsem.p s))
+  in
+  await "all waiters parked" (fun () -> Rsem.parked s = n);
+  Alcotest.(check int) "parks counts committed tickets" n (Rsem.parks s);
+  Alcotest.(check int) "no grants yet" 0 (Rsem.grants s);
+  Rsem.v_n s n;
+  List.iter Domain.join waiters;
+  Alcotest.(check int) "all grants dispensed" n (Rsem.grants s);
+  Alcotest.(check int) "nobody left parked" 0 (Rsem.parked s);
+  Alcotest.(check int) "per-slot waits sum to parks" n
+    (Array.fold_left ( + ) 0 (Rsem.slot_waits s));
+  Alcotest.(check int) "private slots, no shared-slot broadcasts" 0
+    (Rsem.shared_slot_broadcasts s)
+
+(* Generation sharing: an array smaller than the population must still
+   release everyone (waiters of different generations share a slot; a
+   grant that finds several sleepers broadcasts and each rechecks its
+   own generation's credit). *)
+let test_rsem_shared_slot () =
+  let n = 3 in
+  let s = Rsem.create ~slots:1 0 in
+  Alcotest.(check int) "single-slot array" 1 (Rsem.array_size s);
+  let completed = Atomic.make 0 in
+  let waiters =
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            await "my turn to park" (fun () -> Rsem.parked s = i);
+            Rsem.p s;
+            Atomic.incr completed))
+  in
+  await "all waiters parked" (fun () -> Rsem.parked s = n);
+  (* Release one at a time: each grant lands in the shared slot and must
+     free exactly the oldest generation. *)
+  for k = 1 to n do
+    Rsem.v s;
+    await "oldest generation released" (fun () -> Atomic.get completed = k)
+  done;
+  List.iter Domain.join waiters;
+  Alcotest.(check int) "all released through one slot" n (Atomic.get completed);
+  Alcotest.(check int) "waits all on slot 0" n (Rsem.slot_waits s).(0);
+  Alcotest.(check int) "no credit left" 0 (Rsem.value s)
+
+(* Fairness / starvation-freedom property: under paced v_n bursts, the
+   FIFO ticket dispenser must spread wakes evenly — no waiter's tally
+   may exceed 3x the median, and every posted credit must release
+   exactly one park (a lost wake-up times out the pacing await; a
+   thundering herd inflates the tally sum). *)
+(* Credits posted through round [r]: bursts cycle 1 .. n. *)
+let total_of_rounds n rounds =
+  let t = ref 0 in
+  for r = 1 to rounds do
+    t := !t + 1 + (r mod n)
+  done;
+  !t
+
+let prop_rsem_fairness =
+  QCheck.Test.make ~name:"waiting array is fair under v_n coalescing"
+    ~count:15
+    QCheck.(pair (int_range 2 4) (int_range 8 30))
+    (fun (n, rounds) ->
+      let s = Rsem.create ~slots:n 0 in
+      let counts = Array.init n (fun _ -> Atomic.make 0) in
+      let stop = Atomic.make false in
+      let waiters =
+        List.init n (fun i ->
+            Domain.spawn (fun () ->
+                let rec loop () =
+                  Rsem.p s;
+                  if not (Atomic.get stop) then begin
+                    Atomic.incr counts.(i);
+                    loop ()
+                  end
+                in
+                loop ()))
+      in
+      let tally () =
+        Array.fold_left (fun acc c -> acc + Atomic.get c) 0 counts
+      in
+      for round = 1 to rounds do
+        await "all waiters parked" (fun () -> Rsem.parked s = n);
+        let burst = 1 + (round mod n) in
+        Rsem.v_n s burst;
+        (* Pacing: every credit of the burst consumed and its takers
+           re-parked before the next burst — this is where a lost
+           wake-up under coalescing would hang (and fail the await). *)
+        await "burst fully consumed" (fun () ->
+            tally () = total_of_rounds n round && Rsem.parked s = n)
+      done;
+      let total = tally () in
+      Atomic.set stop true;
+      Rsem.v_n s n;
+      List.iter Domain.join waiters;
+      let sorted = Array.map Atomic.get counts in
+      Array.sort compare sorted;
+      let median = sorted.(n / 2) in
+      total = total_of_rounds n rounds
+      && Array.for_all (fun c -> Atomic.get c <= max 3 (3 * median)) counts)
+
 let suites =
   [
     ( "realipc.shard_map",
@@ -438,5 +578,12 @@ let suites =
           (test_rsem_wake_latency 8);
         Alcotest.test_case "wake latency, 64 waiters" `Quick
           (test_rsem_wake_latency 64);
+        Alcotest.test_case "wake latency, 512 waiters (systhreads)" `Quick
+          test_sem_bench_512;
+        Alcotest.test_case "observability counters" `Quick
+          test_rsem_observability;
+        Alcotest.test_case "generation-shared slot" `Quick
+          test_rsem_shared_slot;
+        QCheck_alcotest.to_alcotest prop_rsem_fairness;
       ] );
   ]
