@@ -14,7 +14,8 @@
    far under the 75x of the original BSS pathology.
 
    The real_driver rows gate too: every echo/sweep row is keyed by
-   (transport, protocol, nclients, nservers, depth) and its saturation
+   (backend, transport, protocol, nclients, nservers, depth) — backend
+   defaults to "inproc" for pre-/8 baselines — and its saturation
    throughput (msg/ms) must not fall below baseline/3F — the whole row
    class is scheduler-bound, hence the wide factor; what the gate exists
    to catch is the order-of-magnitude cliff of a sharding or stealing
@@ -38,7 +39,15 @@
    a sleep/wake through the OS scheduler.  `--wake-only` selects just
    this section; like the real rows it needs a like-mode baseline
    (quick vs quick), and a trace violation in the current file is
-   itself fatal — a lost wake-up is a bug, not noise. *)
+   itself fatal — a lost wake-up is a bug, not noise.
+
+   `--proc-only FILE` (single file, schema /8) is an absolute gate, not
+   a baseline comparison: every backend=proc shm row's round-trip
+   latency must beat the pipe baseline row in the SAME file — the
+   tentpole claim that user-level sleep/wake-up over a shared arena
+   beats the kernel's pipe path on identical blocking semantics.  It
+   is absolute because it compares two transports measured seconds
+   apart on the same host, so host speed divides out. *)
 
 let read_lines path =
   let ic = open_in path in
@@ -121,6 +130,10 @@ let real_rows path =
       if String.trim line = "\"real_driver\": [" then in_real := true;
       if not !in_real then None
       else
+        let backend =
+          (* schema /7 and earlier predate the cross-process backend *)
+          Option.value (string_field line "backend") ~default:"inproc"
+        in
         match
           ( string_field line "transport",
             string_field line "protocol",
@@ -131,7 +144,7 @@ let real_rows path =
         | Some transport, Some protocol, Some nclients, Some nservers,
           Some depth ->
           let key =
-            Printf.sprintf "%s %s %dc %ds d%d" transport protocol
+            Printf.sprintf "%s %s %s %dc %ds d%d" backend transport protocol
               (int_of_float nclients) (int_of_float nservers)
               (int_of_float depth)
           in
@@ -139,12 +152,89 @@ let real_rows path =
         | Some transport, Some protocol, Some nclients, None, Some depth ->
           (* schema /5 baselines predate the server pool: one server *)
           let key =
-            Printf.sprintf "%s %s %dc 1s d%d" transport protocol
+            Printf.sprintf "%s %s %s %dc 1s d%d" backend transport protocol
               (int_of_float nclients) (int_of_float depth)
           in
           Some (key, float_field line "throughput_msg_per_ms")
         | _ -> None)
     (read_lines path)
+
+(* [(transport, protocol, depth, round_trip_us option)] rows of the
+   backend=proc real_driver section — the input of the absolute
+   shm-beats-pipe gate. *)
+let proc_rt_rows path =
+  let in_real = ref false in
+  List.filter_map
+    (fun line ->
+      if !in_real && String.trim line = "]" then in_real := false;
+      if String.trim line = "\"real_driver\": [" then in_real := true;
+      if not !in_real then None
+      else if string_field line "backend" <> Some "proc" then None
+      else
+        match
+          ( string_field line "transport",
+            string_field line "protocol",
+            float_field line "depth" )
+        with
+        | Some transport, Some protocol, Some depth ->
+          Some
+            ( transport,
+              protocol,
+              int_of_float depth,
+              float_field line "round_trip_us" )
+        | _ -> None)
+    (read_lines path)
+
+(* The absolute cross-process gate: every shm row beats the pipe
+   baseline row of the same file on round-trip latency.  Exit 2 when
+   the file has no proc rows at all (wrong file, or the bench section
+   silently skipped) so CI can't pass vacuously. *)
+let proc_gate path =
+  let rows = proc_rt_rows path in
+  let rt_of transport =
+    List.filter_map
+      (fun (tr, _, _, rt) -> if tr = transport then rt else None)
+      rows
+  in
+  match rt_of "pipe" with
+  | [] ->
+    Printf.eprintf "compare: no backend=proc pipe row in %s\n" path;
+    exit 2
+  | pipe_rts -> (
+    let pipe_rt = List.fold_left min infinity pipe_rts in
+    let shm = List.filter (fun (tr, _, _, _) -> tr = "shm") rows in
+    if shm = [] then (
+      Printf.eprintf "compare: no backend=proc shm rows in %s\n" path;
+      exit 2);
+    let losses = ref 0 in
+    List.iter
+      (fun (_, protocol, depth, rt) ->
+        match rt with
+        | None ->
+          incr losses;
+          Printf.printf "  NULL      shm %s d%d (no round_trip_us)\n" protocol
+            depth
+        | Some rt ->
+          let flag =
+            if rt < pipe_rt then "ok"
+            else (
+              incr losses;
+              "LOST")
+          in
+          Printf.printf "  %-9s shm %-11s d%-2d %10.2f us  vs pipe %10.2f us  (x%.2f)\n"
+            flag protocol depth rt pipe_rt (rt /. pipe_rt))
+      shm;
+    (match rt_of "socket" with
+    | s :: _ -> Printf.printf "  (socket baseline: %.2f us)\n" s
+    | [] -> ());
+    if !losses > 0 then (
+      Printf.printf
+        "compare: %d shm row(s) fail to beat the pipe baseline (%.2f us)\n"
+        !losses pipe_rt;
+      exit 1)
+    else
+      Printf.printf "compare: all %d shm rows beat the pipe baseline (%.2f us)\n"
+        (List.length shm) pipe_rt)
 
 (* [(waiters, (p99_us option, violations))] rows of the sem_wake_latency
    section. *)
@@ -167,6 +257,7 @@ let sem_rows path =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_on = ref true and real_on = ref true and wake_on = ref true in
+  let proc_on = ref false in
   let rec split_factor acc = function
     | "--factor" :: f :: rest -> (float_of_string f, List.rev_append acc rest)
     | "--micro-only" :: rest ->
@@ -181,11 +272,15 @@ let () =
       micro_on := false;
       real_on := false;
       split_factor acc rest
+    | "--proc-only" :: rest ->
+      proc_on := true;
+      split_factor acc rest
     | a :: rest -> split_factor (a :: acc) rest
     | [] -> (3.0, List.rev acc)
   in
   let factor, paths = split_factor [] args in
   match paths with
+  | [ path ] when !proc_on -> proc_gate path
   | [ baseline_path; current_path ] ->
     let baseline = if !micro_on then micro_rows baseline_path else [] in
     let current = if !micro_on then micro_rows current_path else [] in
@@ -303,5 +398,6 @@ let () =
   | _ ->
     prerr_endline
       "usage: compare BASELINE.json CURRENT.json [--factor F] [--micro-only | \
-       --real-only | --wake-only]   (default F = 3.0)";
+       --real-only | --wake-only]   (default F = 3.0)\n\
+      \       compare FILE.json --proc-only    (absolute shm-beats-pipe gate)";
     exit 2

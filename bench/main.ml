@@ -453,6 +453,36 @@ let sweep_rows ~quick () =
         nclients_list)
     nservers_list
 
+(* Cross-process rows: the paper's protocols over the mmap'd arena
+   (fork'd processes, futex-backed semaphores — lib/procipc), raced
+   against the kernel-IPC baselines on the same machine: a pipe pair
+   and a Unix-domain socketpair, the FreeBSD-ladder comparison of
+   arXiv:2008.02145.  All rows are 1 client / 1 server so round-trip
+   latency is the honest head-to-head; the depth-8 row shows the
+   pipelining win when the protocol overlaps requests.  The fd
+   baselines block in read/select — the kernel's own sleep/wake-up —
+   so shm beating pipe is user-level wake-up beating kernel wake-up on
+   identical semantics, the paper's thesis measured cross-process. *)
+let proc_rows ~quick () =
+  let messages = if quick then 400 else 4_000 in
+  let shm ?depth waiting =
+    ( "proc",
+      "shm",
+      Proc_driver.run ~machine:"shm" ?depth ~nclients:1 ~messages waiting )
+  in
+  let fd transport =
+    let name = Proc_driver.fd_transport_name transport in
+    ( "proc",
+      name,
+      Proc_driver.run_fd ~machine:name ~transport ~nclients:1 ~messages () )
+  in
+  List.map
+    (fun w -> shm w)
+    Ulipc_real.Rpc.[ Spin; Block; Block_yield; Limited_spin 50; Adaptive 4096;
+                     Handoff ]
+  @ [ shm ~depth:8 Ulipc_real.Rpc.Block ]
+  @ [ fd Proc_driver.Fd_pipe; fd Proc_driver.Fd_socket ]
+
 (* Directed-wake-latency sweep for the waiting-array semaphore: the
    population grows 2 -> 512 (2 -> 64 in quick mode: CI hosts schedule
    hundreds of systhreads too noisily for a smoke gate) while each
@@ -467,7 +497,23 @@ let sem_rows ~quick () =
     populations
 
 let print_micro ~quick ~json () =
-  (* The sem sweep runs FIRST, before bechamel and the fleet sweep: its
+  (* The cross-process rows run before ANYTHING spawns a domain:
+     fork() from a process whose heap and thread table still carry the
+     residue of hundreds of bechamel/sweep domains is both slower
+     (COW-copying a grown heap per child) and riskier (only the
+     forking thread survives in the child; a runtime lock held by any
+     other systhread at fork time deadlocks it).  At this point the
+     process is single-threaded and the heap is a few megabytes. *)
+  Format.printf
+    "=== Cross-process echo: shm arena + futex vs pipe vs socket (fork'd, 1 \
+     client) ===@.";
+  let proc = proc_rows ~quick () in
+  List.iter
+    (fun (_, transport, m) ->
+      Format.printf "%-7s %a@.%a@.@." transport Metrics.pp_row m
+        Ulipc.Counters.pp m.Metrics.counters)
+    proc;
+  (* The sem sweep runs next, before bechamel and the fleet sweep: its
      p99 flatness claim is about the semaphore, and on a 1-CPU host the
      hundreds of domains the fleet sweep spawns leave the process with a
      grown, fragmented heap whose cold-page faults inflate the large-
@@ -519,13 +565,13 @@ let print_micro ~quick ~json () =
         (100.0 *. m.Metrics.utilization_max))
     sweep;
   Format.printf "@.";
-  let real = real @ sweep in
+  let inproc =
+    List.map (fun (tr, m) -> ("inproc", transport_name tr, m)) (real @ sweep)
+  in
   match json with
   | None -> ()
   | Some path ->
-    Bench_json.write ~path ~quick ~micro ~sem
-      ~real:(List.map (fun (tr, m) -> (transport_name tr, m)) real)
-      ();
+    Bench_json.write ~path ~quick ~micro ~sem ~real:(inproc @ proc) ();
     Format.printf "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)

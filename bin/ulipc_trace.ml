@@ -6,6 +6,7 @@
 
      ulipc_trace --backend real --protocol bsw --out trace.json
      ulipc_trace --backend sim --machine sgi-indy --protocol bsls:10
+     ulipc_trace --backend proc --protocol bsw --out trace_proc.json
 
    The emitted JSON is re-read through the hand-rolled parser before the
    tool reports success, so a malformed export fails loudly here rather
@@ -15,16 +16,19 @@ open Cmdliner
 open Ulipc_workload
 module A = Ulipc_observe.Trace_analysis
 
-type backend = Real | Sim
+type backend = Real | Sim | Proc
 
 let backend_conv =
   let parse = function
     | "real" -> Ok Real
     | "sim" -> Ok Sim
-    | s -> Error (`Msg (Printf.sprintf "unknown backend %S (real, sim)" s))
+    | "proc" -> Ok Proc
+    | s ->
+      Error (`Msg (Printf.sprintf "unknown backend %S (real, sim, proc)" s))
   in
   let print ppf b =
-    Format.pp_print_string ppf (match b with Real -> "real" | Sim -> "sim")
+    Format.pp_print_string ppf
+      (match b with Real -> "real" | Sim -> "sim" | Proc -> "proc")
   in
   Arg.conv (parse, print)
 
@@ -177,6 +181,30 @@ let run_real ~kind ~transport ~nclients ~messages ~depth ~out =
     summary_json ~backend:"real" ~label ~kind ~out m r;
     r
 
+(* Cross-process backend: fork'd processes over the shm arena, events
+   pid-namespaced and merged by the driver (CLOCK_MONOTONIC is
+   system-wide, so the merged order is causal across processes). *)
+let run_proc ~kind ~nclients ~messages ~depth ~out =
+  match waiting_of_kind kind with
+  | Error msg -> failwith msg
+  | Ok waiting ->
+    let events_out = ref [] and dropped_out = ref 0 in
+    let m =
+      Proc_driver.run ~depth ~nclients ~messages ~events_out ~dropped_out
+        waiting
+    in
+    let events = !events_out in
+    let r = A.analyse ~complete:(!dropped_out = 0) events in
+    let process_name =
+      Printf.sprintf "ulipc proc shm %s" (Ulipc.Protocol_kind.name kind)
+    in
+    Ulipc_observe.Perfetto.write ~process_name ~report:r ~path:out events;
+    validate_json out;
+    Format.printf "%a@." A.pp r;
+    summary_json ~backend:"proc" ~label:"\"transport\": \"shm\"" ~kind ~out m
+      r;
+    r
+
 let run_sim ~kind ~machine ~nclients ~messages ~out =
   let sink = Ulipc_observe.Sink.create ~capacity:(1 lsl 18) () in
   let m =
@@ -206,6 +234,7 @@ let main backend kind machine transport nclients messages depth out =
       match backend with
       | Real -> run_real ~kind ~transport ~nclients ~messages ~depth ~out
       | Sim -> run_sim ~kind ~machine ~nclients ~messages ~out
+      | Proc -> run_proc ~kind ~nclients ~messages ~depth ~out
     in
     if r.A.violations <> [] then begin
       Printf.eprintf "ulipc_trace: trace invariants violated (%d)\n"
@@ -225,7 +254,9 @@ let backend_arg =
   Arg.(
     value & opt backend_conv Real
     & info [ "b"; "backend" ] ~docv:"BACKEND"
-        ~doc:"Where to run: real (OCaml domains) or sim (simulator).")
+        ~doc:
+          "Where to run: real (OCaml domains), sim (simulator), or proc \
+           (fork'd processes over the shared-memory arena).")
 
 let protocol_arg =
   Arg.(

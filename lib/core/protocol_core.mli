@@ -30,6 +30,13 @@ module Make (S : Substrate.S) : sig
         BSLS), or the §6 hand-off.  An enumeration, not a closure, so
         hinted consumers stay allocation-free. *)
 
+    val drain_raced_wakeup : S.t -> S.channel -> unit
+    (** The Interleaving-3 fix-up: restore the awake flag and absorb the
+        semaphore credit of a producer that signalled between C.2 and
+        C.3.  Exposed for consumers that leave the blocking loop by a
+        side door (e.g. a TIMED receive) and must rebalance the credit
+        themselves. *)
+
     val blocking_dequeue :
       S.t -> S.channel -> side:side -> ?on_empty:empty_hint -> unit -> S.msg
 

@@ -3,7 +3,15 @@
     [Unix.gettimeofday] follows the wall clock, so an NTP step reorders
     merged cross-domain events and can poison wall-clock spin budgets;
     this reads CLOCK_MONOTONIC instead (via a C stub, unboxed and
-    allocation-free on the native path). *)
+    allocation-free on the native path).
+
+    Cross-process comparability: CLOCK_MONOTONIC's origin is per-BOOT
+    and system-wide on Linux — every process on the machine reads the
+    same counter — so timestamps taken in different fork'd processes
+    (the cross-process driver's [t0]/[t1] and the merged trace streams)
+    are directly comparable, exactly as they are across domains of one
+    process.  Only stamps from different backends (simulated vs real
+    time) or different machines are incomparable. *)
 
 external now_us : unit -> (float[@unboxed])
   = "ulipc_monotonic_us_byte" "ulipc_monotonic_us"

@@ -46,6 +46,17 @@ let compare a b =
     let c = Int.compare a.actor b.actor in
     if c <> 0 then c else Int.compare a.seq b.seq
 
+(* Cross-process actor namespacing: every fork'd process records with
+   [Domain.self () = 0], so merging the children's streams verbatim
+   would fuse distinct processes into one actor and break both the
+   per-actor sequence order and the analysis' per-consumer state
+   machines.  Folding the pid into the high bits keeps the low bits
+   recognisable (domain ids are tiny) while making actors unique
+   machine-wide; 12 bits of domain id is far above the 128-domain
+   runtime cap. *)
+let namespace_actor ~pid ev =
+  { ev with actor = (pid lsl 12) lor (ev.actor land 0xfff) }
+
 let pp ppf ev =
   Format.fprintf ppf "%.3f us  actor %d #%d  chan %d  %s" ev.t_us ev.actor
     ev.seq ev.chan (kind_name ev.kind)

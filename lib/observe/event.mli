@@ -50,4 +50,12 @@ val compare : t -> t -> int
 (** Total order by [(t_us, actor, seq)] — the deterministic cross-actor
     merge order. *)
 
+val namespace_actor : pid:int -> t -> t
+(** Disambiguate actor ids across fork'd processes (each of which
+    records as [Domain.self () = 0]): fold [pid] into the actor's high
+    bits, keeping the domain id in the low 12.  Timestamps need no such
+    treatment — CLOCK_MONOTONIC is per-boot and system-wide on Linux,
+    so stamps taken in different processes are directly comparable
+    (see {!Clock.now_us}). *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+(** Flat bounded rings over shared arena words — the cross-process
+    siblings of [Ulipc_real.Spsc_ring]/[Mpsc_ring], same layouts
+    ({!Ulipc_real.Ring_layout}), same fenceless single-writer index
+    publishes (see pring.ml for the MAP_SHARED TSO argument), values
+    restricted to non-negative immediates with [-1] as empty.
+
+    Constructors carve their span out of the arena and must run
+    pre-fork; the record a child inherits keeps working because it
+    names word {e offsets}, not pointers. *)
+
+val nil : int
+(** [-1], the empty-dequeue sentinel. *)
+
+(** Single producer / single consumer: one client's reply ring. *)
+module Spsc : sig
+  type t
+
+  val create : Parena.t -> capacity:int -> t
+  (** @raise Invalid_argument if [capacity <= 0] or the arena is full. *)
+
+  val capacity : t -> int
+
+  val enqueue : t -> int -> bool
+  (** [false] when full (exact against the logical capacity).
+      @raise Invalid_argument on a negative value. *)
+
+  val dequeue : t -> int
+  (** The oldest value, or {!nil} when empty. *)
+
+  val is_empty : t -> bool
+  val length : t -> int
+end
+
+(** Multi producer / single consumer: the server's request ring.
+    Producers claim slots by a ticket CAS on a shared word; per-slot
+    sequence words distinguish claimed-but-unfilled from ready. *)
+module Mpsc : sig
+  type t
+
+  val create : Parena.t -> capacity:int -> t
+  (** @raise Invalid_argument if [capacity <= 0] or the arena is full. *)
+
+  val capacity : t -> int
+
+  val enqueue : t -> int -> bool
+  (** [false] when full; may transiently report full while the consumer
+      is mid-dequeue — callers retry, as for a genuinely full ring.
+      @raise Invalid_argument on a negative value. *)
+
+  val dequeue : t -> int
+  (** Single consumer only. *)
+
+  val is_empty : t -> bool
+  val length : t -> int
+end

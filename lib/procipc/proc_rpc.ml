@@ -1,0 +1,389 @@
+(* The cross-process RPC layer: Protocol_core instantiated over
+   {!Proc_substrate}, so BSS, BSW, BSWY, BSLS, HANDOFF and ADAPT run
+   over the shared arena with their send/receive/reply sequences
+   written exactly once — in the core — and fork'd processes as the
+   peers.  Single server (the proc plane has no sharded fleet); the
+   dispatch below is the in-process Rpc's with the steal/stash/shard
+   machinery removed.
+
+   Payloads are ints only ({!Pslab}): an OCaml pointer cannot cross an
+   address space, so the typed codec seam of the in-process Rpc
+   collapses to the [int_codec] case — which is also the paper's model
+   (register-sized messages).
+
+   The waiting type is THE in-process [Ulipc_real.Rpc.waiting], re-
+   exported by equation, so drivers configure both backends with one
+   value.  The single-core clamp (no spin budget can pay off when the
+   peers outnumber the CPUs) applies with extra force here: the peer is
+   a process, and nothing preempts a spinning process early. *)
+
+module S = Proc_substrate
+module P = Ulipc.Protocol_core.Make (Proc_substrate)
+
+type waiting = Ulipc_real.Rpc.waiting =
+  | Spin
+  | Block
+  | Block_yield
+  | Limited_spin of int
+  | Handoff
+  | Adaptive of int
+
+type t = {
+  waiting : waiting;
+  sub : S.t;
+  adapt : int array;
+      (* per-channel adaptive MAX_SPIN: slot 0 = request channel (the
+         server's), slot [1 + i] = reply channel [i] (client [i]'s).
+         Plain ints: the array is copied at fork and each slot is only
+         ever touched by the process that owns its channel. *)
+}
+
+let create ?(capacity = 64) ?trace ?slots ~nclients waiting =
+  (match waiting with
+  | Limited_spin max_spin when max_spin < 0 ->
+    invalid_arg "Proc_rpc.create: max_spin must be non-negative"
+  | Adaptive cap when cap < 0 ->
+    invalid_arg "Proc_rpc.create: adaptive spin cap must be non-negative"
+  | Spin | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ -> ());
+  (* Same single-core clamp as the in-process Rpc (see its comment for
+     the trace evidence): a spin budget is pure loss when the peer
+     cannot run concurrently. *)
+  let waiting =
+    if Domain.recommended_domain_count () > 1 then waiting
+    else
+      match waiting with
+      | Adaptive _ -> Adaptive 0
+      | Limited_spin _ -> Limited_spin 0
+      | w -> w
+  in
+  {
+    waiting;
+    sub = S.create ?trace ?slots ~capacity ~nclients ();
+    adapt = Array.make (1 + nclients) 0;
+  }
+
+let sub t = t.sub
+let nclients t = S.nclients t.sub
+let slab t = S.slab t.sub
+let arena t = S.arena t.sub
+let trace t = S.trace t.sub
+let counters t = S.counters t.sub
+let wake_residue t = S.wake_residue t.sub
+let harvest_sem_counters t = S.harvest_sem_counters t.sub
+let waiting t = t.waiting
+
+let check_client t client =
+  ignore (S.reply_channel t.sub client : S.channel)
+
+let ctrs t = S.counters t.sub
+
+let bump_sends t =
+  let c = ctrs t in
+  c.Ulipc.Counters.sends <- c.Ulipc.Counters.sends + 1
+
+let bump_receives t =
+  let c = ctrs t in
+  c.Ulipc.Counters.receives <- c.Ulipc.Counters.receives + 1
+
+let bump_replies t =
+  let c = ctrs t in
+  c.Ulipc.Counters.replies <- c.Ulipc.Counters.replies + 1
+
+let bump_full_sleep t =
+  let c = ctrs t in
+  c.Ulipc.Counters.queue_full_sleeps <- c.Ulipc.Counters.queue_full_sleeps + 1
+
+(* Slab exhaustion = flow control, bounded as in-process (an undersized
+   explicit ~slots must error out, not hang every producer). *)
+let alloc_retry_limit = 10_000
+
+let rec alloc_slot_retry t retries =
+  let slab = S.slab t.sub in
+  let i = Pslab.try_alloc slab in
+  if i >= 0 then i
+  else if retries >= alloc_retry_limit then
+    failwith
+      (Printf.sprintf
+         "Proc_rpc: payload slab exhausted (%d of %d slots in use): size \
+          ~slots at least (nclients + 1) * (capacity + 1), or omit it for \
+          that default"
+         (Pslab.in_use_count slab) (Pslab.slots slab))
+  else begin
+    (match t.waiting with
+    | Spin -> P.Prims.busy_wait t.sub
+    | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
+      bump_full_sleep t;
+      S.flow_sleep t.sub);
+    alloc_slot_retry t (retries + 1)
+  end
+
+let alloc_slot t = alloc_slot_retry t 0
+
+(* Adaptive BSLS: the same hit/miss MAX_SPIN controller as the
+   in-process Rpc (multiplicative growth with a +8 kick, halve on miss,
+   collapse at or below the kick; the elapsed-time guard makes every
+   descheduled spin a miss — see rpc.ml for the full argument).  The
+   budget slot is a plain per-process int, single-writer by channel
+   ownership. *)
+let adaptive_dequeue t ch ~slot ~cap ~side =
+  if cap = 0 then P.Prims.blocking_dequeue t.sub ch ~side ()
+  else begin
+    let cur = t.adapt.(slot) in
+    let productive =
+      if cur = 0 then not (S.queue_is_empty t.sub ch)
+      else begin
+        let t0 = Ulipc_observe.Clock.now_ns () in
+        P.Prims.limited_spin t.sub ch ~side ~max_spin:cur;
+        let spin_ns = Ulipc_observe.Clock.now_ns () - t0 in
+        (not (S.queue_is_empty t.sub ch)) && spin_ns < 1_000 + (cur * 10)
+      end
+    in
+    if productive then t.adapt.(slot) <- min cap ((2 * cur) + 8)
+    else t.adapt.(slot) <- (if cur <= 8 then 0 else cur / 2);
+    P.Prims.blocking_dequeue t.sub ch ~side ~on_empty:P.Prims.Hint_busy_wait ()
+  end
+
+(* Raw index plane: the core's per-protocol send/receive/reply bodies,
+   dispatch on the waiting mode (single server, so [S.request] is the
+   one request channel throughout). *)
+
+let send_msg t ~client m =
+  let sub = t.sub in
+  let req_ch = S.request sub in
+  let reply_ch = S.reply_channel sub client in
+  let ans =
+    match t.waiting with
+    | Spin ->
+      P.Prims.spin_enqueue sub req_ch m;
+      P.Prims.spinning_dequeue sub reply_ch
+    | Block ->
+      P.Prims.flow_enqueue sub req_ch m;
+      let (_ : bool) = P.Prims.wake_consumer sub req_ch ~target:P.Prims.Server in
+      P.Prims.blocking_dequeue sub reply_ch ~side:P.Prims.Client ()
+    | Block_yield ->
+      P.Prims.flow_enqueue sub req_ch m;
+      if P.Prims.wake_consumer sub req_ch ~target:P.Prims.Server then
+        S.busy_wait sub;
+      P.Prims.blocking_dequeue sub reply_ch ~side:P.Prims.Client
+        ~on_empty:P.Prims.Hint_busy_wait ()
+    | Limited_spin max_spin ->
+      P.Prims.flow_enqueue sub req_ch m;
+      let (_ : bool) = P.Prims.wake_consumer sub req_ch ~target:P.Prims.Server in
+      if max_spin > 0 then
+        P.Prims.limited_spin sub reply_ch ~side:P.Prims.Client ~max_spin;
+      P.Prims.blocking_dequeue sub reply_ch ~side:P.Prims.Client
+        ~on_empty:P.Prims.Hint_busy_wait ()
+    | Handoff ->
+      P.Prims.flow_enqueue sub req_ch m;
+      if P.Prims.wake_consumer sub req_ch ~target:P.Prims.Server then
+        S.handoff_server sub;
+      P.Prims.blocking_dequeue sub reply_ch ~side:P.Prims.Client
+        ~on_empty:P.Prims.Hint_handoff_server ()
+    | Adaptive cap ->
+      P.Prims.flow_enqueue sub req_ch m;
+      let (_ : bool) = P.Prims.wake_consumer sub req_ch ~target:P.Prims.Server in
+      adaptive_dequeue t reply_ch ~slot:(1 + client) ~cap ~side:P.Prims.Client
+  in
+  bump_sends t;
+  ans
+
+let receive_msg t =
+  let sub = t.sub in
+  let ch = S.request sub in
+  let m =
+    match t.waiting with
+    | Spin -> P.Prims.spinning_dequeue sub ch
+    | Block -> P.Prims.blocking_dequeue sub ch ~side:P.Prims.Server ()
+    | Block_yield ->
+      let m = S.dequeue sub ch in
+      if m != S.no_msg then m
+      else begin
+        S.yield sub;
+        P.Prims.blocking_dequeue sub ch ~side:P.Prims.Server ()
+      end
+    | Limited_spin max_spin ->
+      if max_spin > 0 then
+        P.Prims.limited_spin sub ch ~side:P.Prims.Server ~max_spin;
+      P.Prims.blocking_dequeue sub ch ~side:P.Prims.Server ()
+    | Handoff ->
+      let m = S.dequeue sub ch in
+      if m != S.no_msg then m
+      else begin
+        S.handoff_any sub;
+        P.Prims.blocking_dequeue sub ch ~side:P.Prims.Server ()
+      end
+    | Adaptive cap ->
+      adaptive_dequeue t ch ~slot:0 ~cap ~side:P.Prims.Server
+  in
+  bump_receives t;
+  m
+
+let reply_msg t ~client m =
+  let sub = t.sub in
+  let ch = S.reply_channel sub client in
+  (match t.waiting with
+  | Spin -> P.Prims.spin_enqueue sub ch m
+  | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
+    P.Prims.flow_enqueue sub ch m;
+    let (_ : bool) = P.Prims.wake_consumer sub ch ~target:P.Prims.Client in
+    ());
+  bump_replies t
+
+(* Typed layer: alloc/fill before, read/release after. *)
+
+let send t ~client req =
+  check_client t client;
+  let slab = S.slab t.sub in
+  let i = alloc_slot t in
+  Pslab.set_client slab i client;
+  Pslab.set_data slab i req;
+  let j = send_msg t ~client i in
+  let rep = Pslab.get_data slab j in
+  Pslab.release slab j;
+  rep
+
+let call = send
+
+let receive t =
+  let slab = S.slab t.sub in
+  let i = receive_msg t in
+  let client = Pslab.get_client slab i in
+  let req = Pslab.get_data slab i in
+  Pslab.release slab i;
+  (client, req)
+
+let reply t ~client rep =
+  check_client t client;
+  let slab = S.slab t.sub in
+  let j = alloc_slot t in
+  Pslab.set_data slab j rep;
+  reply_msg t ~client j
+
+(* In-place serve: the request slot becomes the reply slot (the server
+   owns it between dequeue and reply enqueue), so a server turn touches
+   no allocator state at all. *)
+let serve t f =
+  let slab = S.slab t.sub in
+  let i = receive_msg t in
+  let client = Pslab.get_client slab i in
+  let rep = f ~client (Pslab.get_data slab i) in
+  Pslab.set_data slab i rep;
+  reply_msg t ~client i
+
+(* Asynchronous halves, for the pipelined client. *)
+
+let post t ~client req =
+  check_client t client;
+  let slab = S.slab t.sub in
+  let i = alloc_slot t in
+  Pslab.set_client slab i client;
+  Pslab.set_data slab i req;
+  let req_ch = S.request t.sub in
+  match t.waiting with
+  | Spin -> P.Prims.spin_enqueue t.sub req_ch i
+  | Block | Block_yield | Limited_spin _ | Handoff | Adaptive _ ->
+    P.Prims.flow_enqueue t.sub req_ch i;
+    ignore (P.Prims.wake_consumer t.sub req_ch ~target:P.Prims.Server : bool)
+
+let collect t ~client =
+  check_client t client;
+  let slab = S.slab t.sub in
+  let ch = S.reply_channel t.sub client in
+  let j =
+    match t.waiting with
+    | Spin -> P.Prims.spinning_dequeue t.sub ch
+    | Block | Handoff ->
+      P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client ()
+    | Block_yield ->
+      P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client
+        ~on_empty:P.Prims.Hint_busy_wait ()
+    | Limited_spin max_spin ->
+      if max_spin > 0 then
+        P.Prims.limited_spin t.sub ch ~side:P.Prims.Client ~max_spin;
+      P.Prims.blocking_dequeue t.sub ch ~side:P.Prims.Client
+        ~on_empty:P.Prims.Hint_busy_wait ()
+    | Adaptive cap ->
+      adaptive_dequeue t ch ~slot:(1 + client) ~cap ~side:P.Prims.Client
+  in
+  let rep = Pslab.get_data slab j in
+  Pslab.release slab j;
+  rep
+
+(* Sliding-window pipelining: keep [depth] requests in flight, collect
+   one before posting the next — the same window the in-process
+   call_pipelined maintains, minus the multipush shortcut (the arena
+   SPSC ring has no producer-private buffer). *)
+let call_pipelined t ~client ~depth reqs =
+  if depth <= 0 then invalid_arg "Proc_rpc.call_pipelined: depth must be > 0";
+  let n = Array.length reqs in
+  let out = Array.make n 0 in
+  let posted = ref 0 and collected = ref 0 in
+  while !collected < n do
+    while !posted < n && !posted - !collected < depth do
+      post t ~client reqs.(!posted);
+      incr posted
+    done;
+    out.(!collected) <- collect t ~client;
+    incr collected
+  done;
+  out
+
+(* Timed server receive — the dead-peer detection path.  The blocking
+   loop (Figure 4's C.1..C.5) with the kernel wait bounded: when the
+   timed P expires we must decide whether the timeout LOST A RACE with
+   a producer.  The producers' protocol makes that decidable: a
+   producer that saw awake = false has either already issued its V or
+   is about to, so one more test-and-set of the awake flag tells the
+   two cases apart —
+
+   - awake was still false: no producer signalled since we cleared it;
+     the flag is now restored to true (the TAS set it), the queue was
+     empty at C.3 and nothing arrived, so this is a clean timeout.
+     Any LATER producer sees awake = true and skips its V: no credit
+     leaks.
+
+   - awake was already true: a producer raced the timeout, its message
+     is (or is about to be) in the queue and its credit is (or is about
+     to be) in the semaphore.  Drain that credit — it may lag the flag
+     by an instant, hence the bounded wait — and go collect the
+     message. *)
+let receive_opt t ~timeout_ns =
+  let sub = t.sub in
+  let ch = S.request sub in
+  let slab = S.slab t.sub in
+  let deadline = Ulipc_observe.Clock.now_ns () + timeout_ns in
+  let finish m =
+    bump_receives t;
+    let client = Pslab.get_client slab m in
+    let req = Pslab.get_data slab m in
+    Pslab.release slab m;
+    Some (client, req)
+  in
+  let rec loop () =
+    let m = S.dequeue sub ch in
+    if m != S.no_msg then finish m
+    else begin
+      S.awake_clear sub ch;
+      let m = S.dequeue sub ch in
+      if m != S.no_msg then begin
+        P.Prims.drain_raced_wakeup sub ch;
+        finish m
+      end
+      else begin
+        let remaining = deadline - Ulipc_observe.Clock.now_ns () in
+        if remaining > 0 && S.sem_p_timed sub ch ~timeout_ns:remaining then begin
+          S.awake_set sub ch;
+          loop ()
+        end
+        else if S.awake_test_and_set sub ch then begin
+          (* Producer raced the timeout: its credit is in flight. *)
+          while not (S.sem_try_p sub ch) do
+            S.busy_wait sub
+          done;
+          loop ()
+        end
+        else None (* clean timeout; awake flag restored by the TAS *)
+      end
+    end
+  in
+  loop ()

@@ -1,10 +1,9 @@
 (* Preallocated message slab for the real backend's zero-copy message
-   plane: the real-path sibling of the sim-only Ulipc_shm.Pool.  The
-   pool charges simulated costs under a simulated spin lock and cannot
-   run on a hot path; this is the same free-pool idea (§2.1: "fixed
-   sized messages to permit efficient free-pool management") built from
-   one atomic word, usable from any number of domains, allocation-free
-   per operation.
+   plane: the free-pool idea of §2.1 ("fixed sized messages to permit
+   efficient free-pool management") built from one atomic word, usable
+   from any number of domains, allocation-free per operation.  Its
+   cross-process port is Ulipc_procipc.Pslab, the same design over
+   arena words.
 
    Layout.  A message is not a record but an index into parallel flat
    arrays, one per payload field: four immediate ints (client, tag,

@@ -6,11 +6,9 @@
     its payload fields in place, and enqueues the index; the consumer
     reads the fields and releases the slot.  No step allocates on the
     OCaml heap, and no queue ever carries a heap pointer (unless the
-    session opts into the {!set_box} escape hatch) — the property a
-    future MAP_SHARED cross-process substrate requires.
-
-    This is the real-path sibling of the sim-only [Ulipc_shm.Pool],
-    which charges simulated costs and cannot be used on a hot path.
+    session opts into the {!set_box} escape hatch) — the property the
+    MAP_SHARED cross-process substrate requires and [Ulipc_procipc.Pslab]
+    realises over arena words.
 
     Thread safety: {!try_alloc}/{!alloc}/{!release} are lock-free and
     safe from any number of domains (ABA-protected by a version-packed

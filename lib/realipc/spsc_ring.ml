@@ -63,17 +63,16 @@ let nil = -1
 let fenceless_set (r : int Atomic.t) (v : int) = (Obj.magic r : int ref) := v
 let fenceless_get (r : int Atomic.t) : int = !(Obj.magic r : int ref)
 
-let rec ceil_pow2 n acc = if acc >= n then acc else ceil_pow2 n (acc * 2)
 
 let create ~capacity () =
-  if capacity <= 0 then
-    invalid_arg "Spsc_ring.create: capacity must be positive";
-  let ring = ceil_pow2 capacity 1 in
+  let ring, mask, cap =
+    Ring_layout.geometry ~who:"Spsc_ring.create" ~capacity
+  in
   let mp_k = min 8 capacity in
   {
     slots = Array.make ring 0;
-    mask = ring - 1;
-    cap = capacity;
+    mask;
+    cap;
     head = Padding.copy_padded (Atomic.make 0);
     tail = Padding.copy_padded (Atomic.make 0);
     cached_tail = Padding.copy_padded (ref 0);

@@ -32,7 +32,7 @@ let write ~path ~quick ~micro ?(sem = []) ~real () =
   let p fmt = Printf.fprintf oc fmt in
   let sep i n = if i = n - 1 then "" else "," in
   p "{\n";
-  p "  \"schema\": \"ulipc-bench-real/7\",\n";
+  p "  \"schema\": \"ulipc-bench-real/8\",\n";
   p "  \"quick\": %b,\n" quick;
   p "  \"micro_ns_per_op\": [\n";
   let n = List.length micro in
@@ -61,16 +61,17 @@ let write ~path ~quick ~micro ?(sem = []) ~real () =
   p "  \"real_driver\": [\n";
   let n = List.length real in
   List.iteri
-    (fun i (transport, m) ->
+    (fun i (backend, transport, m) ->
       p
-        "    { \"transport\": \"%s\", \"protocol\": \"%s\", \"nclients\": %d, \
+        "    { \"backend\": \"%s\", \"transport\": \"%s\", \"protocol\": \
+         \"%s\", \"nclients\": %d, \
          \"nservers\": %d, \"depth\": %d, \"messages\": %d, \
          \"throughput_msg_per_ms\": %s, \"round_trip_us\": %s, \
          \"latency_p50_us\": %s, \"latency_p99_us\": %s, \"latency_max_us\": \
          %s, \"wake_latency_p50_us\": %s, \"wake_latency_p99_us\": %s, \
          \"utilization\": %s, \"utilization_max\": %s, \
          \"minor_words_per_op\": %s }%s\n"
-        (json_escape transport)
+        (json_escape backend) (json_escape transport)
         (json_escape (Ulipc.Protocol_kind.name m.Metrics.protocol))
         m.Metrics.nclients m.Metrics.nservers m.Metrics.depth
         m.Metrics.messages

@@ -16,13 +16,16 @@ val write :
   quick:bool ->
   micro:(string * float) list ->
   ?sem:Sem_bench.result list ->
-  real:(string * Metrics.t) list ->
+  real:(string * string * Metrics.t) list ->
   unit ->
   unit
-(** Write schema [ulipc-bench-real/7]: the Bechamel ns/op rows, the
+(** Write schema [ulipc-bench-real/8]: the Bechamel ns/op rows, the
     semaphore directed-wake-latency sweep ([sem], default empty — one
     row per waiter population from {!Sem_bench.wake_latency}), and the
-    real-driver echo rows ([(transport name, metrics)]), the latter with
+    real-driver echo rows as [(backend, transport, metrics)] triples —
+    [backend] is ["inproc"] for OCaml-domain rows and ["proc"] for the
+    fork'd cross-process rows, [transport] ["ring"]/["two-lock"] in
+    process and ["shm"]/["pipe"]/["socket"] across processes — with
     a [depth] pipelining column, a measured [utilization],
     [latency_p50_us]/[latency_p99_us]/[latency_max_us] fields from the
     round-trip histogram ([null] when latency was not collected), and

@@ -1,0 +1,46 @@
+(** The echo workload across fork'd PROCESSES: the paper's protocols
+    over the shared-memory arena ([Ulipc_procipc]), raced against pipe
+    and Unix-domain-socket baselines on the same machine.  See
+    proc_driver.ml for the fork/barrier/report discipline. *)
+
+val kind_of_waiting : Ulipc_real.Rpc.waiting -> Ulipc.Protocol_kind.t
+
+val run :
+  ?machine:string ->
+  ?capacity:int ->
+  ?depth:int ->
+  ?traced:bool ->
+  ?events_out:Ulipc_observe.Event.t list ref ->
+  ?dropped_out:int ref ->
+  nclients:int ->
+  messages:int ->
+  Ulipc_procipc.Proc_rpc.waiting ->
+  Metrics.t
+(** Fork one server and [nclients] clients over a fresh arena session;
+    each client issues [messages] echo calls ([depth] > 1 pipelines
+    them in sliding windows).  Tracing is OFF by default (the fd
+    baselines can't be traced, so traced shm rows would not be
+    comparable); [traced:true] turns it on, and [events_out], which
+    implies it, receives the merged pid-namespaced trace of every
+    process, sorted — the cross-process feed for [bin/ulipc_trace].
+    [dropped_out] receives the total ring-overflow drop count, the
+    [~complete] input of {!Ulipc_observe.Trace_analysis.analyse}.
+    [machine] defaults to ["proc"]. *)
+
+type fd_transport = Fd_pipe | Fd_socket
+
+val fd_transport_name : fd_transport -> string
+(** ["pipe"] / ["socket"] — the transport strings of the bench rows. *)
+
+val run_fd :
+  ?machine:string ->
+  transport:fd_transport ->
+  nclients:int ->
+  messages:int ->
+  unit ->
+  Metrics.t
+(** The kernel-IPC baselines: the same echo workload over per-client
+    pipe pairs or Unix-domain socketpairs, 8-byte payloads, the server
+    blocking in [read]/[select].  Reported under BSW (the kernel's
+    blocking read {e is} a sleep/wake-up protocol), [machine] defaults
+    to ["proc"]. *)

@@ -1,4 +1,20 @@
-(* Aggregate all library test suites into one alcotest binary. *)
+(* Aggregate the domain-based library test suites into one alcotest
+   binary.  The fork-based cross-process suites (Test_procipc) run in
+   their own binary, main_proc.ml: OCaml 5's Unix.fork is forbidden in
+   any process that has ever spawned a domain, and these suites do. *)
 let () =
   Alcotest.run "ulipc"
-    (List.concat [ Test_engine.suites; Test_os.suites; Test_shm.suites; Test_core.suites; Test_realipc.suites; Test_sharded.suites; Test_differential.suites; Test_workload.suites; Test_policies.suites; Test_observability.suites; Test_trace_analysis.suites ])
+    (List.concat
+       [
+         Test_engine.suites;
+         Test_os.suites;
+         Test_shm.suites;
+         Test_core.suites;
+         Test_realipc.suites;
+         Test_sharded.suites;
+         Test_differential.suites;
+         Test_workload.suites;
+         Test_policies.suites;
+         Test_observability.suites;
+         Test_trace_analysis.suites;
+       ])

@@ -1,0 +1,7 @@
+(* The cross-process (fork-based) suites in their own binary: OCaml 5's
+   Unix.fork refuses to run once any domain has been spawned in the
+   process — joining the domain does not lift the ban — so these tests
+   cannot share a binary with the domain-based suites in main.ml.  This
+   process itself never spawns a domain; anything that needs domains
+   (the differential reference leg) runs inside a forked child. *)
+let () = Alcotest.run "ulipc-proc" Test_procipc.suites

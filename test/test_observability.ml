@@ -273,7 +273,8 @@ let test_bench_json_roundtrip () =
   let real =
     List.map
       (fun transport ->
-        ( Ulipc_real.Real_substrate.transport_name transport,
+        ( "inproc",
+          Ulipc_real.Real_substrate.transport_name transport,
           Real_driver.run ~transport ~nclients:2 ~messages:50
             Ulipc_real.Rpc.Block ))
       transports
@@ -292,7 +293,7 @@ let test_bench_json_roundtrip () =
   Sys.remove path;
   let j = parse_json contents in
   (match member "schema" j with
-  | J.Str "ulipc-bench-real/7" -> ()
+  | J.Str "ulipc-bench-real/8" -> ()
   | _ -> Alcotest.fail "wrong schema");
   (match member "sem_wake_latency" j with
   | J.Arr [ row ] ->
@@ -341,6 +342,11 @@ let test_bench_json_roundtrip () =
         (match member "depth" row with
         | J.Num d -> Alcotest.(check (float 0.0)) "depth" 1.0 d
         | _ -> Alcotest.fail "depth is not a number");
+        (* Schema 8: the backend column that keys cross-process rows
+           apart from the in-process domains rows. *)
+        (match member "backend" row with
+        | J.Str "inproc" -> ()
+        | _ -> Alcotest.fail "backend is not \"inproc\"");
         let u = num "utilization" in
         Alcotest.(check bool)
           (Printf.sprintf "utilization in [0,1] (%.3f)" u)

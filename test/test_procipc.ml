@@ -1,0 +1,545 @@
+(* Tests for the cross-process substrate (lib/procipc): arena carving,
+   the futex semaphore, the arena rings, and the protocols end to end
+   across fork(2) — including the differential property that fork'd
+   processes over the shm arena compute exactly the reply sequences the
+   in-process domains backend computes, and the dead-peer guard that
+   keeps a server from hanging when its client is killed mid-run.
+
+   These suites live in their own binary (main_proc.ml), NOT in the
+   aggregate main.ml: OCaml 5's [Unix.fork] refuses to run once any
+   domain has ever been spawned in the process — joining the domain
+   does not lift the ban — and the aggregate binary spawns domains in
+   its earlier suites.  For the same reason the differential property
+   below runs its domain-based reference leg inside a forked child, so
+   this parent process stays domain-free for the next trial's fork.
+
+   Every fork here follows the repo's child discipline: children never
+   return into the test runner — they [Unix._exit] (no atexit, no
+   buffered-output replay) — and parents always reap with waitpid. *)
+
+module Parena = Ulipc_procipc.Parena
+module Fsem = Ulipc_procipc.Fsem
+module Pring = Ulipc_procipc.Pring
+module Pslab = Ulipc_procipc.Pslab
+module Proc_rpc = Ulipc_procipc.Proc_rpc
+
+(* ------------------------------------------------------------------ *)
+(* Fork plumbing: run [f] in a child, marshal its result back. *)
+
+let in_child (f : unit -> 'a) : 'a =
+  let rd, wr = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close rd;
+    (try
+       let oc = Unix.out_channel_of_descr wr in
+       Marshal.to_channel oc (f ()) [];
+       flush oc
+     with _ -> Unix._exit 1);
+    Unix._exit 0
+  | pid -> (
+    Unix.close wr;
+    let ic = Unix.in_channel_of_descr rd in
+    let v : 'a = Marshal.from_channel ic in
+    close_in ic;
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> v
+    | _, status ->
+      Alcotest.failf "child did not exit cleanly: %s"
+        (match status with
+        | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+        | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+        | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s))
+
+(* ------------------------------------------------------------------ *)
+(* Parena: bump-allocation invariants *)
+
+let test_arena_shared_across_fork () =
+  let a = Parena.create ~size_words:64 () in
+  let off = Parena.alloc_line a ~words:1 in
+  Parena.set a off 0;
+  let seen =
+    in_child (fun () ->
+        Parena.set a off 42;
+        Parena.get a off)
+  in
+  Alcotest.(check int) "child wrote through the mapping" 42 seen;
+  Alcotest.(check int) "parent reads the child's store" 42 (Parena.get a off)
+
+(* Random allocation programs: every block is aligned as requested,
+   in bounds, disjoint from every other block, and the offsets are
+   monotone (it IS a bump allocator). *)
+let prop_arena_alloc_invariants =
+  let req_gen =
+    QCheck.Gen.(
+      pair (int_range 1 64) (int_range 0 5) >>= fun (words, e) ->
+      return (words, 1 lsl e))
+  in
+  let arb =
+    QCheck.make
+      QCheck.Gen.(list_size (int_range 1 24) req_gen)
+      ~print:(fun reqs ->
+        String.concat "; "
+          (List.map (fun (w, al) -> Printf.sprintf "%dw@%d" w al) reqs))
+  in
+  QCheck.Test.make ~count:200 ~name:"arena allocations aligned and disjoint"
+    arb
+    (fun reqs ->
+      let a = Parena.create ~size_words:8192 () in
+      let used0 = Parena.used_words a in
+      let blocks =
+        List.map
+          (fun (words, align) -> (Parena.alloc a ~words ~align, words, align))
+          reqs
+      in
+      let in_bounds =
+        List.for_all
+          (fun (off, words, _) ->
+            off >= 0 && off + words <= Parena.size_words a)
+          blocks
+      in
+      let aligned =
+        List.for_all (fun (off, _, align) -> off mod align = 0) blocks
+      in
+      let rec monotone_disjoint = function
+        | (o1, w1, _) :: ((o2, _, _) :: _ as rest) ->
+          o1 + w1 <= o2 && monotone_disjoint rest
+        | [ _ ] | [] -> true
+      in
+      in_bounds && aligned && monotone_disjoint blocks
+      && Parena.used_words a
+         >= used0 + List.fold_left (fun acc (w, _) -> acc + w) 0 reqs)
+
+let test_arena_exhaustion_raises () =
+  let a = Parena.create ~size_words:32 () in
+  Alcotest.check_raises "over-allocation rejected"
+    (Invalid_argument "Parena.alloc: arena exhausted (0 + 4096 > 32 words)")
+    (fun () -> ignore (Parena.alloc a ~words:4096 ~align:1 : int))
+
+(* ------------------------------------------------------------------ *)
+(* Fsem: the futex semaphore *)
+
+let test_fsem_uncontended () =
+  let a = Parena.create ~size_words:64 () in
+  let s = Fsem.create a in
+  Alcotest.(check bool) "P on empty fails" false (Fsem.try_p s);
+  Fsem.v s;
+  Fsem.v s;
+  Alcotest.(check int) "two credits" 2 (Fsem.value s);
+  Alcotest.(check bool) "P succeeds" true (Fsem.try_p s);
+  Fsem.p s;
+  Alcotest.(check int) "drained" 0 (Fsem.value s)
+
+let test_fsem_cross_process_wake () =
+  let a = Parena.create ~size_words:64 () in
+  let s = Fsem.create a in
+  let n = 50 in
+  match Unix.fork () with
+  | 0 ->
+    for _ = 1 to n do
+      Fsem.v s
+    done;
+    Unix._exit 0
+  | pid ->
+    (* The child's Vs must wake every blocking P the parent issues —
+       across the process boundary, through the kernel when the grace
+       period misses. *)
+    for _ = 1 to n do
+      Fsem.p s
+    done;
+    Alcotest.(check int) "all credits consumed" 0 (Fsem.value s);
+    ignore (Unix.waitpid [] pid)
+
+let test_fsem_p_timed_expires () =
+  let a = Parena.create ~size_words:64 () in
+  let s = Fsem.create a in
+  let t0 = Ulipc_observe.Clock.now_ns () in
+  let got = Fsem.p_timed s ~timeout_ns:20_000_000 in
+  let elapsed = Ulipc_observe.Clock.now_ns () - t0 in
+  Alcotest.(check bool) "timed out without credit" false got;
+  Alcotest.(check bool)
+    (Printf.sprintf "waited at least ~20ms (%dns)" elapsed)
+    true
+    (elapsed >= 15_000_000);
+  (* And with a credit available it returns immediately. *)
+  Fsem.v s;
+  Alcotest.(check bool) "credit claims instantly" true
+    (Fsem.p_timed s ~timeout_ns:20_000_000)
+
+let test_fsem_p_timed_woken_by_child () =
+  let a = Parena.create ~size_words:64 () in
+  let s = Fsem.create a in
+  match Unix.fork () with
+  | 0 ->
+    Unix.sleepf 0.02;
+    Fsem.v s;
+    Unix._exit 0
+  | pid ->
+    Alcotest.(check bool) "woken well before the 5s timeout" true
+      (Fsem.p_timed s ~timeout_ns:5_000_000_000);
+    ignore (Unix.waitpid [] pid)
+
+(* ------------------------------------------------------------------ *)
+(* Pring: the arena rings *)
+
+let test_spsc_fifo_and_capacity () =
+  let a = Parena.create ~size_words:1024 () in
+  let q = Pring.Spsc.create a ~capacity:8 in
+  let cap = Pring.Spsc.capacity q in
+  Alcotest.(check bool) "empty" true (Pring.Spsc.is_empty q);
+  let pushed = ref 0 in
+  while Pring.Spsc.enqueue q (100 + !pushed) do
+    incr pushed
+  done;
+  Alcotest.(check int) "fills to capacity" cap !pushed;
+  for i = 0 to cap - 1 do
+    Alcotest.(check int) "FIFO order" (100 + i) (Pring.Spsc.dequeue q)
+  done;
+  Alcotest.(check int) "empty again" Pring.nil (Pring.Spsc.dequeue q)
+
+let test_mpsc_fifo_and_capacity () =
+  let a = Parena.create ~size_words:1024 () in
+  let q = Pring.Mpsc.create a ~capacity:8 in
+  let cap = Pring.Mpsc.capacity q in
+  let pushed = ref 0 in
+  while Pring.Mpsc.enqueue q (200 + !pushed) do
+    incr pushed
+  done;
+  Alcotest.(check int) "fills to capacity" cap !pushed;
+  for i = 0 to cap - 1 do
+    Alcotest.(check int) "FIFO order" (200 + i) (Pring.Mpsc.dequeue q)
+  done;
+  Alcotest.(check int) "empty again" Pring.nil (Pring.Mpsc.dequeue q);
+  (* A drained ring is reusable: seq words were recycled, not burnt. *)
+  Alcotest.(check bool) "reusable after drain" true (Pring.Mpsc.enqueue q 7);
+  Alcotest.(check int) "value survives" 7 (Pring.Mpsc.dequeue q)
+
+(* One producer process, one consumer process, 5000 values in order
+   through a 16-slot ring: the fenceless single-writer publishes must
+   never tear or reorder across the MAP_SHARED mapping. *)
+let cross_fork_transfer enqueue dequeue q =
+  let n = 5000 in
+  match Unix.fork () with
+  | 0 ->
+    for v = 0 to n - 1 do
+      while not (enqueue q v) do
+        Parena.sched_yield ()
+      done
+    done;
+    Unix._exit 0
+  | pid ->
+    let ok = ref true in
+    for expect = 0 to n - 1 do
+      let rec next () =
+        let v = dequeue q in
+        if v = Pring.nil then (
+          Parena.sched_yield ();
+          next ())
+        else v
+      in
+      if next () <> expect then ok := false
+    done;
+    ignore (Unix.waitpid [] pid);
+    !ok
+
+let test_spsc_cross_fork () =
+  let a = Parena.create ~size_words:1024 () in
+  let q = Pring.Spsc.create a ~capacity:16 in
+  Alcotest.(check bool) "in-order across fork" true
+    (cross_fork_transfer Pring.Spsc.enqueue Pring.Spsc.dequeue q)
+
+let test_mpsc_cross_fork () =
+  let a = Parena.create ~size_words:1024 () in
+  let q = Pring.Mpsc.create a ~capacity:16 in
+  Alcotest.(check bool) "in-order across fork" true
+    (cross_fork_transfer Pring.Mpsc.enqueue Pring.Mpsc.dequeue q)
+
+(* ------------------------------------------------------------------ *)
+(* Pslab across fork: slots allocated in the child are visible and
+   releasable in the parent — index-passing ownership transfer. *)
+
+let test_pslab_cross_fork_handoff () =
+  let a = Parena.create ~size_words:4096 () in
+  let slab = Pslab.create a ~slots:8 in
+  let i =
+    in_child (fun () ->
+        let i = Pslab.try_alloc slab in
+        Pslab.set_client slab i 3;
+        Pslab.set_data slab i 777;
+        i)
+  in
+  Alcotest.(check bool) "child allocated" true (i <> Pslab.nil);
+  Alcotest.(check int) "payload crosses the fork" 777 (Pslab.get_data slab i);
+  Alcotest.(check int) "client field crosses" 3 (Pslab.get_client slab i);
+  Alcotest.(check int) "slot accounted in-use" 1 (Pslab.in_use_count slab);
+  Pslab.release slab i;
+  Alcotest.(check int) "parent released it" 0 (Pslab.in_use_count slab)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: fork'd shm processes vs in-process domains.
+
+   The same client-dependent transform and the same seeded traces as
+   test_differential.ml, so a reply delivered to the wrong channel, out
+   of order, or dropped across the process boundary is caught.  The
+   domains side reuses Ulipc_real.Rpc; the proc side forks one child
+   per client and serves from the parent. *)
+
+let transform ~client v = (2 * v) + client
+
+let run_proc waiting (traces : int list array) =
+  let nclients = Array.length traces in
+  let t = Proc_rpc.create ~capacity:8 ~nclients waiting in
+  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 traces in
+  let children =
+    Array.to_list
+      (Array.mapi
+         (fun c trace ->
+           let rd, wr = Unix.pipe ~cloexec:false () in
+           match Unix.fork () with
+           | 0 ->
+             Unix.close rd;
+             (try
+                let replies =
+                  List.map (fun v -> Proc_rpc.call t ~client:c v) trace
+                in
+                let oc = Unix.out_channel_of_descr wr in
+                Marshal.to_channel oc (replies : int list) [];
+                flush oc
+              with _ -> Unix._exit 1);
+             Unix._exit 0
+           | pid ->
+             Unix.close wr;
+             (pid, rd))
+         traces)
+  in
+  for _ = 1 to total do
+    Proc_rpc.serve t transform
+  done;
+  let replies =
+    List.map
+      (fun (pid, rd) ->
+        let ic = Unix.in_channel_of_descr rd in
+        let r : int list = Marshal.from_channel ic in
+        close_in ic;
+        (match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _, _ -> Alcotest.fail "proc client did not exit cleanly");
+        r)
+      children
+  in
+  Array.of_list replies
+
+let run_domains waiting (traces : int list array) =
+  let nclients = Array.length traces in
+  let t : (int, int) Ulipc_real.Rpc.t =
+    Ulipc_real.Rpc.create ~capacity:8
+      ~transport:Ulipc_real.Real_substrate.Ring ~nclients waiting
+  in
+  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 traces in
+  let server =
+    Domain.spawn (fun () ->
+        for _ = 1 to total do
+          let client, v = Ulipc_real.Rpc.receive t in
+          Ulipc_real.Rpc.reply t ~client (transform ~client v)
+        done)
+  in
+  let clients =
+    Array.mapi
+      (fun c trace ->
+        Domain.spawn (fun () ->
+            List.map (fun v -> Ulipc_real.Rpc.send t ~client:c v) trace))
+      traces
+  in
+  let replies = Array.map Domain.join clients in
+  Domain.join server;
+  replies
+
+let traces_arb =
+  QCheck.make
+    QCheck.Gen.(
+      int_range 1 3 >>= fun nclients ->
+      array_repeat nclients (list_size (int_bound 8) (int_bound 1000)))
+    ~print:(fun traces ->
+      String.concat "; "
+        (Array.to_list
+           (Array.map
+              (fun l ->
+                "[" ^ String.concat "," (List.map string_of_int l) ^ "]")
+              traces)))
+
+let prop_proc_matches_domains name waiting =
+  (* fork-per-trial is the dominant cost; 25 random programs per
+     protocol keeps the suite under a few seconds while still varying
+     client counts and interleavings. *)
+  QCheck.Test.make ~count:25
+    ~name:(Printf.sprintf "fork'd shm and domains agree: %s" name)
+    traces_arb
+    (fun traces ->
+      let proc = run_proc waiting traces in
+      (* The domains leg runs in a forked child: once a process spawns
+         a domain it may never fork again (OCaml 5), and the next trial
+         of this very property needs to. *)
+      let dom = in_child (fun () -> run_domains waiting traces) in
+      if proc <> dom then
+        QCheck.Test.fail_reportf "reply sequences differ for %s" name;
+      Array.iteri
+        (fun c trace ->
+          let expect = List.map (fun v -> transform ~client:c v) trace in
+          if proc.(c) <> expect then
+            QCheck.Test.fail_reportf "proc replies wrong for client %d" c)
+        traces;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Dead peer: the server must detect a SIGKILLed client via the timed
+   receive instead of parking forever in the futex. *)
+
+let test_dead_peer_detected () =
+  let t = Proc_rpc.create ~capacity:8 ~nclients:1 Proc_rpc.Block in
+  match Unix.fork () with
+  | 0 ->
+    (* Client: call forever; the parent kills us mid-run. *)
+    (try
+       let i = ref 0 in
+       while true do
+         incr i;
+         ignore (Proc_rpc.call t ~client:0 !i : int)
+       done
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    (* Serve a handful of requests so the kill lands mid-conversation,
+       not before it starts. *)
+    for _ = 1 to 5 do
+      Proc_rpc.serve t (fun ~client:_ v -> v + 1)
+    done;
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid);
+    (* Drain any in-flight request the client enqueued before dying,
+       then require a clean timeout — not a hang.  The 100ms budget per
+       receive bounds the whole loop well under the test timeout. *)
+    let t0 = Ulipc_observe.Clock.now_ns () in
+    let rec drain n =
+      match Proc_rpc.receive_opt t ~timeout_ns:100_000_000 with
+      | Some (client, v) ->
+        Proc_rpc.reply t ~client (v + 1);
+        if n > 3 then Alcotest.fail "dead client keeps sending"
+        else drain (n + 1)
+      | None -> ()
+    in
+    drain 0;
+    let elapsed_ms =
+      (Ulipc_observe.Clock.now_ns () - t0) / 1_000_000
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "detected dead peer promptly (%dms)" elapsed_ms)
+      true (elapsed_ms < 2_000)
+
+(* ------------------------------------------------------------------ *)
+(* End to end through the fork driver: counters balance, echoes check
+   out (the driver fails internally on a wrong echo), and the merged
+   pid-namespaced trace passes the causal invariant checker. *)
+
+let test_driver_counters_balance () =
+  let m =
+    Ulipc_workload.Proc_driver.run ~nclients:2 ~messages:100 Proc_rpc.Block
+  in
+  let c = m.Ulipc_workload.Metrics.counters in
+  let open Ulipc.Counters in
+  Alcotest.(check int) "driver reports all messages" 200
+    m.Ulipc_workload.Metrics.messages;
+  Alcotest.(check bool) "sends cover the workload" true (c.sends >= 200);
+  Alcotest.(check int) "replies match sends" c.sends c.replies;
+  Alcotest.(check bool) "throughput is finite" true
+    (Float.is_finite m.Ulipc_workload.Metrics.throughput_msg_per_ms)
+
+let test_driver_trace_invariants () =
+  let events_out = ref [] and dropped_out = ref 0 in
+  let _m =
+    Ulipc_workload.Proc_driver.run ~nclients:2 ~messages:150 ~events_out
+      ~dropped_out Proc_rpc.Block
+  in
+  let events = !events_out in
+  Alcotest.(check bool) "trace non-empty" true (events <> []);
+  (* Actors must be pid-namespaced: three processes, three actors. *)
+  let actors =
+    List.sort_uniq compare
+      (List.map (fun e -> e.Ulipc_observe.Event.actor) events)
+  in
+  Alcotest.(check int) "one actor per process" 3 (List.length actors);
+  let r =
+    Ulipc_observe.Trace_analysis.analyse ~complete:(!dropped_out = 0) events
+  in
+  Alcotest.(check int) "no causal violations" 0
+    (List.length r.Ulipc_observe.Trace_analysis.violations);
+  Alcotest.(check bool) "blocks were observed" true
+    (r.Ulipc_observe.Trace_analysis.blocks > 0)
+
+let test_fd_baseline_echoes () =
+  (* The pipe baseline the bench rows race: run it small, here, so a
+     broken framing or a hung select fails in the suite and not only
+     in CI's bench smoke. *)
+  List.iter
+    (fun transport ->
+      let m =
+        Ulipc_workload.Proc_driver.run_fd ~transport ~nclients:2 ~messages:50
+          ()
+      in
+      Alcotest.(check int)
+        (Ulipc_workload.Proc_driver.fd_transport_name transport ^ " messages")
+        100 m.Ulipc_workload.Metrics.messages)
+    Ulipc_workload.Proc_driver.[ Fd_pipe; Fd_socket ]
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [
+    ( "procipc.arena",
+      [
+        Alcotest.test_case "shared across fork" `Quick
+          test_arena_shared_across_fork;
+        QCheck_alcotest.to_alcotest prop_arena_alloc_invariants;
+        Alcotest.test_case "exhaustion raises" `Quick
+          test_arena_exhaustion_raises;
+      ] );
+    ( "procipc.fsem",
+      [
+        Alcotest.test_case "uncontended V/P" `Quick test_fsem_uncontended;
+        Alcotest.test_case "cross-process wake" `Quick
+          test_fsem_cross_process_wake;
+        Alcotest.test_case "p_timed expires" `Quick test_fsem_p_timed_expires;
+        Alcotest.test_case "p_timed woken by child" `Quick
+          test_fsem_p_timed_woken_by_child;
+      ] );
+    ( "procipc.ring",
+      [
+        Alcotest.test_case "spsc fifo+capacity" `Quick
+          test_spsc_fifo_and_capacity;
+        Alcotest.test_case "mpsc fifo+capacity" `Quick
+          test_mpsc_fifo_and_capacity;
+        Alcotest.test_case "spsc cross-fork transfer" `Quick
+          test_spsc_cross_fork;
+        Alcotest.test_case "mpsc cross-fork transfer" `Quick
+          test_mpsc_cross_fork;
+        Alcotest.test_case "slab cross-fork handoff" `Quick
+          test_pslab_cross_fork_handoff;
+      ] );
+    ( "procipc.differential",
+      [
+        QCheck_alcotest.to_alcotest
+          (prop_proc_matches_domains "BSW" Proc_rpc.Block);
+        QCheck_alcotest.to_alcotest
+          (prop_proc_matches_domains "BSWY" Proc_rpc.Block_yield);
+        QCheck_alcotest.to_alcotest
+          (prop_proc_matches_domains "ADAPT" (Proc_rpc.Adaptive 4096));
+      ] );
+    ( "procipc.liveness",
+      [
+        Alcotest.test_case "dead peer detected" `Quick test_dead_peer_detected;
+        Alcotest.test_case "driver counters balance" `Quick
+          test_driver_counters_balance;
+        Alcotest.test_case "driver trace invariants" `Quick
+          test_driver_trace_invariants;
+        Alcotest.test_case "fd baselines echo" `Quick test_fd_baseline_echoes;
+      ] );
+  ]

@@ -250,82 +250,6 @@ let suites =
   ]
 
 (* ------------------------------------------------------------------ *)
-(* Pool *)
-
-let test_pool_alloc_release () =
-  let slots, free0, a, free1 =
-    in_proc (fun _ ->
-        let p = Pool.create ~costs ~slots:3 ~init:(fun i -> i * 10) () in
-        let free0 = Pool.free_count_peek p in
-        let a = Pool.alloc p in
-        (Pool.slots p, free0, a, Pool.free_count_peek p))
-  in
-  Alcotest.(check int) "slots" 3 slots;
-  Alcotest.(check int) "initially all free" 3 free0;
-  Alcotest.(check bool) "allocated" true (a <> None);
-  Alcotest.(check int) "one taken" 2 free1
-
-let test_pool_exhaustion () =
-  let allocs, after_release =
-    in_proc (fun _ ->
-        let p = Pool.create ~costs ~slots:2 ~init:(fun _ -> ()) () in
-        let a = Pool.alloc p and b = Pool.alloc p and c = Pool.alloc p in
-        (match a with Some s -> Pool.release p s | None -> ());
-        let d = Pool.alloc p in
-        ([ a; b; c ], d))
-  in
-  (match allocs with
-  | [ Some _; Some _; None ] -> ()
-  | _ -> Alcotest.fail "expected two allocations then exhaustion");
-  Alcotest.(check bool) "release makes room" true (after_release <> None)
-
-let test_pool_contents () =
-  let v =
-    in_proc (fun _ ->
-        let p = Pool.create ~costs ~slots:2 ~init:(fun i -> i) () in
-        match Pool.alloc p with
-        | None -> Alcotest.fail "alloc failed"
-        | Some s ->
-          Pool.set p s 99;
-          Pool.get p s)
-  in
-  Alcotest.(check int) "slot contents" 99 v
-
-let test_pool_double_free_detected () =
-  in_proc (fun _ ->
-      let p = Pool.create ~costs ~slots:2 ~init:(fun _ -> ()) () in
-      match Pool.alloc p with
-      | None -> Alcotest.fail "alloc failed"
-      | Some s ->
-        Pool.release p s;
-        Alcotest.check_raises "double free"
-          (Invalid_argument (Printf.sprintf "Pool.release: slot %d already free" s))
-          (fun () -> Pool.release p s))
-
-let prop_pool_conservation =
-  QCheck.Test.make ~name:"pool conserves slots" ~count:100
-    QCheck.(list bool)
-    (fun program ->
-      in_proc (fun _ ->
-          let p = Pool.create ~costs ~slots:4 ~init:(fun i -> i) () in
-          let held = ref [] in
-          List.iter
-            (fun alloc ->
-              if alloc then (
-                match Pool.alloc p with
-                | Some s -> held := s :: !held
-                | None -> ())
-              else
-                match !held with
-                | s :: rest ->
-                  Pool.release p s;
-                  held := rest
-                | [] -> ())
-            program;
-          Pool.free_count_peek p + List.length !held = 4
-          && Pool.in_use_peek p = List.length !held))
-
-(* ------------------------------------------------------------------ *)
 (* Arena *)
 
 let test_arena_alloc_free_coalesce () =
@@ -406,14 +330,6 @@ let prop_arena_no_overlap =
 
 let allocator_suites =
   [
-    ( "shm.pool",
-      [
-        Alcotest.test_case "alloc/release" `Quick test_pool_alloc_release;
-        Alcotest.test_case "exhaustion" `Quick test_pool_exhaustion;
-        Alcotest.test_case "contents" `Quick test_pool_contents;
-        Alcotest.test_case "double free" `Quick test_pool_double_free_detected;
-        QCheck_alcotest.to_alcotest prop_pool_conservation;
-      ] );
     ( "shm.arena",
       [
         Alcotest.test_case "alloc/free/coalesce" `Quick
