@@ -2,9 +2,12 @@
 
      dune exec bench/compare.exe -- BASELINE.json CURRENT.json [--factor F]
 
-   Reads the micro_ns_per_op rows of both files (schema ulipc-bench-real/6,
-   the exact line-per-row layout Bench_json.write emits — this is a
-   purpose-built scanner, not a JSON parser) and fails with exit code 1 if
+   Reads the micro_ns_per_op rows of both files (the exact line-per-row
+   layout Bench_json.write emits — this is a purpose-built scanner, not
+   a JSON parser; field lookups take the FIRST occurrence of a key in
+   the line, which schema /9 preserves by emitting the embedded
+   telemetry "series" — whose point names shadow row keys like
+   "messages" — as the last key of every row) and fails with exit code 1 if
    any row present in both is more than F times slower in CURRENT than in
    BASELINE (default F = 3: wide enough to absorb quick-mode noise and
    shared-CI jitter, tight enough to catch a lost fast path).  Rows whose

@@ -121,19 +121,33 @@ let transport_conv =
 
 (* The summary line mirrors the BENCH_real.json conventions: every float
    through Bench_json.json_float, so nan (e.g. wake latency of a
-   protocol that never blocked) prints as null. *)
-let summary_json ~backend ~label ~kind ~out (m : Metrics.t) (r : A.t) =
+   protocol that never blocked) prints as null.  [dropped] is the ring
+   overflow count — a truncated trace means the causal analysis ran on
+   an incomplete stream (percentiles are over surviving pairs only, and
+   the invariant checker already degrades to warnings), so it is both
+   reported in the summary and warned about loudly: silently analysing
+   a partial trace is how a lost wake-up hides. *)
+let summary_json ~backend ~label ~kind ~out ~dropped (m : Metrics.t) (r : A.t)
+    =
+  if dropped > 0 then
+    Printf.eprintf
+      "ulipc_trace: WARNING: trace truncated — %d event(s) dropped by a full \
+       ring; wake-latency percentiles cover the surviving events only \
+       (raise the sink capacity or lower --messages for a complete trace)\n\
+       %!"
+      dropped;
   let f = Bench_json.json_float in
   Printf.printf
     "{\"backend\": \"%s\", %s, \"protocol\": \"%s\", \"events\": %d, \
-     \"actors\": %d, \"blocks\": %d, \"wakes\": %d, \"raced_wakes\": %d, \
-     \"spurious_wakes\": %d, \"spin_exhausts\": %d, \"wake_latency_p50_us\": \
-     %s, \"wake_latency_p99_us\": %s, \"block_duration_p50_us\": %s, \
-     \"block_duration_p99_us\": %s, \"throughput_msg_per_ms\": %s, \
-     \"violations\": %d, \"trace_file\": \"%s\"}\n"
+     \"dropped\": %d, \"actors\": %d, \"blocks\": %d, \"wakes\": %d, \
+     \"raced_wakes\": %d, \"spurious_wakes\": %d, \"spin_exhausts\": %d, \
+     \"wake_latency_p50_us\": %s, \"wake_latency_p99_us\": %s, \
+     \"block_duration_p50_us\": %s, \"block_duration_p99_us\": %s, \
+     \"throughput_msg_per_ms\": %s, \"violations\": %d, \"trace_file\": \
+     \"%s\"}\n"
     backend label
     (Bench_json.json_escape (Ulipc.Protocol_kind.name kind))
-    r.A.events r.A.actors r.A.blocks r.A.wakes r.A.raced_wakes
+    r.A.events dropped r.A.actors r.A.blocks r.A.wakes r.A.raced_wakes
     r.A.spurious_wakes r.A.spin_exhausts
     (f r.A.wake_latency.A.p50_us)
     (f r.A.wake_latency.A.p99_us)
@@ -178,7 +192,9 @@ let run_real ~kind ~transport ~nclients ~messages ~depth ~out =
       Printf.sprintf "\"transport\": \"%s\""
         (Ulipc_real.Real_substrate.transport_name transport)
     in
-    summary_json ~backend:"real" ~label ~kind ~out m r;
+    summary_json ~backend:"real" ~label ~kind ~out
+      ~dropped:(Ulipc_real.Trace_ring.dropped sink)
+      m r;
     r
 
 (* Cross-process backend: fork'd processes over the shm arena, events
@@ -201,8 +217,8 @@ let run_proc ~kind ~nclients ~messages ~depth ~out =
     Ulipc_observe.Perfetto.write ~process_name ~report:r ~path:out events;
     validate_json out;
     Format.printf "%a@." A.pp r;
-    summary_json ~backend:"proc" ~label:"\"transport\": \"shm\"" ~kind ~out m
-      r;
+    summary_json ~backend:"proc" ~label:"\"transport\": \"shm\"" ~kind ~out
+      ~dropped:!dropped_out m r;
     r
 
 let run_sim ~kind ~machine ~nclients ~messages ~out =
@@ -225,7 +241,8 @@ let run_sim ~kind ~machine ~nclients ~messages ~out =
     Printf.sprintf "\"machine\": \"%s\""
       (Bench_json.json_escape machine.Ulipc_machines.Machine.name)
   in
-  summary_json ~backend:"sim" ~label ~kind ~out m r;
+  summary_json ~backend:"sim" ~label ~kind ~out
+    ~dropped:(Ulipc_observe.Sink.dropped sink) m r;
   r
 
 let main backend kind machine transport nclients messages depth out =

@@ -93,16 +93,73 @@ let add dst src =
   dst.sem_parks <- dst.sem_parks + src.sem_parks;
   dst.sem_grants <- dst.sem_grants + src.sem_grants
 
+(* [snapshot] is the telemetry seam: a frozen copy the sampler can diff
+   against a later copy with no coordination with the (racy, multi-domain)
+   writers — int fields never tear under the OCaml memory model, so each
+   field of the copy is some recently written value. *)
+let snapshot t = { t with sends = t.sends }
+
+(* Field-wise [after - before].  [slab_hwm] is a high-water mark, not a
+   flow: the window's high water IS the later observation (monotone
+   within a run), so [diff] carries [a.slab_hwm] through unchanged and
+   [add]'s [max]-merge makes diff/snapshot round-trip exactly. *)
+let diff a b =
+  {
+    sends = a.sends - b.sends;
+    receives = a.receives - b.receives;
+    replies = a.replies - b.replies;
+    client_blocks = a.client_blocks - b.client_blocks;
+    server_blocks = a.server_blocks - b.server_blocks;
+    client_wakeups = a.client_wakeups - b.client_wakeups;
+    server_wakeups = a.server_wakeups - b.server_wakeups;
+    race_fix_p = a.race_fix_p - b.race_fix_p;
+    queue_full_sleeps = a.queue_full_sleeps - b.queue_full_sleeps;
+    spin_iterations = a.spin_iterations - b.spin_iterations;
+    spin_fallthroughs = a.spin_fallthroughs - b.spin_fallthroughs;
+    server_spin_iterations =
+      a.server_spin_iterations - b.server_spin_iterations;
+    server_spin_fallthroughs =
+      a.server_spin_fallthroughs - b.server_spin_fallthroughs;
+    backoff_sleeps = a.backoff_sleeps - b.backoff_sleeps;
+    steal_posts = a.steal_posts - b.steal_posts;
+    steal_handoffs = a.steal_handoffs - b.steal_handoffs;
+    steal_msgs = a.steal_msgs - b.steal_msgs;
+    slab_hwm = a.slab_hwm;
+    sem_parks = a.sem_parks - b.sem_parks;
+    sem_grants = a.sem_grants - b.sem_grants;
+  }
+
+let to_fields t =
+  [
+    ("sends", t.sends);
+    ("receives", t.receives);
+    ("replies", t.replies);
+    ("client_blocks", t.client_blocks);
+    ("server_blocks", t.server_blocks);
+    ("client_wakeups", t.client_wakeups);
+    ("server_wakeups", t.server_wakeups);
+    ("race_fix_p", t.race_fix_p);
+    ("queue_full_sleeps", t.queue_full_sleeps);
+    ("spin_iterations", t.spin_iterations);
+    ("spin_fallthroughs", t.spin_fallthroughs);
+    ("server_spin_iterations", t.server_spin_iterations);
+    ("server_spin_fallthroughs", t.server_spin_fallthroughs);
+    ("backoff_sleeps", t.backoff_sleeps);
+    ("steal_posts", t.steal_posts);
+    ("steal_handoffs", t.steal_handoffs);
+    ("steal_msgs", t.steal_msgs);
+    ("slab_hwm", t.slab_hwm);
+    ("sem_parks", t.sem_parks);
+    ("sem_grants", t.sem_grants);
+  ]
+
+(* One printer driven by [to_fields], so a new counter field added to the
+   flattening shows up everywhere at once. *)
 let pp ppf t =
-  Format.fprintf ppf
-    "@[<v>sends=%d receives=%d replies=%d@,\
-     blocks: client=%d server=%d  wakeups: client=%d server=%d@,\
-     race-fix P=%d queue-full sleeps=%d backoff sleeps=%d@,\
-     client spin: iters=%d falls=%d  server spin: iters=%d falls=%d@,\
-     steals: posts=%d handoffs=%d msgs=%d  slab hwm=%d@,\
-     sem: parks=%d grants=%d@]"
-    t.sends t.receives t.replies t.client_blocks t.server_blocks
-    t.client_wakeups t.server_wakeups t.race_fix_p t.queue_full_sleeps
-    t.backoff_sleeps t.spin_iterations t.spin_fallthroughs
-    t.server_spin_iterations t.server_spin_fallthroughs t.steal_posts
-    t.steal_handoffs t.steal_msgs t.slab_hwm t.sem_parks t.sem_grants
+  Format.fprintf ppf "@[<hov>";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.fprintf ppf "@ ";
+      Format.fprintf ppf "%s=%d" name v)
+    (to_fields t);
+  Format.fprintf ppf "@]"

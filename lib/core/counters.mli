@@ -52,6 +52,29 @@ val create : unit -> t
 val reset : t -> unit
 
 val add : t -> t -> unit
-(** [add dst src] accumulates [src] into [dst]. *)
+(** [add dst src] accumulates [src] into [dst] ([slab_hwm] merges by
+    [max] — it is a high-water mark, not a flow). *)
+
+val snapshot : t -> t
+(** A frozen copy.  Safe to take while writer domains are still bumping
+    the source: int fields never tear, so every field of the copy is
+    some recently written value (totals are as exact as the racy source
+    itself).  Windowed telemetry deltas are one {!diff} of two
+    snapshots. *)
+
+val diff : t -> t -> t
+(** [diff after before] is the field-wise flow [after - before], except
+    [slab_hwm], which carries [after]'s value through: a high-water mark
+    is monotone within a run, so the later observation is the window's
+    high water.  With that convention
+    [add before' (diff after before) = after] exactly whenever [after]
+    was snapshotted later than [before] on the same counters
+    ([before'] a copy of [before]). *)
+
+val to_fields : t -> (string * int) list
+(** Every field as a [(name, value)] pair, in declaration order — the
+    flattening {!pp} prints and telemetry feeds to
+    [Telemetry.ext_counters]. *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints the {!to_fields} flattening as [name=value] pairs. *)

@@ -1,160 +1,6 @@
-(* Log-bucketed histogram with a fixed memory footprint.
+(* The histogram lives in [Ulipc_observe] (PR 10) so the telemetry plane
+   can build windowed views on it without a dependency cycle; this alias
+   keeps [Ulipc.Histogram.t] the same type for every existing call
+   site. *)
 
-   Bucket 0 is the underflow bucket (values below [lo], and any
-   non-finite value), buckets 1..nbuckets cover [lo, lo * ratio^nbuckets)
-   geometrically, bucket nbuckets+1 is the overflow bucket.  Exact
-   count/sum/min/max ride along so the mean and the distribution tails
-   stay honest even though each bucket only remembers a count.
-
-   Percentiles use the same interpolated-rank definition as
-   Stat.percentile, with each rank resolved to the geometric midpoint of
-   its bucket (clamped into [minv, maxv]), so the answer is within one
-   bucket's relative error of the exact sample percentile — the property
-   the qcheck suite checks against Stat ~keep_samples:true.
-
-   Concurrency contract: one writer per histogram.  Per-domain recording
-   plus [merge_into] after the owning domain is joined needs no locks at
-   all, which is the intended use on the real-domains backend. *)
-
-type t = {
-  hist_name : string;
-  lo : float;
-  log_ratio : float; (* natural log of the geometric bucket width *)
-  nbuckets : int; (* regular buckets, excluding under/overflow *)
-  counts : int array; (* nbuckets + 2: index 0 under, nbuckets+1 over *)
-  mutable n : int;
-  mutable sum : float;
-  mutable minv : float;
-  mutable maxv : float;
-}
-
-let create ?(lo = 1e-3) ?(decades = 10) ?(buckets_per_decade = 64) hist_name =
-  if not (lo > 0.0) then invalid_arg "Histogram.create: lo must be positive";
-  if decades <= 0 then invalid_arg "Histogram.create: decades must be positive";
-  if buckets_per_decade <= 0 then
-    invalid_arg "Histogram.create: buckets_per_decade must be positive";
-  let nbuckets = decades * buckets_per_decade in
-  {
-    hist_name;
-    lo;
-    log_ratio = Float.log 10.0 /. float_of_int buckets_per_decade;
-    nbuckets;
-    counts = Array.make (nbuckets + 2) 0;
-    n = 0;
-    sum = 0.0;
-    minv = nan;
-    maxv = nan;
-  }
-
-let name t = t.hist_name
-let bucket_ratio t = Float.exp t.log_ratio
-let count t = t.n
-let total t = t.sum
-let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
-let min_value t = t.minv
-let max_value t = t.maxv
-
-(* [not (v >= lo)] also routes nan to the underflow bucket, so the bucket
-   counts always sum to [n]. *)
-let bucket_index t v =
-  if not (v >= t.lo) then 0
-  else
-    let i = 1 + int_of_float (Float.log (v /. t.lo) /. t.log_ratio) in
-    if i > t.nbuckets then t.nbuckets + 1 else i
-
-let record t v =
-  t.n <- t.n + 1;
-  t.sum <- t.sum +. v;
-  if t.n = 1 then begin
-    t.minv <- v;
-    t.maxv <- v
-  end
-  else begin
-    if v < t.minv then t.minv <- v;
-    if v > t.maxv then t.maxv <- v
-  end;
-  let i = bucket_index t v in
-  t.counts.(i) <- t.counts.(i) + 1
-
-let clamp t v =
-  if Float.is_nan t.minv then v
-  else Stdlib.min t.maxv (Stdlib.max t.minv v)
-
-(* Lower edge of regular bucket [i] (1-based). *)
-let edge t i = t.lo *. Float.exp (t.log_ratio *. float_of_int (i - 1))
-
-let representative t i =
-  if i = 0 then t.minv
-  else if i = t.nbuckets + 1 then t.maxv
-  else clamp t (t.lo *. Float.exp (t.log_ratio *. (float_of_int i -. 0.5)))
-
-(* The (k+1)-th smallest value, 0-based [k < n].  The extreme ranks are
-   the recorded min/max and so are exact; interior ranks resolve to
-   their bucket's representative. *)
-let value_at_rank t k =
-  if k <= 0 then t.minv
-  else if k >= t.n - 1 then t.maxv
-  else
-    let rec go i cum =
-      let cum = cum + t.counts.(i) in
-      if cum > k then i else go (i + 1) cum
-    in
-    representative t (go 0 0)
-
-let percentile t p =
-  if t.n = 0 then invalid_arg "Histogram.percentile: no samples";
-  if p < 0.0 || p > 100.0 then
-    invalid_arg "Histogram.percentile: p out of range";
-  let rank = p /. 100.0 *. float_of_int (t.n - 1) in
-  let lo = int_of_float (Float.floor rank) in
-  let hi = Stdlib.min (lo + 1) (t.n - 1) in
-  let frac = rank -. float_of_int lo in
-  let a = value_at_rank t lo in
-  let b = if hi = lo then a else value_at_rank t hi in
-  a +. (frac *. (b -. a))
-
-let merge_into ~dst src =
-  if
-    dst.lo <> src.lo
-    || dst.log_ratio <> src.log_ratio
-    || dst.nbuckets <> src.nbuckets
-  then invalid_arg "Histogram.merge_into: bucket geometries differ";
-  if src.n > 0 then begin
-    Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
-    dst.n <- dst.n + src.n;
-    dst.sum <- dst.sum +. src.sum;
-    dst.minv <-
-      (if Float.is_nan dst.minv then src.minv else Stdlib.min dst.minv src.minv);
-    dst.maxv <-
-      (if Float.is_nan dst.maxv then src.maxv else Stdlib.max dst.maxv src.maxv)
-  end
-
-let reset t =
-  Array.fill t.counts 0 (Array.length t.counts) 0;
-  t.n <- 0;
-  t.sum <- 0.0;
-  t.minv <- nan;
-  t.maxv <- nan
-
-let pp ppf t =
-  if t.n = 0 then Format.fprintf ppf "%s: (no samples)" t.hist_name
-  else
-    Format.fprintf ppf
-      "%s: n=%d mean=%.3f p50=%.3f p99=%.3f min=%.3f max=%.3f" t.hist_name t.n
-      (mean t) (percentile t 50.0) (percentile t 99.0) t.minv t.maxv
-
-let pp_buckets ppf t =
-  if t.n = 0 then Format.fprintf ppf "%s: (no samples)@." t.hist_name
-  else begin
-    let peak = Array.fold_left max 1 t.counts in
-    let row lo_edge hi_edge c =
-      if c > 0 then
-        Format.fprintf ppf "%12.3f .. %12.3f  %6d %s@." lo_edge hi_edge c
-          (String.make (c * 50 / peak) '#')
-    in
-    row neg_infinity t.lo t.counts.(0);
-    for i = 1 to t.nbuckets do
-      row (edge t i) (edge t (i + 1)) t.counts.(i)
-    done;
-    row (edge t (t.nbuckets + 1)) infinity t.counts.(t.nbuckets + 1)
-  end
+include Ulipc_observe.Histogram

@@ -1,0 +1,68 @@
+(** Fixed-size log-bucketed latency histogram.
+
+    The observability counterpart of the engine's [Stat] for runs with
+    millions of samples: a preallocated array of geometric buckets
+    (default 64 per decade over 10 decades) plus exact count/sum/min/max,
+    so memory stays constant no matter how many values are recorded and
+    percentiles are answered with a bounded relative error of one bucket
+    width ([bucket_ratio t - 1], about 3.7% at the default resolution).
+
+    Recording is single-owner by design: give each domain its own
+    histogram, record without any synchronisation, then {!merge_into} a
+    destination after [Domain.join] — the merge is plain array addition,
+    no locks anywhere.  The simulator and the real-domains driver both
+    report through this type, so one percentile path serves both
+    backends. *)
+
+type t
+
+val create :
+  ?lo:float -> ?decades:int -> ?buckets_per_decade:int -> string -> t
+(** [create name] is an empty histogram whose regular buckets cover
+    [\[lo, lo * 10^decades)] (defaults: [lo = 1e-3], [decades = 10],
+    [buckets_per_decade = 64] — 1 ns to 10 s when values are in µs).
+    Values below [lo] (including non-finite ones) land in a dedicated
+    underflow bucket, values beyond the top edge in an overflow bucket;
+    both are still bounded by the exact min/max.
+    @raise Invalid_argument on non-positive [lo], [decades] or
+    [buckets_per_decade]. *)
+
+val name : t -> string
+
+val bucket_ratio : t -> float
+(** Geometric width of one bucket ([10^(1/buckets_per_decade)]); the
+    relative error bound of {!percentile} is [bucket_ratio t - 1]. *)
+
+val record : t -> float -> unit
+(** Add one value.  Not thread-safe: one writer per histogram. *)
+
+val count : t -> int
+val total : t -> float
+
+val mean : t -> float
+(** Exact mean of the recorded values ([nan] when empty). *)
+
+val min_value : t -> float
+(** Exact minimum; [nan] when empty. *)
+
+val max_value : t -> float
+(** Exact maximum; [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0,100\]], with the same interpolated
+    rank as the engine's [Stat.percentile]: the returned value differs
+    from the exact sample percentile by at most one bucket's relative
+    error, and is clamped into [\[min_value, max_value\]].
+    @raise Invalid_argument when empty or [p] is out of range. *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold the second histogram into [dst] by bucket-wise addition.  Safe
+    once the source's writer has been joined; no locking is involved.
+    @raise Invalid_argument if the bucket geometries differ. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit
+
+val pp_buckets : Format.formatter -> t -> unit
+(** Render the non-empty buckets as a text histogram, one row per bucket
+    with a [#] bar scaled to the fullest bucket. *)

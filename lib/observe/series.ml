@@ -1,0 +1,61 @@
+(* Bounded ring of timestamped telemetry frames.
+
+   The sampler pushes one frame per window from its own domain while a
+   dashboard (ulipc_top) reads concurrently, so the ring is guarded by a
+   mutex — contention is one lock per sampling interval, nowhere near
+   any hot path.  When the ring is full the oldest frame is overwritten;
+   [recorded]/[dropped] keep the truncation honest, mirroring
+   Trace_ring. *)
+
+type frame = {
+  t_us : float;
+  window_us : float;
+  points : (string * float) array;
+}
+
+let point f name =
+  let n = Array.length f.points in
+  let rec go i =
+    if i >= n then None
+    else
+      let k, v = f.points.(i) in
+      if String.equal k name then Some v else go (i + 1)
+  in
+  go 0
+
+let empty_frame = { t_us = 0.0; window_us = 0.0; points = [||] }
+
+type t = {
+  capacity : int;
+  buf : frame array;
+  mutable pushed : int; (* total frames ever pushed *)
+  lock : Mutex.t;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Series.create: capacity must be positive";
+  {
+    capacity;
+    buf = Array.make capacity empty_frame;
+    pushed = 0;
+    lock = Mutex.create ();
+  }
+
+let push t f =
+  Mutex.protect t.lock (fun () ->
+      t.buf.(t.pushed mod t.capacity) <- f;
+      t.pushed <- t.pushed + 1)
+
+let recorded t = Mutex.protect t.lock (fun () -> t.pushed)
+let dropped t = Mutex.protect t.lock (fun () -> max 0 (t.pushed - t.capacity))
+
+let frames t =
+  Mutex.protect t.lock (fun () ->
+      let n = min t.pushed t.capacity in
+      let first = t.pushed - n in
+      List.init n (fun i -> t.buf.((first + i) mod t.capacity)))
+
+let latest t =
+  Mutex.protect t.lock (fun () ->
+      if t.pushed = 0 then None
+      else Some t.buf.((t.pushed - 1) mod t.capacity))

@@ -1,0 +1,42 @@
+(** Bounded ring of timestamped telemetry frames.
+
+    One {!frame} is the snapshot of every registered instrument over one
+    sampling window: counters appear as per-window deltas, gauges as
+    point-in-time reads, windowed histograms as count/p50/p99/max of the
+    values recorded inside the window ([nan] when the window is empty —
+    rendered as [null] in JSON).  Frames are ordered and monotonic in
+    [t_us]; [window_us] is the elapsed time since the previous frame, so
+    [delta /. (window_us /. 1000.)] is a per-window msg/ms rate.
+
+    The ring is mutex-guarded (one lock op per sampling interval): a
+    live dashboard reads {!latest}/{!frames} while the sampler pushes.
+    A full ring overwrites the oldest frame; {!recorded} and {!dropped}
+    keep the truncation honest, same contract as [Trace_ring]. *)
+
+type frame = {
+  t_us : float;  (** sample timestamp, [Clock.now_us] *)
+  window_us : float;  (** elapsed since the previous frame *)
+  points : (string * float) array;  (** instrument name -> value *)
+}
+
+val point : frame -> string -> float option
+(** Linear lookup of a named point; [None] when absent. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] is an empty ring keeping the most recent [capacity]
+    frames (default 4096 — 40 s of history at a 10 ms interval).
+    @raise Invalid_argument on non-positive [capacity]. *)
+
+val push : t -> frame -> unit
+val recorded : t -> int
+(** Total frames ever pushed, including overwritten ones. *)
+
+val dropped : t -> int
+(** Frames lost to overwrite: [max 0 (recorded - capacity)]. *)
+
+val frames : t -> frame list
+(** Retained frames, oldest first. *)
+
+val latest : t -> frame option

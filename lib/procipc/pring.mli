@@ -28,7 +28,17 @@ module Spsc : sig
   (** The oldest value, or {!nil} when empty. *)
 
   val is_empty : t -> bool
+  (** Lock-free hint, same snapshot invariant as
+      [Ulipc_real.Spsc_ring.is_empty]: reads the consumer-advanced
+      [tail] BEFORE the producer's [head], so a racing dequeue can never
+      make an occupied ring look empty. *)
+
   val length : t -> int
+  (** Racy but conservative occupancy snapshot (consumer index first):
+      may over-report against a racing consumer — the stale [tail] only
+      under-counts consumption, the later [head] only grows — and is
+      never negative.  The telemetry sampler's cross-process ring-depth
+      gauge. *)
 end
 
 (** Multi producer / single consumer: the server's request ring.
@@ -51,5 +61,14 @@ module Mpsc : sig
   (** Single consumer only. *)
 
   val is_empty : t -> bool
+  (** Lock-free hint, roles swapped from {!Spsc.is_empty} (here the
+      single consumer advances [head]): reads [head] BEFORE the
+      producers' ticket [tail], so a racing dequeue can never make an
+      occupied ring look empty.  Counts claimed-but-unfilled slots as
+      present. *)
+
   val length : t -> int
+  (** Racy but conservative occupancy snapshot (consumer index first,
+      including claimed slots): may over-report against a racing
+      consumer, never negative. *)
 end

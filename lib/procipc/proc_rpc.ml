@@ -72,6 +72,11 @@ let wake_residue t = S.wake_residue t.sub
 let harvest_sem_counters t = S.harvest_sem_counters t.sub
 let waiting t = t.waiting
 
+(* Conservative occupancy of the one request ring (see Pring.Mpsc.length
+   for the snapshot invariant) — the parent's telemetry gauge, readable
+   across the fork boundary because it is all arena words. *)
+let request_depth t = S.queue_length t.sub (S.request t.sub)
+
 let check_client t client =
   ignore (S.reply_channel t.sub client : S.channel)
 

@@ -164,6 +164,7 @@ let transport t = Real_substrate.transport t.sub
 let trace t = Real_substrate.trace t.sub
 let slab t = Real_substrate.slab t.sub
 let counters t = Real_substrate.counters t.sub
+let request_depth t k = Real_substrate.request_depth t.sub k
 let wake_residue t = Real_substrate.wake_residue t.sub
 let harvest_sem_counters t = Real_substrate.harvest_sem_counters t.sub
 let shard_of_client t client = Real_substrate.shard_of_client t.sub client

@@ -219,6 +219,14 @@ val call_pipelined :
     content, not position, there.
     @raise Invalid_argument if [depth <= 0] or on a bad client number. *)
 
+val request_depth : ('req, 'rep) t -> int -> int
+(** Conservative occupancy snapshot of shard [k]'s request queue (see
+    {!Ulipc_real.Mpsc_ring.length}): never negative, may over-report
+    against a racing consumer.  What the steal orchestration already
+    reads to pick a victim, exposed here so the telemetry sampler can
+    gauge per-shard queue depth live.
+    @raise Invalid_argument on a bad shard number. *)
+
 val counters : ('req, 'rep) t -> Ulipc.Counters.t
 (** The protocol-event counters the shared core maintains — the same
     fields the simulator reports (sends, receives, wake-ups, spin

@@ -27,12 +27,36 @@ let json_float f =
 
 let json_float_opt = function None -> "null" | Some f -> json_float f
 
+(* One telemetry frame, points flattened into a JSON object.  The whole
+   series stays on the row's line (one row per line is the format's
+   contract), and the caller emits it as the row's LAST key: compare.exe
+   scans each line for the FIRST occurrence of every key it gates on, so
+   a frame point that happens to share a name with a row column (e.g.
+   [messages]) must come after it. *)
+let frame_json (f : Ulipc_observe.Series.frame) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{ \"t_us\": %s, \"window_us\": %s, \"points\": { "
+       (json_float f.Ulipc_observe.Series.t_us)
+       (json_float f.Ulipc_observe.Series.window_us));
+  Array.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\": %s" (json_escape name) (json_float v)))
+    f.Ulipc_observe.Series.points;
+  Buffer.add_string b " } }";
+  Buffer.contents b
+
+let series_json frames =
+  "[" ^ String.concat ", " (List.map frame_json frames) ^ "]"
+
 let write ~path ~quick ~micro ?(sem = []) ~real () =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   let sep i n = if i = n - 1 then "" else "," in
   p "{\n";
-  p "  \"schema\": \"ulipc-bench-real/8\",\n";
+  p "  \"schema\": \"ulipc-bench-real/9\",\n";
   p "  \"quick\": %b,\n" quick;
   p "  \"micro_ns_per_op\": [\n";
   let n = List.length micro in
@@ -70,7 +94,7 @@ let write ~path ~quick ~micro ?(sem = []) ~real () =
          \"latency_p50_us\": %s, \"latency_p99_us\": %s, \"latency_max_us\": \
          %s, \"wake_latency_p50_us\": %s, \"wake_latency_p99_us\": %s, \
          \"utilization\": %s, \"utilization_max\": %s, \
-         \"minor_words_per_op\": %s }%s\n"
+         \"minor_words_per_op\": %s, \"series\": %s }%s\n"
         (json_escape backend) (json_escape transport)
         (json_escape (Ulipc.Protocol_kind.name m.Metrics.protocol))
         m.Metrics.nclients m.Metrics.nservers m.Metrics.depth
@@ -85,7 +109,7 @@ let write ~path ~quick ~micro ?(sem = []) ~real () =
         (json_float m.Metrics.utilization)
         (json_float m.Metrics.utilization_max)
         (json_float m.Metrics.minor_words_per_op)
-        (sep i n))
+        (series_json m.Metrics.series) (sep i n))
     real;
   p "  ]\n";
   p "}\n";

@@ -19,7 +19,7 @@ val write :
   real:(string * string * Metrics.t) list ->
   unit ->
   unit
-(** Write schema [ulipc-bench-real/8]: the Bechamel ns/op rows, the
+(** Write schema [ulipc-bench-real/9]: the Bechamel ns/op rows, the
     semaphore directed-wake-latency sweep ([sem], default empty — one
     row per waiter population from {!Sem_bench.wake_latency}), and the
     real-driver echo rows as [(backend, transport, metrics)] triples —
@@ -30,4 +30,10 @@ val write :
     [latency_p50_us]/[latency_p99_us]/[latency_max_us] fields from the
     round-trip histogram ([null] when latency was not collected), and
     [wake_latency_p50_us]/[wake_latency_p99_us] recovered from the run's
-    event trace ([null] for protocols that never block). *)
+    event trace ([null] for protocols that never block).
+
+    Schema /9 adds a [series] array per row — the run's sampled
+    telemetry timeline ({!Metrics.t.series}), one object per frame with
+    [t_us]/[window_us] and a flat [points] map.  It is emitted as the
+    row's LAST key, keeping compare.exe's first-occurrence line scanner
+    blind to point names that shadow row columns. *)

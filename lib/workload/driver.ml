@@ -240,6 +240,9 @@ let run_outcome cfg =
     wake_latency_p99_us;
     (* a simulated run has no real allocator behind it *)
     minor_words_per_op = nan;
+    (* ... and no wall-clock sampler: the simulator's timeline is the
+       event trace itself *)
+    series = [];
   }
   in
   { metrics; kernel; session; server; clients }

@@ -19,6 +19,7 @@ type t = {
   wake_latency_p50_us : float;
   wake_latency_p99_us : float;
   minor_words_per_op : float;
+  series : Ulipc_observe.Series.frame list;
 }
 
 (* Real-domain runs have no simulated kernel behind them: usage, step and
@@ -34,8 +35,8 @@ let zero_usage =
 
 let of_real ?latency ?(utilization = nan) ?(utilization_max = nan)
     ?(depth = 1) ?(nservers = 1) ?(wake_latency_p50_us = nan)
-    ?(wake_latency_p99_us = nan) ?(minor_words_per_op = nan) ~machine
-    ~protocol ~nclients ~messages ~elapsed_s ~counters () =
+    ?(wake_latency_p99_us = nan) ?(minor_words_per_op = nan) ?(series = [])
+    ~machine ~protocol ~nclients ~messages ~elapsed_s ~counters () =
   let elapsed = Ulipc_engine.Sim_time.us_f (elapsed_s *. 1.0e6) in
   (* A single server's pool maximum IS its mean — callers only need to
      pass utilization_max for genuine pools. *)
@@ -65,6 +66,7 @@ let of_real ?latency ?(utilization = nan) ?(utilization_max = nan)
     wake_latency_p50_us;
     wake_latency_p99_us;
     minor_words_per_op;
+    series;
   }
 
 let round_trip_us t =

@@ -48,6 +48,12 @@ type t = {
           probe run, clamped at 0) — the zero-copy message plane's
           regression gate.  [nan] for simulator runs and whenever the
           probe was not taken. *)
+  series : Ulipc_observe.Series.frame list;
+      (** the run's sampled telemetry timeline, oldest frame first:
+          per-window throughput/latency/counter deltas plus queue-depth
+          and slab gauges (see {!Ulipc_observe.Telemetry}).  Empty for
+          simulator runs and for runs measured without a telemetry
+          plane. *)
 }
 
 val of_real :
@@ -59,6 +65,7 @@ val of_real :
   ?wake_latency_p50_us:float ->
   ?wake_latency_p99_us:float ->
   ?minor_words_per_op:float ->
+  ?series:Ulipc_observe.Series.frame list ->
   machine:string ->
   protocol:Ulipc.Protocol_kind.t ->
   nclients:int ->

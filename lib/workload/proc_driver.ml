@@ -120,7 +120,7 @@ let child_report ?hist ?(waiting_s = 0.0) ?(minor_words = nan) ~finish_us
 (* ------------------------------------------------------------------ *)
 
 let run ?(machine = "proc") ?(capacity = 64) ?(depth = 1) ?(traced = false)
-    ?events_out ?dropped_out ~nclients ~messages waiting =
+    ?telemetry ?events_out ?dropped_out ~nclients ~messages waiting =
   if depth <= 0 then invalid_arg "Proc_driver.run: depth must be positive";
   if messages <= 0 then
     invalid_arg "Proc_driver.run: messages must be positive";
@@ -141,6 +141,34 @@ let run ?(machine = "proc") ?(capacity = 64) ?(depth = 1) ?(traced = false)
   (* Barrier words: READY counts checked-in clients, GO releases them. *)
   let ready_w = Ulipc_procipc.Parena.alloc_line arena ~words:Ulipc_procipc.Parena.cache_line_words in
   let go_w = Ulipc_procipc.Parena.alloc_line arena ~words:Ulipc_procipc.Parena.cache_line_words in
+  (* Telemetry across the fork boundary: each client owns one arena
+     cache line and plain-stores its measured-message count there after
+     every send (single writer per word — the same TSO publish the rings
+     rely on), so the PARENT can sample children live.  The parent never
+     spawns a domain (fork discipline): it samples inline with
+     [Telemetry.tick] from the report-collection select loop below. *)
+  let tel =
+    match telemetry with
+    | Some tel -> tel
+    | None -> Ulipc_observe.Telemetry.create ()
+  in
+  let msgs_w =
+    Array.init nclients (fun _ ->
+        Ulipc_procipc.Parena.alloc_line arena
+          ~words:Ulipc_procipc.Parena.cache_line_words)
+  in
+  Ulipc_observe.Telemetry.ext_counters tel (fun () ->
+      let total =
+        Array.fold_left
+          (fun acc w -> acc + Ulipc_procipc.Parena.get arena w)
+          0 msgs_w
+      in
+      [ ("messages", total) ]);
+  Ulipc_observe.Telemetry.gauge tel "ring_depth_0" (fun () ->
+      float_of_int (Ulipc_procipc.Proc_rpc.request_depth t));
+  Ulipc_observe.Telemetry.gauge tel "slab_in_use" (fun () ->
+      float_of_int
+        (Ulipc_procipc.Pslab.in_use_count (Ulipc_procipc.Proc_rpc.slab t)));
   let probe_total = if depth = 1 then probe_warmup + probe_ops else 0 in
   let server_role () =
     let remaining = ref ((nclients * messages) + probe_total) in
@@ -187,7 +215,8 @@ let run ?(machine = "proc") ?(capacity = 64) ?(depth = 1) ?(traced = false)
         let ans = Ulipc_procipc.Proc_rpc.send t ~client:c i in
         let after = Ulipc_observe.Clock.now_us () in
         if ans <> i + 1 then failwith "Proc_driver.run: echo mismatch";
-        Ulipc.Histogram.record hist (after -. before)
+        Ulipc.Histogram.record hist (after -. before);
+        Ulipc_procipc.Parena.set arena msgs_w.(c) i
       done
     else begin
       let sent = ref 0 in
@@ -206,7 +235,8 @@ let run ?(machine = "proc") ?(capacity = 64) ?(depth = 1) ?(traced = false)
         for _ = 1 to k do
           Ulipc.Histogram.record hist per_msg_us
         done;
-        sent := !sent + k
+        sent := !sent + k;
+        Ulipc_procipc.Parena.set arena msgs_w.(c) !sent
       done
     end;
     let finish_us = Ulipc_observe.Clock.now_us () in
@@ -222,7 +252,34 @@ let run ?(machine = "proc") ?(capacity = 64) ?(depth = 1) ?(traced = false)
   done;
   let t0_us = Ulipc_observe.Clock.now_us () in
   Ulipc_procipc.Parena.at_store arena go_w 1;
-  let client_reports = List.map read_report clients in
+  (* Open the measured window at t0 (this frame's deltas cover only the
+     pre-barrier setup, all zeros), then sample inline while waiting for
+     the children's reports: select with the sampling interval as the
+     timeout over every unread report pipe, one tick per wake-up.  Once
+     a pipe turns readable its child has finished and is marshalling —
+     the blocking Marshal read drains it promptly. *)
+  ignore (Ulipc_observe.Telemetry.tick tel : Ulipc_observe.Series.frame);
+  let client_reports =
+    let interval_s = Ulipc_observe.Telemetry.interval_ms tel /. 1000.0 in
+    let by_fd = Hashtbl.create (2 * nclients) in
+    let pending = ref clients in
+    while !pending <> [] do
+      let fds = List.map snd !pending in
+      let readable, _, _ =
+        try Unix.select fds [] [] interval_s
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      ignore (Ulipc_observe.Telemetry.tick tel : Ulipc_observe.Series.frame);
+      let done_, rest =
+        List.partition (fun (_, rd) -> List.memq rd readable) !pending
+      in
+      List.iter
+        (fun ((_, rd) as child) -> Hashtbl.replace by_fd rd (read_report child))
+        done_;
+      pending := rest
+    done;
+    List.map (fun (_, rd) -> Hashtbl.find by_fd rd) clients
+  in
   let server_report = read_report server in
   let t1_us =
     List.fold_left
@@ -253,6 +310,10 @@ let run ?(machine = "proc") ?(capacity = 64) ?(depth = 1) ?(traced = false)
   List.iter absorb client_reports;
   absorb server_report;
   counters.Ulipc.Counters.slab_hwm <- Ulipc_procipc.Pslab.high_water (Ulipc_procipc.Proc_rpc.slab t);
+  (* Close the window: the final frame's message delta makes the summed
+     per-window deltas equal the row's messages exactly. *)
+  ignore (Ulipc_observe.Telemetry.tick tel : Ulipc_observe.Series.frame);
+  let series = Ulipc_observe.Telemetry.frames tel in
   let events = List.sort Ulipc_observe.Event.compare !all_events in
   (match events_out with Some r -> r := events | None -> ());
   (match dropped_out with Some r -> r := !all_dropped | None -> ());
@@ -270,7 +331,7 @@ let run ?(machine = "proc") ?(capacity = 64) ?(depth = 1) ?(traced = false)
   in
   Metrics.of_real ~latency ~utilization ~utilization_max:utilization ~depth
     ~nservers:1 ~wake_latency_p50_us ~wake_latency_p99_us
-    ~minor_words_per_op:!minor_words_per_op ~machine
+    ~minor_words_per_op:!minor_words_per_op ~series ~machine
     ~protocol:(kind_of_waiting waiting)
     ~nclients
     ~messages:(nclients * messages)

@@ -10,6 +10,7 @@ val run :
   ?capacity:int ->
   ?depth:int ->
   ?traced:bool ->
+  ?telemetry:Ulipc_observe.Telemetry.t ->
   ?events_out:Ulipc_observe.Event.t list ref ->
   ?dropped_out:int ref ->
   nclients:int ->
@@ -25,7 +26,18 @@ val run :
     process, sorted — the cross-process feed for [bin/ulipc_trace].
     [dropped_out] receives the total ring-overflow drop count, the
     [~complete] input of {!Ulipc_observe.Trace_analysis.analyse}.
-    [machine] defaults to ["proc"]. *)
+    [machine] defaults to ["proc"].
+
+    Shm runs are live-sampled across the fork boundary: every client
+    publishes its message count in an arena word it alone writes, and
+    the parent — which must not spawn a sampler domain before its
+    children have been reaped (OCaml forbids fork after domain spawn) —
+    samples inline with [Telemetry.tick] from its report-collection
+    select loop, reading the arena words plus request-ring-depth and
+    slab-occupancy gauges.  The timeline lands in [Metrics.series];
+    pass [telemetry] (a fresh registry per run) to set the interval or
+    observe frames via [on_frame].  The fd baselines ({!run_fd}) have
+    no shared instrument plane and report an empty series. *)
 
 type fd_transport = Fd_pipe | Fd_socket
 

@@ -77,8 +77,8 @@ let probe_ops = 512
    headroom for whatever the process is already running. *)
 let max_client_domains nservers = max 1 (min 96 (120 - nservers))
 
-let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ?(nservers = 1)
-    ~nclients ~messages waiting =
+let run ?(machine = "domains") ?transport ?trace ?telemetry ?(depth = 1)
+    ?(nservers = 1) ~nclients ~messages waiting =
   if depth <= 0 then invalid_arg "Real_driver.run: depth must be positive";
   if depth > 1 && nservers > 1 then
     invalid_arg
@@ -100,6 +100,38 @@ let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ?(nservers = 1)
     Ulipc_real.Rpc.create ?transport ~trace ~req_codec:Ulipc_real.Rpc.int_codec
       ~rep_codec:Ulipc_real.Rpc.int_codec ~nservers ~nclients waiting
   in
+  (* Telemetry plane: every run is sampled into a Series ring (a
+     caller-supplied registry — ulipc_top's — just brings its own
+     interval and on_frame hook; use a fresh registry per run).  The
+     hot-path instruments ride the measured loops only: the messages
+     counter is one fetch-and-add per echo and the latency whist records
+     next to the per-domain histogram, so the pre-barrier allocation
+     probe below still certifies the bare send path.  Gauges read the
+     live session (per-shard ring depth, slab occupancy, trace drops)
+     and the counter batch diffs Counters snapshots — parks, grants,
+     steals, backoff sleeps per window.  The sampler domain starts with
+     the barrier release and stops after the post-join harvests, so its
+     final frame carries the sem-park/grant and slab-high-water
+     deltas. *)
+  let tel =
+    match telemetry with
+    | Some tel -> tel
+    | None -> Ulipc_observe.Telemetry.create ()
+  in
+  let msgs_c = Ulipc_observe.Telemetry.counter tel "messages" in
+  let lat_w = Ulipc_observe.Telemetry.whist tel "latency_us" in
+  for k = 0 to nservers - 1 do
+    Ulipc_observe.Telemetry.gauge tel
+      (Printf.sprintf "ring_depth_%d" k)
+      (fun () -> float_of_int (Ulipc_real.Rpc.request_depth t k))
+  done;
+  Ulipc_observe.Telemetry.gauge tel "slab_in_use" (fun () ->
+      float_of_int (Ulipc_real.Slab.in_use_count (Ulipc_real.Rpc.slab t)));
+  Ulipc_observe.Telemetry.gauge tel "trace_dropped" (fun () ->
+      float_of_int (Ulipc_real.Trace_ring.dropped trace));
+  Ulipc_observe.Telemetry.ext_counters tel (fun () ->
+      Ulipc.Counters.to_fields
+        (Ulipc.Counters.snapshot (Ulipc_real.Rpc.counters t)));
   (* Allocation probe: before the barrier releases the timed phase, the
      domain hosting client 0 runs a short warm-up (faulting in its
      domain-local backoff and trace state) and then [probe_ops] bare
@@ -199,7 +231,10 @@ let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ?(nservers = 1)
                   let after = Unix.gettimeofday () in
                   if ans <> i + 1 then
                     failwith "Real_driver.run: echo mismatch";
-                  Ulipc.Histogram.record hist ((after -. before) *. 1.0e6)
+                  let rt_us = (after -. before) *. 1.0e6 in
+                  Ulipc.Histogram.record hist rt_us;
+                  Ulipc_observe.Telemetry.record lat_w rt_us;
+                  Ulipc_observe.Telemetry.incr msgs_c
                 done
               else
                 for i = 1 to messages do
@@ -213,8 +248,10 @@ let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ?(nservers = 1)
                   done;
                   let per_msg_us = (Unix.gettimeofday () -. before) *. 1.0e6 in
                   for _ = lo to hi - 1 do
-                    Ulipc.Histogram.record hist per_msg_us
-                  done
+                    Ulipc.Histogram.record hist per_msg_us;
+                    Ulipc_observe.Telemetry.record lat_w per_msg_us
+                  done;
+                  Ulipc_observe.Telemetry.add msgs_c (hi - lo)
                 done
             else begin
               let sent = ref 0 in
@@ -235,8 +272,10 @@ let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ?(nservers = 1)
                   (after -. before) *. 1.0e6 /. float_of_int k
                 in
                 for _ = 1 to k do
-                  Ulipc.Histogram.record hist per_msg_us
+                  Ulipc.Histogram.record hist per_msg_us;
+                  Ulipc_observe.Telemetry.record lat_w per_msg_us
                 done;
+                Ulipc_observe.Telemetry.add msgs_c k;
                 sent := !sent + k
               done
             end;
@@ -245,6 +284,7 @@ let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ?(nservers = 1)
   while Atomic.get ready < ndomains do
     Domain.cpu_relax ()
   done;
+  Ulipc_observe.Telemetry.start_sampler tel;
   let t0 = Unix.gettimeofday () in
   Atomic.set go true;
   let hists = List.map Domain.join client_domains in
@@ -277,6 +317,11 @@ let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ?(nservers = 1)
   counters.Ulipc.Counters.slab_hwm <-
     Ulipc_real.Slab.high_water (Ulipc_real.Rpc.slab t);
   Ulipc_real.Rpc.harvest_sem_counters t;
+  (* Post-harvest stop: the final frame's counter batch carries the
+     sem-park/grant and slab-high-water deltas, and summed per-window
+     message deltas equal the row's messages exactly. *)
+  Ulipc_observe.Telemetry.stop_sampler tel;
+  let series = Ulipc_observe.Telemetry.frames tel in
   (* All recording domains are joined: the drain is race-free. *)
   let wake_latency_p50_us, wake_latency_p99_us =
     let report =
@@ -290,7 +335,7 @@ let run ?(machine = "domains") ?transport ?trace ?(depth = 1) ?(nservers = 1)
   in
   Metrics.of_real ~latency ~utilization ~utilization_max ~depth ~nservers
     ~wake_latency_p50_us ~wake_latency_p99_us
-    ~minor_words_per_op:!minor_words_per_op ~machine
+    ~minor_words_per_op:!minor_words_per_op ~series ~machine
     ~protocol:(kind_of_waiting waiting)
     ~nclients
     ~messages:(nclients * messages)

@@ -26,6 +26,7 @@ val run :
   ?machine:string ->
   ?transport:Ulipc_real.Real_substrate.transport ->
   ?trace:Ulipc_real.Trace_ring.t ->
+  ?telemetry:Ulipc_observe.Telemetry.t ->
   ?depth:int ->
   ?nservers:int ->
   nclients:int ->
@@ -75,5 +76,15 @@ val run :
     clamped to [0, 1] per server — the pool mean, with the busiest
     server in [utilization_max].  The result's counters carry the slab's
     high-water mark ([slab_hwm]) and the steal-protocol totals.
+
+    Every run is live-sampled: the driver registers a messages counter,
+    a windowed latency histogram, per-shard ring-depth / slab / trace-drop
+    gauges and a Counters delta batch on [telemetry] (default: a fresh
+    private registry with a 10 ms interval), starts its background
+    sampler with the barrier release and stops it after the post-join
+    harvests.  The sampled timeline lands in the result's
+    [Metrics.series]; pass your own [telemetry] — a fresh registry per
+    run — to choose the interval or render frames live via [on_frame]
+    (that is [ulipc_top]).
     @raise Invalid_argument if [depth <= 0], or if [depth > 1] with
     [nservers > 1]. *)

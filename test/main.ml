@@ -16,5 +16,6 @@ let () =
          Test_workload.suites;
          Test_policies.suites;
          Test_observability.suites;
+         Test_telemetry.suites;
          Test_trace_analysis.suites;
        ])

@@ -293,7 +293,7 @@ let test_bench_json_roundtrip () =
   Sys.remove path;
   let j = parse_json contents in
   (match member "schema" j with
-  | J.Str "ulipc-bench-real/8" -> ()
+  | J.Str "ulipc-bench-real/9" -> ()
   | _ -> Alcotest.fail "wrong schema");
   (match member "sem_wake_latency" j with
   | J.Arr [ row ] ->
@@ -379,7 +379,37 @@ let test_bench_json_roundtrip () =
           (Printf.sprintf "minor_words_per_op non-negative (%.3f)" mw)
           true (mw >= 0.0);
         if member "transport" row = J.Str "ring" then
-          Alcotest.(check (float 0.0)) "ring row allocation-free" 0.0 mw)
+          Alcotest.(check (float 0.0)) "ring row allocation-free" 0.0 mw;
+        (* Schema 9: the sampled telemetry timeline.  Real rows are
+           live-sampled, so the series must be present with strictly
+           increasing timestamps, and the summed per-window "messages"
+           deltas must reproduce the row's message total exactly (the
+           counter is bumped once per measured message and the final
+           tick closes the partial window). *)
+        match member "series" row with
+        | J.Arr frames ->
+          Alcotest.(check bool) "series non-empty" true (frames <> []);
+          let prev_t = ref neg_infinity in
+          let summed = ref 0.0 in
+          List.iter
+            (fun fr ->
+              (match member "t_us" fr with
+              | J.Num t ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "t_us monotonic (%.1f > %.1f)" t !prev_t)
+                  true (t > !prev_t);
+                prev_t := t
+              | _ -> Alcotest.fail "frame t_us is not a number");
+              (* Counter points are per-window deltas, so the timeline
+                 sums back to the cumulative total. *)
+              match member "messages" (member "points" fr) with
+              | J.Num m -> summed := !summed +. m
+              | _ -> Alcotest.fail "frame messages point is not a number")
+            frames;
+          Alcotest.(check (float 0.0))
+            "summed window deltas reproduce row messages" (num "messages")
+            !summed
+        | _ -> Alcotest.fail "series is not an array")
       rows
   | _ -> Alcotest.fail "real_driver not an array"
 

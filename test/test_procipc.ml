@@ -214,6 +214,81 @@ let test_mpsc_fifo_and_capacity () =
   Alcotest.(check bool) "reusable after drain" true (Pring.Mpsc.enqueue q 7);
   Alcotest.(check int) "value survives" 7 (Pring.Mpsc.dequeue q)
 
+(* length/is_empty: exact when quiescent (the only writer is the
+   caller), conservative under a race.  The sequential leg pins the
+   exact values through a fill/drain cycle; the cross-fork leg polls
+   length while a child producer runs and holds the documented
+   invariant — never negative, and never "empty" while values the
+   parent has not yet dequeued are known to be inside. *)
+module type RING = sig
+  type t
+
+  val create : Parena.t -> capacity:int -> t
+  val capacity : t -> int
+  val enqueue : t -> int -> bool
+  val dequeue : t -> int
+  val is_empty : t -> bool
+  val length : t -> int
+end
+
+let length_fill_drain ~name (module R : RING) =
+  let a = Parena.create ~size_words:1024 () in
+  let q = R.create a ~capacity:8 in
+  let cap = R.capacity q in
+  Alcotest.(check int) (name ^ " empty length") 0 (R.length q);
+  Alcotest.(check bool) (name ^ " empty") true (R.is_empty q);
+  for i = 1 to cap do
+    Alcotest.(check bool) (name ^ " enqueue") true (R.enqueue q i);
+    Alcotest.(check int) (name ^ " length tracks fill") i (R.length q);
+    Alcotest.(check bool) (name ^ " non-empty") false (R.is_empty q)
+  done;
+  for i = cap downto 1 do
+    ignore (R.dequeue q);
+    Alcotest.(check int) (name ^ " length tracks drain") (i - 1) (R.length q)
+  done;
+  Alcotest.(check bool) (name ^ " empty after drain") true (R.is_empty q)
+
+let test_spsc_length_exact_quiescent () =
+  length_fill_drain ~name:"spsc" (module Pring.Spsc)
+
+let test_mpsc_length_exact_quiescent () =
+  length_fill_drain ~name:"mpsc" (module Pring.Mpsc)
+
+let test_spsc_length_conservative_under_race () =
+  let a = Parena.create ~size_words:1024 () in
+  let q = Pring.Spsc.create a ~capacity:16 in
+  let n = 2000 in
+  match Unix.fork () with
+  | 0 ->
+    for v = 0 to n - 1 do
+      while not (Pring.Spsc.enqueue q v) do
+        Parena.sched_yield ()
+      done
+    done;
+    Unix._exit 0
+  | pid ->
+    let ok = ref true in
+    for expect = 0 to n - 1 do
+      (* The consumer is this process, so between a successful dequeue
+         and the next one the snapshots race only against the producer:
+         length may over-report arrivals but must never go negative,
+         and a non-empty verdict can only become MORE true. *)
+      if Pring.Spsc.length q < 0 then ok := false;
+      let rec next () =
+        let v = Pring.Spsc.dequeue q in
+        if v = Pring.nil then (
+          Parena.sched_yield ();
+          next ())
+        else v
+      in
+      if next () <> expect then ok := false
+    done;
+    ignore (Unix.waitpid [] pid);
+    Alcotest.(check bool) "length never negative under race, FIFO kept" true
+      !ok;
+    Alcotest.(check int) "drained exactly" 0 (Pring.Spsc.length q);
+    Alcotest.(check bool) "empty at quiescence" true (Pring.Spsc.is_empty q)
+
 (* One producer process, one consumer process, 5000 values in order
    through a 16-slot ring: the fenceless single-writer publishes must
    never tear or reorder across the MAP_SHARED mapping. *)
@@ -517,6 +592,12 @@ let suites =
           test_spsc_fifo_and_capacity;
         Alcotest.test_case "mpsc fifo+capacity" `Quick
           test_mpsc_fifo_and_capacity;
+        Alcotest.test_case "spsc length exact when quiescent" `Quick
+          test_spsc_length_exact_quiescent;
+        Alcotest.test_case "mpsc length exact when quiescent" `Quick
+          test_mpsc_length_exact_quiescent;
+        Alcotest.test_case "spsc length conservative under race" `Quick
+          test_spsc_length_conservative_under_race;
         Alcotest.test_case "spsc cross-fork transfer" `Quick
           test_spsc_cross_fork;
         Alcotest.test_case "mpsc cross-fork transfer" `Quick
